@@ -1,0 +1,8 @@
+"""Benchmark harness configuration.
+
+Each benchmark module regenerates one table or figure of the paper and
+prints the rows/series in paper-comparable form; ``pytest-benchmark``
+additionally times the underlying computation.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""

@@ -1,0 +1,29 @@
+"""Fig. 6: round length Tr for different network diameters and slots
+per round (payload l = 10 B, N = 2).
+
+The paper spotlights "a minimum message latency of 50 ms in a 4-hop
+network using 5-slot rounds"; the printed grid is the full figure.
+"""
+
+import pytest
+
+from repro.analysis import FIG6_PAYLOAD, fig6_round_length, format_table
+
+
+def test_bench_fig6(benchmark, capsys):
+    data = benchmark(fig6_round_length)
+
+    headers = ["H \\ B"] + [str(b) for b in data.slots]
+    rows = []
+    for h in data.diameters:
+        rows.append([h] + [data.grid[h][b] for b in data.slots])
+    with capsys.disabled():
+        print(f"\n=== Fig. 6: Tr [ms] (payload {FIG6_PAYLOAD} B, N=2) ===")
+        print(format_table(headers, rows, float_fmt="{:.1f}"))
+
+    # Paper's spotlighted point: ~50 ms at H=4, B=5.
+    assert data.grid[4][5] == pytest.approx(50.0, rel=0.02)
+    # Monotone in both axes (shape of the figure).
+    for h in data.diameters:
+        series = data.series(h)
+        assert series == sorted(series)

@@ -1,0 +1,53 @@
+"""Fig. 7: relative radio-on time benefit of rounds vs. per-message
+beacons (H = 4, N = 2), as a function of slots per round and payload.
+
+Asserts the paper's headline band: 33% saving at B = 5 and l = 10 B,
+33-40% across B = 5..30 — and cross-checks the closed form against the
+flood-level Glossy simulation.
+"""
+
+import pytest
+
+from repro.analysis import fig7_energy_savings, format_series
+from repro.baselines import compare_energy, simulate_energy
+from repro.net import diameter_line
+
+
+def test_bench_fig7_model(benchmark, capsys):
+    data = benchmark(fig7_energy_savings)
+
+    with capsys.disabled():
+        print("\n=== Fig. 7: energy saving E of rounds (H=4, N=2) ===")
+        for payload in data.payloads:
+            print(format_series(
+                f"l={payload:3d}B",
+                list(data.slots),
+                data.series[payload],
+            ))
+
+    ten_byte = fig7_energy_savings(payloads=(10,)).series[10]
+    assert ten_byte[4] == pytest.approx(0.33, abs=0.015)  # B = 5
+    assert all(0.32 <= s <= 0.40 for s in ten_byte[4:])  # B = 5..30
+    # Savings shrink with payload (figure's color gradient).
+    at_b10 = [data.series[l][9] for l in data.payloads]
+    assert at_b10 == sorted(at_b10, reverse=True)
+
+
+def test_bench_fig7_simulation_crosscheck(benchmark, capsys):
+    """Simulated floods must reproduce the analytic series."""
+    topo = diameter_line(4)
+
+    def run():
+        return [
+            (b, simulate_energy(topo, payload_bytes=10, num_messages=b).saving)
+            for b in (2, 5, 10, 20, 30)
+        ]
+
+    simulated = benchmark(run)
+    with capsys.disabled():
+        print("\n--- Fig. 7 cross-check: simulated vs closed-form (l=10B) ---")
+        for b, saving in simulated:
+            model = compare_energy(10, 4, b).saving
+            print(f"B={b:3d}  simulated={saving:.3f}  model={model:.3f}")
+    for b, saving in simulated:
+        assert saving == pytest.approx(compare_energy(10, 4, b).saving, abs=0.02)

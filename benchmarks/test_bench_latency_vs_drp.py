@@ -1,0 +1,70 @@
+"""Headline claim: TTW reduces communication latency by ~2x compared to
+the closest related work [16] (DRP's loose task/message coupling).
+
+Prints, for several applications, TTW's achieved/minimum latency
+(eq. 13), DRP's guarantee (~2*Tr per message), and the speedup — and
+validates the claim on *synthesized* schedules, not just the analytic
+bound.
+"""
+
+import pytest
+
+from repro.analysis import format_table, latency_vs_drp
+from repro.baselines import LooselyCoupledExecutor
+from repro.core import Mode, SchedulingConfig, synthesize
+from repro.timing import round_length_ms
+from repro.workloads import closed_loop_pipeline, fig3_control_app
+
+TR = round_length_ms(payload_bytes=10, diameter=4, num_slots=5)  # ~50 ms
+
+APPS = [
+    ("fig3-control", lambda: fig3_control_app(period=800, deadline=800,
+                                              sense_wcet=2, control_wcet=5,
+                                              act_wcet=1)),
+    ("1-hop-loop", lambda: closed_loop_pipeline("h1", period=400, deadline=400,
+                                                num_hops=1, wcet=1.0)),
+    ("2-hop-loop", lambda: closed_loop_pipeline("h2", period=800, deadline=800,
+                                                num_hops=2, wcet=1.0)),
+    ("4-hop-loop", lambda: closed_loop_pipeline("h4", period=1600, deadline=1600,
+                                                num_hops=4, wcet=1.0)),
+]
+
+
+def test_bench_latency_vs_drp(benchmark, capsys):
+    def run():
+        rows = []
+        for name, factory in APPS:
+            app = factory()
+            cmp = latency_vs_drp(app, TR)
+            # Synthesize to confirm the bound is achieved.
+            mode = Mode(f"m_{name}", [app])
+            config = SchedulingConfig(round_length=TR, slots_per_round=5,
+                                      max_round_gap=None)
+            sched = synthesize(mode, config)
+            achieved = sched.app_latencies[app.name]
+            measured_drp = LooselyCoupledExecutor(TR).worst_case_latency(
+                app, phase_samples=32
+            )
+            rows.append(
+                (name, cmp.ttw_bound, achieved, cmp.drp_guarantee,
+                 measured_drp, cmp.drp_guarantee / achieved)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\n=== TTW vs DRP end-to-end latency [ms], Tr = {TR:.1f} ms ===")
+        print(format_table(
+            ["application", "TTW bound", "TTW achieved", "DRP guarantee",
+             "DRP measured", "speedup"],
+            rows,
+        ))
+
+    for name, bound, achieved, guarantee, measured, speedup in rows:
+        # Synthesis reaches the eq. (13) bound on these workloads.
+        assert achieved == pytest.approx(bound, abs=1e-3)
+        # The paper's 2x claim: communication-dominated chains approach
+        # a factor 2; every workload improves by at least ~1.8x here.
+        assert speedup >= 1.8
+        # DRP's measured worst case is consistent with its guarantee.
+        assert measured <= guarantee + 1e-6

@@ -1,0 +1,66 @@
+"""Fig. 4/8: arrival, demand, and service functions of a message.
+
+Prints the step functions for the figure's scenario (message allocated
+to rounds r1, r2, r4 of five rounds, with a leftover instance) and
+asserts the validity relation df <= sf <= af at every step point.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import arrival_count, demand_count
+from repro.core.netcalc import ServiceCurve, check_message_service
+
+# Concretization of Fig. 4: hyperperiod 30, period 10, o+d > p.
+HP, PERIOD, TR = 30.0, 10.0, 1.0
+OFFSET, DEADLINE = 6.0, 6.0
+ROUND_STARTS = {1: 1.0, 2: 8.0, 3: 12.0, 4: 18.0, 5: 27.0}
+ALLOCATED = [1.0, 8.0, 18.0]  # r1, r2, r4
+LEFTOVER = 1
+
+
+def sample_functions():
+    curve = ServiceCurve(
+        round_ends=tuple(s + TR for s in ALLOCATED), leftover=LEFTOVER
+    )
+    rows = []
+    for t in [0, 2, 5, 6, 9, 13, 16, 19, 23, 26, 29]:
+        rows.append(
+            (
+                t,
+                arrival_count(t, OFFSET, PERIOD),
+                demand_count(t, OFFSET, DEADLINE, PERIOD),
+                curve.served(t),
+            )
+        )
+    return rows
+
+
+def test_bench_fig4_functions(benchmark, capsys):
+    rows = benchmark(sample_functions)
+    with capsys.disabled():
+        print("\n=== Fig. 4: af / df / sf for m_i (o=6, d=6, p=10) ===")
+        print(format_table(["t", "af(t)", "df(t)", "sf(t)"], rows))
+
+    # Validity: df <= sf <= af everywhere (paper eq. 1).
+    for t, af, df, sf in rows:
+        assert df <= sf <= af
+
+    # The depicted allocation is valid...
+    assert check_message_service(
+        OFFSET, DEADLINE, PERIOD, HP, ALLOCATED, TR, leftover=LEFTOVER
+    ) == []
+    # ... replacing r2 by r3 violates (C2), as the caption says.
+    problems = check_message_service(
+        OFFSET, DEADLINE, PERIOD, HP,
+        [ROUND_STARTS[1], ROUND_STARTS[3], ROUND_STARTS[4]], TR,
+        leftover=LEFTOVER,
+    )
+    assert any("(C2)" in p for p in problems)
+    # ... and serving the wrapped instance by r5 instead of r1 makes
+    # the leftover accounting r0.Bi = 0, still valid.
+    assert check_message_service(
+        OFFSET, DEADLINE, PERIOD, HP,
+        [ROUND_STARTS[2], ROUND_STARTS[4], ROUND_STARTS[5]], TR,
+        leftover=0,
+    ) == []

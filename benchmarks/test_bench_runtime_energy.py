@@ -1,0 +1,65 @@
+"""Runtime energy: radio duty cycle of an executing TTW deployment.
+
+Complements the closed-form Fig. 7 comparison with an end-to-end
+number: the average radio duty cycle of nodes executing a synthesized
+schedule, as a function of traffic (rounds per second) — the "energy
+efficiency" requirement the paper's design targets.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import Mode, SchedulingConfig, synthesize
+from repro.runtime import RadioTiming, RuntimeSimulator, build_deployment
+from repro.timing import round_length_ms
+from repro.workloads import closed_loop_pipeline
+
+PERIODS = (200.0, 500.0, 1000.0, 2000.0)
+
+
+def run_duty_cycles():
+    tr = round_length_ms(payload_bytes=10, diameter=4, num_slots=5)
+    rows = []
+    for period in PERIODS:
+        mode = Mode(
+            f"m{period:.0f}",
+            [closed_loop_pipeline("a", period=period, deadline=period,
+                                  num_hops=2)],
+            mode_id=0,
+        )
+        config = SchedulingConfig(round_length=tr, slots_per_round=5,
+                                  max_round_gap=None)
+        sched = synthesize(mode, config)
+        deployment = build_deployment(mode, sched, 0)
+        sim = RuntimeSimulator(
+            {0: mode},
+            {0: deployment},
+            initial_mode=0,
+            radio=RadioTiming(payload_bytes=10, diameter=4),
+        )
+        horizon = 20_000.0
+        trace = sim.run(horizon)
+        num_nodes = len(trace.radio_on)
+        duty = trace.total_radio_on() / (num_nodes * horizon)
+        rows.append(
+            (f"{period:.0f}", sched.num_rounds,
+             round(len(trace.rounds) / (horizon / 1000.0), 2),
+             f"{duty * 100:.3f}")
+        )
+    return rows
+
+
+def test_bench_runtime_energy(benchmark, capsys):
+    rows = benchmark.pedantic(run_duty_cycles, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n=== Runtime radio duty cycle (2-hop loop, H=4, B=5) ===")
+        print(format_table(
+            ["loop period [ms]", "rounds/HP", "rounds per s",
+             "duty cycle [%]"],
+            rows,
+        ))
+    duties = [float(r[3]) for r in rows]
+    # Longer periods -> fewer rounds -> lower duty cycle.
+    assert duties == sorted(duties, reverse=True)
+    # Low-power regime: even the fastest loop stays in single digits.
+    assert duties[0] < 25.0

@@ -1,0 +1,65 @@
+"""Algorithm 1 behaviour: round-minimal synthesis and solve-time scaling.
+
+The paper argues the co-scheduling ILP cannot be solved online and is
+synthesized offline; this bench quantifies that claim on growing
+problem sizes (apps x tasks) and reports rounds used, latency, ILP
+size, and solve time per Algorithm 1 run.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import InfeasibleError, SchedulingConfig, synthesize, verify_schedule
+from repro.workloads import GeneratorConfig, WorkloadGenerator
+
+SIZES = [
+    ("1 app x 3 tasks", 1, 3),
+    ("2 apps x 3 tasks", 2, 3),
+    ("2 apps x 4 tasks", 2, 4),
+    ("3 apps x 4 tasks", 3, 4),
+]
+
+
+def synthesize_suite():
+    rows = []
+    config = SchedulingConfig(round_length=1.0, slots_per_round=5,
+                              max_round_gap=None)
+    for label, num_apps, num_tasks in SIZES:
+        generator = WorkloadGenerator(
+            GeneratorConfig(num_tasks=num_tasks, num_nodes=8,
+                            period_choices=(20.0, 40.0)),
+            seed=7,
+        )
+        mode = generator.mode(f"s{num_apps}x{num_tasks}", num_apps)
+        try:
+            sched = synthesize(mode, config)
+        except InfeasibleError:
+            rows.append((label, "-", "-", "-", "-", "infeasible"))
+            continue
+        assert verify_schedule(mode, sched).ok
+        stats = sched.solve_stats
+        final = stats.iterations[-1]
+        rows.append(
+            (
+                label,
+                sched.num_rounds,
+                round(sched.total_latency, 2),
+                final.num_vars,
+                final.num_constraints,
+                round(stats.total_time, 3),
+            )
+        )
+    return rows
+
+
+def test_bench_synthesis_scaling(benchmark, capsys):
+    rows = benchmark.pedantic(synthesize_suite, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n=== Algorithm 1 scaling (Tr=1, B=5) ===")
+        print(format_table(
+            ["workload", "rounds", "sum latency", "ILP vars",
+             "ILP constrs", "synth time [s]"],
+            rows,
+        ))
+    solved = [r for r in rows if r[1] != "-"]
+    assert solved, "at least one size must be solvable"

@@ -1,0 +1,32 @@
+"""Table I: constants of the Glossy implementation, plus the derived
+per-slot quantities the rest of the evaluation builds on."""
+
+from repro.analysis import format_table, table1_rows
+from repro.timing import (
+    DEFAULT_CONSTANTS,
+    hop_time,
+    slot_off_time,
+    slot_on_time,
+    slot_time,
+)
+
+
+def test_bench_table1(benchmark, capsys):
+    rows = benchmark(table1_rows)
+
+    derived = [
+        ("T_hop(l=10B)", f"{hop_time(10) * 1e3:.3f} ms"),
+        ("T_on(l=10B, H=4)", f"{slot_on_time(10, 4) * 1e3:.3f} ms"),
+        ("T_off", f"{slot_off_time() * 1e3:.3f} ms"),
+        ("T_slot(l=10B, H=4)", f"{slot_time(10, 4) * 1e3:.3f} ms"),
+        ("T_slot(beacon, H=4)", f"{slot_time(DEFAULT_CONSTANTS.l_beacon, 4) * 1e3:.3f} ms"),
+    ]
+    with capsys.disabled():
+        print("\n=== Table I: Glossy implementation constants ===")
+        print(format_table(["constant", "value"], rows))
+        print("\n--- derived slot quantities (H=4, N=2) ---")
+        print(format_table(["quantity", "value"], derived))
+
+    values = dict(rows)
+    assert values["T_wake-up"] == "750 us"
+    assert values["R_bit"] == "250 kbps"

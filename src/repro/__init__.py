@@ -1,0 +1,44 @@
+"""repro — reproduction of "TTW: A Time-Triggered Wireless design for
+CPS" (Jacob et al., DATE 2018; extended version arXiv:1711.05581).
+
+Subpackages:
+
+* :mod:`repro.core` — application model, co-scheduling ILP, Algorithm 1
+  synthesis, schedule verification, latency analysis (the paper's
+  primary contribution);
+* :mod:`repro.milp` — MILP modeling/solving substrate (Gurobi
+  replacement: scipy/HiGHS plus a from-scratch branch-and-bound);
+* :mod:`repro.timing` — slot/round/energy models (Sec. V, Table I);
+* :mod:`repro.net` — topologies and the Glossy flood simulator;
+* :mod:`repro.runtime` — beacon/mode-change protocol executor;
+* :mod:`repro.baselines` — DRP, plain LWB, and the no-rounds design;
+* :mod:`repro.workloads` — Fig. 3 preset and random generators;
+* :mod:`repro.analysis` — figure/table data regeneration.
+
+Quickstart::
+
+    from repro.core import SchedulingConfig, Mode, synthesize
+    from repro.workloads import fig3_control_app
+    from repro.timing import round_length_ms
+
+    tr = round_length_ms(payload_bytes=10, diameter=4, num_slots=5)
+    mode = Mode("normal", [fig3_control_app(period=200, deadline=150)])
+    schedule = synthesize(mode, SchedulingConfig(round_length=tr))
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, baselines, core, io, milp, net, runtime, timing, workloads
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "core",
+    "io",
+    "milp",
+    "net",
+    "runtime",
+    "timing",
+    "workloads",
+    "__version__",
+]

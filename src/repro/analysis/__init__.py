@@ -1,0 +1,40 @@
+"""Evaluation analysis: figure/table data generators and formatting."""
+
+from .figures import (
+    FIG6_DIAMETERS,
+    FIG6_PAYLOAD,
+    FIG6_SLOTS,
+    FIG7_DIAMETER,
+    FIG7_PAYLOADS,
+    FIG7_SLOTS,
+    Fig6Data,
+    Fig7Data,
+    LatencyComparison,
+    fig6_round_length,
+    fig7_energy_savings,
+    latency_vs_drp,
+)
+from .format import format_series, format_table
+from .gantt import render_gantt, render_round_table
+from .tables import table1_rows, table2_rows
+
+__all__ = [
+    "FIG6_DIAMETERS",
+    "FIG6_PAYLOAD",
+    "FIG6_SLOTS",
+    "FIG7_DIAMETER",
+    "FIG7_PAYLOADS",
+    "FIG7_SLOTS",
+    "Fig6Data",
+    "Fig7Data",
+    "LatencyComparison",
+    "fig6_round_length",
+    "fig7_energy_savings",
+    "format_series",
+    "format_table",
+    "latency_vs_drp",
+    "render_gantt",
+    "render_round_table",
+    "table1_rows",
+    "table2_rows",
+]

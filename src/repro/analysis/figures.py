@@ -1,0 +1,117 @@
+"""Data generators for every figure of the paper's evaluation.
+
+Each ``fig*`` function returns the exact series the corresponding paper
+figure plots, as plain data structures; the benchmark harness prints
+them and asserts the paper's headline properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..baselines.drp import application_guarantee
+from ..core.app_model import Application
+from ..core.latency import drp_latency_bound, latency_lower_bound
+from ..timing import DEFAULT_CONSTANTS, GlossyConstants, energy_saving, round_length_ms
+
+#: Parameter grids of the paper's figures.
+FIG6_DIAMETERS = (1, 2, 3, 4, 5, 6, 7, 8)
+FIG6_SLOTS = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+FIG6_PAYLOAD = 10  # bytes, "Payload is l = 10 B and N = 2"
+
+FIG7_DIAMETER = 4
+FIG7_SLOTS = tuple(range(1, 31))
+FIG7_PAYLOADS = (8, 16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class Fig6Data:
+    """Round length ``Tr`` [ms] as a function of ``H`` and ``B``."""
+
+    payload_bytes: int
+    diameters: Tuple[int, ...]
+    slots: Tuple[int, ...]
+    #: ``grid[h][b]`` -> Tr in ms, keyed by actual H and B values.
+    grid: Dict[int, Dict[int, float]]
+
+    def series(self, diameter: int) -> List[float]:
+        return [self.grid[diameter][b] for b in self.slots]
+
+
+def fig6_round_length(
+    payload_bytes: int = FIG6_PAYLOAD,
+    diameters: Sequence[int] = FIG6_DIAMETERS,
+    slots: Sequence[int] = FIG6_SLOTS,
+    constants: GlossyConstants = DEFAULT_CONSTANTS,
+) -> Fig6Data:
+    """Fig. 6: sample values of ``Tr`` for network diameters and slots."""
+    grid: Dict[int, Dict[int, float]] = {}
+    for h in diameters:
+        grid[h] = {
+            b: round_length_ms(payload_bytes, h, b, constants) for b in slots
+        }
+    return Fig6Data(
+        payload_bytes=payload_bytes,
+        diameters=tuple(diameters),
+        slots=tuple(slots),
+        grid=grid,
+    )
+
+
+@dataclass(frozen=True)
+class Fig7Data:
+    """Relative radio-on saving ``E`` vs. slots per round and payload."""
+
+    diameter: int
+    slots: Tuple[int, ...]
+    payloads: Tuple[int, ...]
+    #: ``series[l]`` -> saving per B, keyed by payload size.
+    series: Dict[int, List[float]]
+
+
+def fig7_energy_savings(
+    diameter: int = FIG7_DIAMETER,
+    slots: Sequence[int] = FIG7_SLOTS,
+    payloads: Sequence[int] = FIG7_PAYLOADS,
+    constants: GlossyConstants = DEFAULT_CONSTANTS,
+) -> Fig7Data:
+    """Fig. 7: energy benefit of rounds vs. the no-rounds design."""
+    series = {
+        l: [energy_saving(l, diameter, b, constants) for b in slots]
+        for l in payloads
+    }
+    return Fig7Data(
+        diameter=diameter,
+        slots=tuple(slots),
+        payloads=tuple(payloads),
+        series=series,
+    )
+
+
+@dataclass(frozen=True)
+class LatencyComparison:
+    """TTW vs. DRP latency for one application (the 2x claim)."""
+
+    app_name: str
+    round_length: float
+    ttw_bound: float
+    drp_bound: float
+    drp_guarantee: float
+
+    @property
+    def speedup(self) -> float:
+        return self.drp_bound / self.ttw_bound
+
+
+def latency_vs_drp(
+    app: Application, round_length: float
+) -> LatencyComparison:
+    """The paper's headline comparison: eq. (13) vs. the 2*Tr baseline."""
+    return LatencyComparison(
+        app_name=app.name,
+        round_length=round_length,
+        ttw_bound=latency_lower_bound(app, round_length),
+        drp_bound=drp_latency_bound(app, round_length),
+        drp_guarantee=application_guarantee(app, round_length),
+    )

@@ -1,0 +1,47 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmark harness prints the same rows/series the paper reports;
+this module renders them as aligned ASCII tables so the bench output is
+directly comparable to the figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Floats are formatted with ``float_fmt``; everything else with
+    ``str``.
+    """
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_fmt.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [
+        max(len(r[i]) for r in rendered) for i in range(len(rendered[0]))
+    ]
+    lines = []
+    for idx, cells in enumerate(rendered):
+        line = "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+        lines.append(line)
+        if idx == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_series(label: str, xs: Sequence[object], ys: Sequence[float]) -> str:
+    """Render one figure series as ``label: (x, y) ...`` pairs."""
+    pairs = ", ".join(f"({x}, {y:.3g})" for x, y in zip(xs, ys))
+    return f"{label}: {pairs}"

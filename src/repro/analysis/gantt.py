@@ -1,0 +1,97 @@
+"""ASCII Gantt rendering of synthesized schedules.
+
+Renders one hyperperiod of a :class:`~repro.core.schedule.ModeSchedule`
+as a per-node timeline: task executions as ``#`` blocks on their node's
+lane, communication rounds as ``R`` blocks on a shared network lane.
+Useful for eyeballing schedules in examples and docs::
+
+    net   |.R.....R........|
+    n1    |#.......        |
+    n2    |........#.      |
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.modes import Mode
+from ..core.schedule import ModeSchedule
+
+
+def render_gantt(
+    mode: Mode,
+    schedule: ModeSchedule,
+    width: int = 72,
+) -> str:
+    """Render one hyperperiod as an ASCII chart.
+
+    Args:
+        mode: The scheduled mode (for task mappings and WCETs).
+        schedule: Its synthesized schedule.
+        width: Characters used for the hyperperiod timeline.
+
+    Returns:
+        A multi-line string: a time ruler, one ``net`` lane showing
+        rounds, and one lane per node showing task instances.
+    """
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    lcm = schedule.hyperperiod
+    scale = width / lcm
+
+    def span(start: float, length: float) -> range:
+        begin = int(round(start * scale))
+        end = max(begin + 1, int(round((start + length) * scale)))
+        return range(min(begin, width - 1), min(end, width))
+
+    # Network lane.
+    net = ["."] * width
+    for rnd in schedule.rounds:
+        for i in span(rnd.start, schedule.config.round_length):
+            net[i] = "R"
+
+    # Node lanes with periodic task instances.
+    lanes: Dict[str, List[str]] = {}
+    for app in mode.applications:
+        count = round(lcm / app.period)
+        for name, task in app.tasks.items():
+            lane = lanes.setdefault(task.node, ["."] * width)
+            offset = schedule.task_offsets.get(name)
+            if offset is None:
+                continue
+            marker = name[-1] if name else "#"
+            for k in range(count):
+                for i in span(offset + k * app.period, task.wcet):
+                    lane[i] = marker if lane[i] == "." else "X"
+
+    label_width = max([len("net")] + [len(n) for n in lanes]) + 2
+    lines = []
+    ruler = _ruler(lcm, width)
+    lines.append(" " * label_width + ruler)
+    lines.append(f"{'net':<{label_width}}|{''.join(net)}|")
+    for node in sorted(lanes):
+        lines.append(f"{node:<{label_width}}|{''.join(lanes[node])}|")
+    return "\n".join(lines)
+
+
+def _ruler(lcm: float, width: int) -> str:
+    """A sparse time ruler: 0 at the left, the hyperperiod at the right."""
+    left = "0"
+    right = f"{lcm:g}"
+    middle = f"{lcm / 2:g}"
+    ruler = [" "] * (width + 2)
+    ruler[1 : 1 + len(left)] = left
+    mid_pos = 1 + width // 2 - len(middle) // 2
+    ruler[mid_pos : mid_pos + len(middle)] = middle
+    start_right = max(0, width + 1 - len(right))
+    ruler[start_right : start_right + len(right)] = right
+    return "".join(ruler)
+
+
+def render_round_table(schedule: ModeSchedule) -> str:
+    """Compact textual round table (start time and slot contents)."""
+    lines = ["round  start      slots"]
+    for index, rnd in enumerate(schedule.rounds):
+        slots = ", ".join(rnd.messages) if rnd.messages else "(empty)"
+        lines.append(f"{index:>5}  {rnd.start:>9.3f}  {slots}")
+    return "\n".join(lines)

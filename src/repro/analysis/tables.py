@@ -1,0 +1,51 @@
+"""Data generators for the paper's tables.
+
+Table I lists the Glossy implementation constants; Table II lists the
+ILP variables and the constants used by the scheduler.  Both are
+regenerated here so the benchmark output can be compared line-by-line
+with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.schedule import SchedulingConfig
+from ..timing import DEFAULT_CONSTANTS, GlossyConstants
+
+
+def table1_rows(
+    constants: GlossyConstants = DEFAULT_CONSTANTS,
+) -> List[Tuple[str, str]]:
+    """Table I: constants of the public Glossy implementation [17]."""
+    return [
+        ("T_wake-up", f"{constants.t_wakeup * 1e6:.0f} us"),
+        ("T_start", f"{constants.t_start * 1e6:.0f} us"),
+        ("T_d", f"{constants.t_d * 1e6:.0f} us"),
+        ("L_cal", f"{constants.l_cal} B"),
+        ("L_header", f"{constants.l_header} B"),
+        ("T_gap", f"{constants.t_gap * 1e3:.0f} ms"),
+        ("R_bit", f"{constants.bitrate / 1e3:.0f} kbps"),
+    ]
+
+
+def table2_rows(config: SchedulingConfig, hyperperiod: float) -> List[Tuple[str, str, str]]:
+    """Table II (appendix): ILP variable domains and constants."""
+    big_m = config.big_m if config.big_m is not None else 10.0 * hyperperiod
+    return [
+        ("tau.o", "Continuous", "0 <= tau.o < tau.p"),
+        ("m.o", "Continuous", "0 <= m.o < m.p"),
+        ("m.d", "Continuous", "0 <= m.d <= m.p"),
+        ("sigma", "Binary", "0 or 1"),
+        ("lambda", "Binary", "0 or 1"),
+        ("r.t", "Continuous", f"0 <= r.t <= {hyperperiod:g} - Tr"),
+        ("r.[B]", "Integer", "0 <= r.Bs <= 1"),
+        ("r0.Bi", "Integer", "0 <= r0.Bi <= 1"),
+        ("ka", "Integer", "0 <= ka <= LCM/m.p"),
+        ("kd", "Integer", "-1 <= kd <= LCM/m.p"),
+        ("Tr", "Constant", f"{config.round_length:g}"),
+        ("B", "Constant", f"{config.slots_per_round}"),
+        ("Tmax", "Constant", f"{config.max_round_gap}"),
+        ("MM", "Constant", f"{big_m:g}"),
+        ("mm", "Constant", f"{config.mm:g}"),
+    ]

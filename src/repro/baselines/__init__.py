@@ -1,0 +1,34 @@
+"""Baselines the paper compares against: DRP (loose coupling, ~2x Tr
+per message), plain LWB (no co-scheduling), and the no-rounds design
+(per-message beacons)."""
+
+from .drp import (
+    ExecutedChain,
+    LooselyCoupledExecutor,
+    application_guarantee,
+    chain_guarantee,
+    message_guarantee,
+)
+from .lwb import LwbRoundPlan, LwbScheduler
+from .norounds import (
+    EnergyComparison,
+    compare_energy,
+    latency_without_rounds,
+    savings_series,
+    simulate_energy,
+)
+
+__all__ = [
+    "EnergyComparison",
+    "ExecutedChain",
+    "LooselyCoupledExecutor",
+    "LwbRoundPlan",
+    "LwbScheduler",
+    "application_guarantee",
+    "chain_guarantee",
+    "compare_energy",
+    "latency_without_rounds",
+    "message_guarantee",
+    "savings_series",
+    "simulate_energy",
+]

@@ -1,0 +1,111 @@
+"""Plain LWB baseline: rounds without task co-scheduling (paper ref. [4]).
+
+The Low-power Wireless Bus schedules *network* resources only: rounds
+are placed to satisfy aggregate message bandwidth, and applications see
+the bus as a transport with no awareness of task release times.  LWB
+therefore provides no end-to-end timing guarantee (paper Sec. VI); the
+latency a chain experiences depends on how task completions happen to
+align with the round grid.
+
+:class:`LwbScheduler` dimensions the periodic round schedule from the
+mode's aggregate demand, and reuses the loosely-coupled executor to
+measure achieved end-to-end latencies over release phases — giving the
+latency *distribution* that motivates TTW's co-scheduling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..core.app_model import Application
+from ..core.modes import Mode
+from .drp import LooselyCoupledExecutor
+
+
+@dataclass(frozen=True)
+class LwbRoundPlan:
+    """Periodic round plan dimensioned for a mode's bandwidth.
+
+    Attributes:
+        round_period: Time between round starts.
+        rounds_per_hyperperiod: Rounds in one mode hyperperiod.
+        utilization: Fraction of slot capacity used by the demand.
+    """
+
+    round_period: float
+    rounds_per_hyperperiod: int
+    utilization: float
+
+
+class LwbScheduler:
+    """Dimension periodic LWB rounds for a mode.
+
+    Args:
+        round_length: ``Tr`` of one round.
+        slots_per_round: ``B`` data slots per round.
+    """
+
+    def __init__(self, round_length: float, slots_per_round: int) -> None:
+        if round_length <= 0:
+            raise ValueError("round_length must be > 0")
+        if slots_per_round < 1:
+            raise ValueError("slots_per_round must be >= 1")
+        self.round_length = round_length
+        self.slots_per_round = slots_per_round
+
+    def demand_per_hyperperiod(self, mode: Mode) -> int:
+        """Total message instances to serve in one hyperperiod."""
+        lcm = mode.hyperperiod
+        total = 0
+        for app in mode.applications:
+            total += len(app.messages) * round(lcm / app.period)
+        return total
+
+    def plan(self, mode: Mode) -> LwbRoundPlan:
+        """Smallest periodic round schedule covering the demand.
+
+        LWB's online scheduler adapts the round period to traffic; the
+        steady-state equivalent is the largest period such that slot
+        supply covers demand in each hyperperiod.
+        """
+        lcm = mode.hyperperiod
+        demand = self.demand_per_hyperperiod(mode)
+        if demand == 0:
+            return LwbRoundPlan(
+                round_period=lcm, rounds_per_hyperperiod=0, utilization=0.0
+            )
+        rounds_needed = math.ceil(demand / self.slots_per_round)
+        max_rounds = int(math.floor(lcm / self.round_length + 1e-9))
+        if rounds_needed > max_rounds:
+            raise ValueError(
+                f"mode {mode.name!r}: demand {demand} slots needs "
+                f"{rounds_needed} rounds but only {max_rounds} fit"
+            )
+        round_period = lcm / rounds_needed
+        utilization = demand / (rounds_needed * self.slots_per_round)
+        return LwbRoundPlan(
+            round_period=round_period,
+            rounds_per_hyperperiod=rounds_needed,
+            utilization=utilization,
+        )
+
+    def latency_distribution(
+        self, app: Application, plan: LwbRoundPlan, phase_samples: int = 64
+    ) -> List[float]:
+        """Achieved application latencies across release phases.
+
+        LWB gives no control over the phase between application release
+        and the round grid, so the *distribution* over phases is the
+        honest performance picture (its max is the DRP-style bound).
+        """
+        executor = LooselyCoupledExecutor(
+            round_length=self.round_length, round_period=plan.round_period
+        )
+        latencies = []
+        for i in range(phase_samples):
+            phase = plan.round_period * i / phase_samples
+            executed = executor.execute(app, release_phase=phase)
+            latencies.append(max(e.latency for e in executed))
+        return latencies

@@ -1,0 +1,130 @@
+"""The no-rounds strawman design (paper Sec. V, eq. 20 and Fig. 7).
+
+In a design without communication rounds, every message transmission is
+preceded by its own beacon — beacons are what reliably prevents
+collisions (Sec. II), so they cannot be dropped.  The total time for
+``B`` messages of size ``l`` is then
+
+    T_wo/r(l) = B * (T_slot(L_beacon) + T_slot(l))             (20)
+
+This module wraps the closed-form comparison and adds a slot-level
+simulation cross-check: it executes the two designs flood-by-flood over
+a topology and accounts radio-on time with the Glossy simulator,
+confirming the analytic savings of Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..net.glossy import GlossySimulator
+from ..net.topology import Topology
+from ..timing import (
+    DEFAULT_CONSTANTS,
+    GlossyConstants,
+    energy_saving,
+    no_rounds_on_time,
+    rounds_on_time,
+    slot_time,
+)
+
+
+@dataclass(frozen=True)
+class EnergyComparison:
+    """Radio-on comparison between rounds and per-message beacons.
+
+    All times in seconds, for serving ``num_messages`` messages once.
+    """
+
+    num_messages: int
+    payload_bytes: int
+    diameter: int
+    with_rounds: float
+    without_rounds: float
+
+    @property
+    def saving(self) -> float:
+        """Relative saving ``E`` (Fig. 7)."""
+        return (self.without_rounds - self.with_rounds) / self.without_rounds
+
+
+def compare_energy(
+    payload_bytes: int,
+    diameter: int,
+    num_messages: int,
+    constants: GlossyConstants = DEFAULT_CONSTANTS,
+) -> EnergyComparison:
+    """Closed-form comparison (eqs. 18-20)."""
+    return EnergyComparison(
+        num_messages=num_messages,
+        payload_bytes=payload_bytes,
+        diameter=diameter,
+        with_rounds=rounds_on_time(payload_bytes, diameter, num_messages, constants),
+        without_rounds=no_rounds_on_time(
+            payload_bytes, diameter, num_messages, constants
+        ),
+    )
+
+
+def simulate_energy(
+    topology: Topology,
+    payload_bytes: int,
+    num_messages: int,
+    constants: GlossyConstants = DEFAULT_CONSTANTS,
+    seed: int = 1,
+) -> EnergyComparison:
+    """Flood-level simulation of the same comparison.
+
+    Runs the actual flood sequences of both designs with the Glossy
+    simulator (ideal links — loss affects both designs identically at
+    first order) and accounts per-node radio-on time including the
+    radio start-up ``T_start`` per slot.
+    """
+    simulator = GlossySimulator(topology, link_success=1.0, constants=constants)
+    host = topology.host
+    diameter = topology.diameter
+
+    def slot_cost(payload: int) -> float:
+        result = simulator.flood(host, payload)
+        # One wake-up per slot; radio on for start-up plus the flood.
+        return constants.t_start + result.duration
+
+    beacon_cost = slot_cost(constants.l_beacon)
+    data_cost = slot_cost(payload_bytes)
+    with_rounds = beacon_cost + num_messages * data_cost
+    without_rounds = num_messages * (beacon_cost + data_cost)
+    return EnergyComparison(
+        num_messages=num_messages,
+        payload_bytes=payload_bytes,
+        diameter=diameter,
+        with_rounds=with_rounds,
+        without_rounds=without_rounds,
+    )
+
+
+def latency_without_rounds(
+    payload_bytes: int,
+    diameter: int,
+    constants: GlossyConstants = DEFAULT_CONSTANTS,
+) -> float:
+    """Per-message airtime in the no-rounds design [s].
+
+    Each message costs a beacon slot plus a data slot; there is no
+    amortization but also no waiting for other slots in the round.
+    """
+    return slot_time(constants.l_beacon, diameter, constants) + slot_time(
+        payload_bytes, diameter, constants
+    )
+
+
+def savings_series(
+    payload_bytes: int,
+    diameter: int,
+    slots_range: List[int],
+    constants: GlossyConstants = DEFAULT_CONSTANTS,
+) -> List[float]:
+    """The Fig. 7 series: ``E`` as a function of slots per round."""
+    return [
+        energy_saving(payload_bytes, diameter, b, constants) for b in slots_range
+    ]

@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+* ``synth``    — synthesize schedules for a workload JSON file and
+  write the system image (modes + schedules) back to disk;
+* ``verify``   — re-verify every schedule in a system file;
+* ``simulate`` — execute a system file for a given duration and print
+  trace statistics;
+* ``figures``  — print the paper's Fig. 6 / Fig. 7 data;
+* ``gantt``    — render a mode's schedule as an ASCII chart.
+
+The workload JSON for ``synth`` is a list of mode records (see
+:func:`repro.io.serialize.mode_from_dict`) plus a ``config`` record::
+
+    {
+      "config": {"round_length": 50.0, "slots_per_round": 5,
+                  "max_round_gap": null},
+      "modes": [ { "name": ..., "applications": [...] } ]
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis import (
+    fig6_round_length,
+    fig7_energy_savings,
+    format_series,
+    format_table,
+    render_gantt,
+)
+from .io.serialize import (
+    SerializationError,
+    config_from_dict,
+    mode_from_dict,
+)
+from .system import TTWSystem
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    spec = json.loads(Path(args.workload).read_text())
+    config = config_from_dict(spec["config"])
+    system = TTWSystem(config, warm_start=args.warm_start)
+    for record in spec["modes"]:
+        system.add_mode(mode_from_dict(record))
+    schedules = system.synthesize_all()
+    for name, schedule in sorted(schedules.items()):
+        print(
+            f"mode {name!r}: {schedule.num_rounds} rounds, "
+            f"total latency {schedule.total_latency:.3f}"
+        )
+    system.save(args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    system = TTWSystem.load(args.system)
+    reports = system.verify_all()
+    failures = 0
+    for name, report in sorted(reports.items()):
+        status = "OK" if report.ok else f"{len(report.violations)} violation(s)"
+        print(f"mode {name!r}: {status}")
+        for violation in report.violations:
+            print(f"  - {violation}")
+            failures += 1
+    return 1 if failures else 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .runtime import BernoulliLoss
+
+    system = TTWSystem.load(args.system)
+    loss = None
+    if args.loss > 0:
+        loss = BernoulliLoss(
+            beacon_loss=args.loss, data_loss=args.loss, seed=args.seed
+        )
+    trace = system.simulate(duration=args.duration, loss=loss)
+    print(f"rounds executed:   {len(trace.rounds)}")
+    print(f"collision-free:    {trace.collision_free}")
+    print(f"delivery rate:     {trace.delivery_rate():.4f}")
+    print(f"on-time rate:      {trace.on_time_rate():.4f}")
+    print(f"chain success:     {trace.chain_success_rate():.4f}")
+    return 0 if trace.collision_free else 1
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    if args.figure in ("6", "all"):
+        data = fig6_round_length()
+        print(f"Fig. 6: Tr [ms], payload {data.payload_bytes} B, N=2")
+        headers = ["H \\ B"] + [str(b) for b in data.slots]
+        rows = [[h] + [data.grid[h][b] for b in data.slots]
+                for h in data.diameters]
+        print(format_table(headers, rows, float_fmt="{:.1f}"))
+    if args.figure in ("7", "all"):
+        data = fig7_energy_savings()
+        print(f"\nFig. 7: energy saving E, H={data.diameter}, N=2")
+        for payload in data.payloads:
+            print(format_series(f"l={payload}B", list(data.slots),
+                                data.series[payload]))
+    return 0
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    system = TTWSystem.load(args.system)
+    names = [args.mode] if args.mode else sorted(system.schedules)
+    for name in names:
+        if name not in system.schedules:
+            print(f"unknown mode {name!r}", file=sys.stderr)
+            return 1
+        mode = system.mode_graph.modes[name]
+        print(f"=== mode {name!r} ===")
+        print(render_gantt(mode, system.schedules[name], width=args.width))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TTW (DATE 2018) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser("synth", help="synthesize schedules")
+    synth.add_argument("workload", help="workload spec JSON")
+    synth.add_argument("-o", "--output", default="system.json")
+    synth.add_argument("--warm-start", action="store_true")
+    synth.set_defaults(func=_cmd_synth)
+
+    verify = sub.add_parser("verify", help="verify a system file")
+    verify.add_argument("system")
+    verify.set_defaults(func=_cmd_verify)
+
+    simulate = sub.add_parser("simulate", help="execute a system file")
+    simulate.add_argument("system")
+    simulate.add_argument("-d", "--duration", type=float, default=1000.0)
+    simulate.add_argument("--loss", type=float, default=0.0)
+    simulate.add_argument("--seed", type=int, default=1)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    figures = sub.add_parser("figures", help="print Fig. 6/7 data")
+    figures.add_argument("figure", choices=["6", "7", "all"], default="all",
+                         nargs="?")
+    figures.set_defaults(func=_cmd_figures)
+
+    gantt = sub.add_parser("gantt", help="ASCII schedule chart")
+    gantt.add_argument("system")
+    gantt.add_argument("-m", "--mode", default=None)
+    gantt.add_argument("-w", "--width", type=int, default=72)
+    gantt.set_defaults(func=_cmd_gantt)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (SerializationError, FileNotFoundError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,73 @@
+"""TTW core: application model, co-scheduling ILP, synthesis, verification.
+
+This package implements the paper's primary contribution — the joint
+co-scheduling of distributed tasks, messages, and communication rounds
+(Secs. III–IV and the appendix ILP), plus the latency analysis of
+Sec. V.
+"""
+
+from .app_model import Application, Chain, Message, ModelError, Task, linear_pipeline
+from .latency import (
+    application_latency,
+    chain_latency,
+    drp_latency_bound,
+    latency_lower_bound,
+    schedule_latencies,
+    ttw_vs_drp_speedup,
+)
+from .modes import Mode, ModeGraph, lcm_times
+from .netcalc import arrival_count, demand_count, leftover_instances
+from .slots import SlotPlan, assign_slots, early_sleep_saving, slot_tables_per_node
+from .sensitivity import SensitivityReport, analyze_sensitivity
+from .schedule import (
+    IterationStats,
+    ModeSchedule,
+    RoundSchedule,
+    SchedulingConfig,
+    SynthesisStats,
+)
+from .synthesis import (
+    InfeasibleError,
+    demand_round_bound,
+    max_rounds,
+    synthesize,
+)
+from .verify import VerificationReport, verify_schedule
+
+__all__ = [
+    "Application",
+    "Chain",
+    "InfeasibleError",
+    "IterationStats",
+    "Message",
+    "Mode",
+    "ModeGraph",
+    "ModeSchedule",
+    "ModelError",
+    "RoundSchedule",
+    "SlotPlan",
+    "SchedulingConfig",
+    "SensitivityReport",
+    "SynthesisStats",
+    "Task",
+    "VerificationReport",
+    "analyze_sensitivity",
+    "application_latency",
+    "arrival_count",
+    "assign_slots",
+    "chain_latency",
+    "demand_count",
+    "demand_round_bound",
+    "drp_latency_bound",
+    "early_sleep_saving",
+    "latency_lower_bound",
+    "lcm_times",
+    "leftover_instances",
+    "linear_pipeline",
+    "max_rounds",
+    "schedule_latencies",
+    "slot_tables_per_node",
+    "synthesize",
+    "ttw_vs_drp_speedup",
+    "verify_schedule",
+]

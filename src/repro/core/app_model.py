@@ -1,0 +1,331 @@
+"""Application model: tasks, messages, and precedence graphs (paper Sec. III).
+
+A distributed application is a directed acyclic graph whose vertices are
+tasks and whose edges are messages.  Internally we use the equivalent
+*bipartite* DAG over tasks and messages — a multicast message (one
+message labeling several edges of the paper's graph) is then simply a
+message vertex with several successor tasks.
+
+All attributes follow the paper's notation:
+
+===========  ======================================================
+``a.p``      application period (given)
+``a.d``      application end-to-end deadline (given), ``d <= p``
+``a.G``      precedence graph (given)
+``tau.map``  node a task executes on (given)
+``tau.e``    worst-case execution time (given)
+``tau.o``    task offset (computed by the scheduler)
+``m.o``      message offset (computed)
+``m.d``      message deadline, relative to ``m.o`` (computed)
+===========  ======================================================
+
+Times are plain floats in a single unit (milliseconds by convention;
+see ``DESIGN.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class ModelError(ValueError):
+    """Raised when an application model violates the paper's assumptions."""
+
+
+@dataclass
+class Task:
+    """A task :math:`\\tau` mapped to a node.
+
+    Attributes:
+        name: Unique identifier within the application.
+        node: The node the task is mapped to (``tau.map``).
+        wcet: Worst-case execution time (``tau.e``), > 0.
+        period: Set by the owning application (``tau.p = a.p``).
+        offset: Start time relative to the application release
+            (``tau.o``); filled in by the scheduler.
+    """
+
+    name: str
+    node: str
+    wcet: float
+    period: float = 0.0
+    offset: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.wcet <= 0:
+            raise ModelError(f"task {self.name!r}: WCET must be > 0, got {self.wcet}")
+
+
+@dataclass
+class Message:
+    """A message :math:`m` exchanged between tasks.
+
+    Attributes:
+        name: Unique identifier within the application.
+        period: Set by the owning application (``m.p = a.p``).
+        offset: Earliest release relative to the application release
+            (``m.o``); computed by the scheduler.
+        deadline: Latest completion relative to ``offset`` (``m.d``);
+            computed by the scheduler.
+    """
+
+    name: str
+    period: float = 0.0
+    offset: Optional[float] = None
+    deadline: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class Chain:
+    """A source-to-sink path of the precedence graph.
+
+    Elements alternate task, message, task, ..., task.  The paper
+    writes chains as ``a.c``; end-to-end deadlines and latencies are
+    defined per chain (eqs. 23, 47).
+    """
+
+    elements: Tuple[str, ...]
+
+    @property
+    def first_task(self) -> str:
+        return self.elements[0]
+
+    @property
+    def last_task(self) -> str:
+        return self.elements[-1]
+
+    @property
+    def tasks(self) -> Tuple[str, ...]:
+        return self.elements[0::2]
+
+    @property
+    def messages(self) -> Tuple[str, ...]:
+        return self.elements[1::2]
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __iter__(self):
+        return iter(self.elements)
+
+
+class Application:
+    """A distributed application ``a = {a.p, a.d, a.G}``.
+
+    Build one by adding tasks and messages, then connecting them:
+
+        >>> app = Application("ctrl", period=100, deadline=80)
+        >>> _ = app.add_task("sense", node="n1", wcet=2)
+        >>> _ = app.add_task("act", node="n2", wcet=2)
+        >>> _ = app.add_message("m1")
+        >>> app.connect("sense", "m1")
+        >>> app.connect("m1", "act")
+        >>> [c.elements for c in app.chains()]
+        [('sense', 'm1', 'act')]
+    """
+
+    def __init__(self, name: str, period: float, deadline: float) -> None:
+        if period <= 0:
+            raise ModelError(f"application {name!r}: period must be > 0")
+        if deadline <= 0 or deadline > period:
+            raise ModelError(
+                f"application {name!r}: deadline must satisfy 0 < d <= p "
+                f"(got d={deadline}, p={period})"
+            )
+        self.name = name
+        self.period = float(period)
+        self.deadline = float(deadline)
+        self.tasks: Dict[str, Task] = {}
+        self.messages: Dict[str, Message] = {}
+        #: message -> ordered set of producer task names (``m.prec``)
+        self.msg_producers: Dict[str, List[str]] = {}
+        #: task -> ordered set of preceding message names (``tau.prec``)
+        self.task_preds: Dict[str, List[str]] = {}
+        #: message -> ordered set of consumer task names
+        self.msg_consumers: Dict[str, List[str]] = {}
+
+    # -- construction ---------------------------------------------------
+    def add_task(self, name: str, node: str, wcet: float) -> Task:
+        """Add a task mapped to ``node`` with the given WCET."""
+        if name in self.tasks or name in self.messages:
+            raise ModelError(f"duplicate element name {name!r} in {self.name!r}")
+        task = Task(name, node=node, wcet=float(wcet), period=self.period)
+        self.tasks[name] = task
+        self.task_preds[name] = []
+        return task
+
+    def add_message(self, name: str) -> Message:
+        """Add a message (its producers/consumers come from ``connect``)."""
+        if name in self.tasks or name in self.messages:
+            raise ModelError(f"duplicate element name {name!r} in {self.name!r}")
+        message = Message(name, period=self.period)
+        self.messages[name] = message
+        self.msg_producers[name] = []
+        self.msg_consumers[name] = []
+        return message
+
+    def connect(self, source: str, target: str) -> None:
+        """Add a precedence edge: task→message (produce) or message→task
+        (consume).
+
+        Raises:
+            ModelError: if the edge does not connect a task with a
+                message, references unknown elements, or is duplicated.
+        """
+        if source in self.tasks and target in self.messages:
+            producers = self.msg_producers[target]
+            if source in producers:
+                raise ModelError(f"duplicate edge {source!r} -> {target!r}")
+            producers.append(source)
+        elif source in self.messages and target in self.tasks:
+            if source in self.task_preds[target]:
+                raise ModelError(f"duplicate edge {source!r} -> {target!r}")
+            self.task_preds[target].append(source)
+            self.msg_consumers[source].append(target)
+        else:
+            raise ModelError(
+                f"edge {source!r} -> {target!r} must connect a task and a "
+                f"message of application {self.name!r}"
+            )
+
+    # -- structure queries -----------------------------------------------
+    def successors(self, element: str) -> List[str]:
+        """Direct successors of a task or message in the bipartite DAG."""
+        if element in self.tasks:
+            return [
+                m for m, producers in self.msg_producers.items() if element in producers
+            ]
+        if element in self.messages:
+            return list(self.msg_consumers[element])
+        raise ModelError(f"unknown element {element!r}")
+
+    def predecessors(self, element: str) -> List[str]:
+        """Direct predecessors of a task or message."""
+        if element in self.tasks:
+            return list(self.task_preds[element])
+        if element in self.messages:
+            return list(self.msg_producers[element])
+        raise ModelError(f"unknown element {element!r}")
+
+    def source_tasks(self) -> List[str]:
+        """Tasks without preceding messages (chain starting points)."""
+        return [t for t in self.tasks if not self.task_preds[t]]
+
+    def sink_tasks(self) -> List[str]:
+        """Tasks whose outputs feed no message (chain end points)."""
+        producing = {t for prods in self.msg_producers.values() for t in prods}
+        return [t for t in self.tasks if t not in producing]
+
+    def chains(self) -> List[Chain]:
+        """Enumerate all source-to-sink chains (paper's ``a.c``)."""
+        self.validate()
+        chains: List[Chain] = []
+
+        def walk(element: str, path: List[str]) -> None:
+            path.append(element)
+            succs = self.successors(element)
+            if not succs and element in self.tasks:
+                chains.append(Chain(tuple(path)))
+            for nxt in succs:
+                walk(nxt, path)
+            path.pop()
+
+        for source in self.source_tasks():
+            walk(source, [])
+        return chains
+
+    # -- validation --------------------------------------------------------
+    def validate(self) -> None:
+        """Check the paper's structural assumptions.
+
+        * every message has at least one producer and one consumer;
+        * all producers of a message are mapped to the same node;
+        * the precedence graph is acyclic;
+        * there is at least one task.
+
+        Raises:
+            ModelError: on the first violation found.
+        """
+        if not self.tasks:
+            raise ModelError(f"application {self.name!r} has no tasks")
+        for m, producers in self.msg_producers.items():
+            if not producers:
+                raise ModelError(f"message {m!r} has no preceding task")
+            if not self.msg_consumers[m]:
+                raise ModelError(f"message {m!r} has no consumer task")
+            nodes = {self.tasks[t].node for t in producers}
+            if len(nodes) > 1:
+                raise ModelError(
+                    f"message {m!r}: all preceding tasks must be mapped to the "
+                    f"same node, got {sorted(nodes)}"
+                )
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        """Kahn's algorithm over the bipartite DAG."""
+        indeg: Dict[str, int] = {}
+        for t in self.tasks:
+            indeg[t] = len(self.task_preds[t])
+        for m in self.messages:
+            indeg[m] = len(self.msg_producers[m])
+        queue = [e for e, d in indeg.items() if d == 0]
+        seen = 0
+        while queue:
+            element = queue.pop()
+            seen += 1
+            for nxt in self.successors(element):
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    queue.append(nxt)
+        if seen != len(indeg):
+            raise ModelError(f"application {self.name!r}: precedence graph has a cycle")
+
+    # -- convenience -------------------------------------------------------
+    def sender_node(self, message: str) -> str:
+        """Node that transmits ``message`` (all producers share it)."""
+        producers = self.msg_producers[message]
+        if not producers:
+            raise ModelError(f"message {message!r} has no preceding task")
+        return self.tasks[producers[0]].node
+
+    def nodes(self) -> List[str]:
+        """Sorted list of nodes hosting at least one task."""
+        return sorted({t.node for t in self.tasks.values()})
+
+    def __repr__(self) -> str:
+        return (
+            f"Application({self.name!r}, p={self.period}, d={self.deadline}, "
+            f"tasks={len(self.tasks)}, messages={len(self.messages)})"
+        )
+
+
+def linear_pipeline(
+    name: str,
+    period: float,
+    deadline: float,
+    stages: Sequence[Tuple[str, float]],
+) -> Application:
+    """Build a linear sense→…→actuate pipeline application.
+
+    Args:
+        name: Application name.
+        period: Application period.
+        deadline: End-to-end deadline.
+        stages: Sequence of ``(node, wcet)`` pairs, one per task; a
+            message is inserted between each consecutive pair.
+
+    Returns:
+        An application with tasks ``{name}_t0 .. tN`` and messages
+        ``{name}_m0 .. m(N-1)`` forming a single chain.
+    """
+    if len(stages) < 1:
+        raise ModelError("pipeline needs at least one stage")
+    app = Application(name, period=period, deadline=deadline)
+    for i, (node, wcet) in enumerate(stages):
+        app.add_task(f"{name}_t{i}", node=node, wcet=wcet)
+    for i in range(len(stages) - 1):
+        msg = app.add_message(f"{name}_m{i}")
+        app.connect(f"{name}_t{i}", msg.name)
+        app.connect(msg.name, f"{name}_t{i + 1}")
+    return app

@@ -1,0 +1,107 @@
+"""End-to-end latency analysis (paper Sec. V, eqs. 13 and 47-48).
+
+Provides:
+
+* :func:`chain_latency` / :func:`application_latency` — exact latency
+  of a synthesized schedule (eq. 47/48);
+* :func:`latency_lower_bound` — the analytic minimum of eq. (13):
+  every message costs at least one round ``Tr`` plus the chain's WCETs;
+* :func:`drp_latency_bound` — the baseline guarantee of [16], where the
+  loose task/message coupling costs (at least) ``2 * Tr`` per message,
+  giving TTW its headline 2x improvement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from .app_model import Application, Chain
+from .schedule import ModeSchedule
+
+
+def chain_latency(
+    app: Application,
+    chain: Chain,
+    task_offsets: Mapping[str, float],
+    sigma: Mapping[Tuple[str, str], int],
+) -> float:
+    """Latency of one chain under a schedule (paper eq. 47).
+
+    ``tau_last.o + tau_last.e - tau_first.o + sum(sigma * a.p)`` over
+    the chain's edges.
+    """
+    first, last = chain.first_task, chain.last_task
+    wraps = sum(
+        sigma[(chain.elements[i], chain.elements[i + 1])]
+        for i in range(len(chain.elements) - 1)
+    )
+    return (
+        task_offsets[last]
+        + app.tasks[last].wcet
+        - task_offsets[first]
+        + wraps * app.period
+    )
+
+
+def application_latency(
+    app: Application,
+    task_offsets: Mapping[str, float],
+    sigma: Mapping[Tuple[str, str], int],
+) -> float:
+    """Latency of an application: max over its chains (paper eq. 48)."""
+    return max(
+        chain_latency(app, chain, task_offsets, sigma) for chain in app.chains()
+    )
+
+
+def schedule_latencies(
+    schedule: ModeSchedule, applications
+) -> Dict[str, float]:
+    """Recompute exact per-application latencies from a schedule."""
+    return {
+        app.name: application_latency(app, schedule.task_offsets, schedule.sigma)
+        for app in applications
+    }
+
+
+def latency_lower_bound(app: Application, round_length: float) -> float:
+    """Paper eq. (13): minimum achievable latency of an application.
+
+    Every chain needs at least the sum of its WCETs plus one full round
+    ``Tr`` per message hop; the application bound is the max over
+    chains.
+    """
+    best = 0.0
+    for chain in app.chains():
+        total = sum(app.tasks[t].wcet for t in chain.tasks)
+        total += len(chain.messages) * round_length
+        best = max(best, total)
+    return best
+
+
+def drp_latency_bound(app: Application, round_length: float) -> float:
+    """Best-case latency guarantee of the DRP baseline [16].
+
+    DRP couples task and message schedules loosely: the best possible
+    end-to-end guarantee for a single message is of the order of
+    ``2 * Tr`` (paper Sec. V), so each message hop costs ``2 * Tr``.
+    """
+    best = 0.0
+    for chain in app.chains():
+        total = sum(app.tasks[t].wcet for t in chain.tasks)
+        total += len(chain.messages) * 2.0 * round_length
+        best = max(best, total)
+    return best
+
+
+def ttw_vs_drp_speedup(app: Application, round_length: float) -> float:
+    """Latency improvement factor of TTW's bound over DRP's (>= 1).
+
+    Approaches 2.0 as communication dominates computation — the paper's
+    headline "reduction of communication latency by a factor 2x".
+    """
+    ttw = latency_lower_bound(app, round_length)
+    drp = drp_latency_bound(app, round_length)
+    if ttw <= 0:
+        raise ValueError("application has zero latency bound")
+    return drp / ttw

@@ -1,0 +1,178 @@
+"""Operation modes and the mode graph (paper Sec. II-B and III).
+
+A mode is a set of applications executed concurrently; its hyperperiod
+is the least common multiple of the application periods.  TTW switches
+between modes at runtime with the two-phase beacon protocol simulated
+in :mod:`repro.runtime`.  The paper assumes modes are disjoint
+(``Mi ∩ Mj = ∅``), which :class:`ModeGraph` enforces.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .app_model import Application, ModelError
+
+
+def _to_fraction(value: float) -> Fraction:
+    """Convert a time value to an exact fraction for LCM arithmetic.
+
+    Periods are user inputs like 20.0 or 12.5 ms; ``limit_denominator``
+    keeps them exact for any sane decimal input.
+    """
+    return Fraction(value).limit_denominator(10**9)
+
+
+def lcm_times(values: Iterable[float]) -> float:
+    """Least common multiple of positive (possibly fractional) times.
+
+    >>> lcm_times([10, 15])
+    30.0
+    >>> lcm_times([2.5, 10.0])
+    10.0
+    """
+    fractions = [_to_fraction(v) for v in values]
+    if not fractions:
+        raise ValueError("lcm_times needs at least one value")
+    if any(f <= 0 for f in fractions):
+        raise ValueError("lcm_times requires positive values")
+    result = fractions[0]
+    for frac in fractions[1:]:
+        result = Fraction(
+            math.lcm(result.numerator, frac.numerator),
+            math.gcd(result.denominator, frac.denominator),
+        )
+    return float(result)
+
+
+class Mode:
+    """A mode ``M = {a_i, a_j, ...}`` of concurrently executing applications.
+
+    Attributes:
+        name: Unique mode identifier.
+        mode_id: Small integer carried in beacons (assigned by
+            :class:`ModeGraph`, or explicitly).
+        applications: The applications executed in this mode.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        applications: Sequence[Application],
+        mode_id: Optional[int] = None,
+    ) -> None:
+        if not applications:
+            raise ModelError(f"mode {name!r} has no applications")
+        names = [a.name for a in applications]
+        if len(set(names)) != len(names):
+            raise ModelError(f"mode {name!r}: duplicate application names")
+        self.name = name
+        self.mode_id = mode_id
+        self.applications: List[Application] = list(applications)
+        self._validate_cross_app()
+
+    def _validate_cross_app(self) -> None:
+        """Tasks/messages shared across applications must share periods.
+
+        The paper allows an element in two applications only when both
+        applications have equal periods; since our applications own
+        their elements, sharing is by name, and we enforce the period
+        rule on name collisions.
+        """
+        periods: Dict[str, float] = {}
+        for app in self.applications:
+            for element in list(app.tasks) + list(app.messages):
+                if element in periods and periods[element] != app.period:
+                    raise ModelError(
+                        f"mode {self.name!r}: element {element!r} shared by "
+                        f"applications with different periods"
+                    )
+                periods[element] = app.period
+
+    @property
+    def hyperperiod(self) -> float:
+        """LCM of the application periods."""
+        return lcm_times(a.period for a in self.applications)
+
+    def tasks(self):
+        """Iterate ``(application, task)`` pairs over the whole mode."""
+        for app in self.applications:
+            for task in app.tasks.values():
+                yield app, task
+
+    def messages(self):
+        """Iterate ``(application, message)`` pairs over the whole mode."""
+        for app in self.applications:
+            for message in app.messages.values():
+                yield app, message
+
+    def nodes(self) -> List[str]:
+        """Sorted union of nodes used by any application of the mode."""
+        found = set()
+        for app in self.applications:
+            found.update(app.nodes())
+        return sorted(found)
+
+    def validate(self) -> None:
+        for app in self.applications:
+            app.validate()
+        self._validate_cross_app()
+
+    def __repr__(self) -> str:
+        return (
+            f"Mode({self.name!r}, id={self.mode_id}, "
+            f"apps={[a.name for a in self.applications]})"
+        )
+
+
+class ModeGraph:
+    """The set of system modes plus allowed runtime transitions.
+
+    Modes get consecutive integer ids (carried in beacons).  The paper
+    assumes mode disjointness — no application may belong to two modes —
+    which :meth:`add_mode` enforces.
+    """
+
+    def __init__(self) -> None:
+        self.modes: Dict[str, Mode] = {}
+        self._by_id: Dict[int, Mode] = {}
+        self.transitions: Dict[str, List[str]] = {}
+
+    def add_mode(self, mode: Mode) -> Mode:
+        if mode.name in self.modes:
+            raise ModelError(f"duplicate mode {mode.name!r}")
+        owned = {
+            a.name for existing in self.modes.values() for a in existing.applications
+        }
+        overlap = owned & {a.name for a in mode.applications}
+        if overlap:
+            raise ModelError(
+                f"mode {mode.name!r} shares applications {sorted(overlap)} with "
+                f"an existing mode; the paper assumes disjoint modes"
+            )
+        if mode.mode_id is None:
+            mode.mode_id = len(self.modes)
+        if mode.mode_id in self._by_id:
+            raise ModelError(f"duplicate mode id {mode.mode_id}")
+        self.modes[mode.name] = mode
+        self._by_id[mode.mode_id] = mode
+        self.transitions.setdefault(mode.name, [])
+        return mode
+
+    def add_transition(self, source: str, target: str) -> None:
+        """Allow a runtime switch ``source -> target``."""
+        if source not in self.modes or target not in self.modes:
+            raise ModelError(f"unknown mode in transition {source!r} -> {target!r}")
+        if target not in self.transitions[source]:
+            self.transitions[source].append(target)
+
+    def mode_by_id(self, mode_id: int) -> Mode:
+        return self._by_id[mode_id]
+
+    def can_switch(self, source: str, target: str) -> bool:
+        return target in self.transitions.get(source, [])
+
+    def __len__(self) -> int:
+        return len(self.modes)

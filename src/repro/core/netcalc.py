@@ -1,0 +1,164 @@
+"""Network-calculus arrival/demand/service functions (paper Sec. IV, Fig. 4).
+
+The coupling between message offsets/deadlines and round allocation is
+expressed with three counting functions per message ``m_i``:
+
+* arrival  ``af_i(t) = floor((t - o_i) / p_i) + 1``  (eq. 2) — instances
+  released by time ``t``;
+* demand   ``df_i(t) = ceil((t - o_i - d_i) / p_i)`` (eq. 3) — instances
+  whose deadline has passed by ``t``;
+* service  ``sf_i(t)`` (eq. 10) — instances served by completed rounds,
+  minus the leftover count ``r0.B_i``.
+
+A schedule is valid iff ``df_i(t) <= sf_i(t) <= af_i(t)`` for all ``t``
+(eq. 1).  Because ``sf`` only changes at round boundaries, validity
+reduces to the per-round checks (C1)/(C2) — eqs. (4) and (5) — which is
+exactly what :func:`check_message_service` evaluates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+#: Numeric slack when comparing times.  Must absorb the MILP solver's
+#: feasibility tolerance (~1e-7 for HiGHS) while staying well below the
+#: formulation's strict-inequality constant ``mm`` (1e-4), so boundary
+#: solutions verify but real violations are still caught.
+TIME_EPS = 1e-6
+
+
+def arrival_count(t: float, offset: float, period: float) -> int:
+    """Paper eq. (2): instances of the message released by time ``t``.
+
+    Clamped below at 0 — before the first release nothing has arrived.
+    (The raw formula goes negative for ``t < offset - period``; the
+    paper only ever evaluates it inside the hyperperiod where the clamp
+    is equivalent.)
+    """
+    raw = math.floor((t - offset + TIME_EPS) / period) + 1
+    return max(0, raw)
+
+
+def demand_count(t: float, offset: float, deadline: float, period: float) -> int:
+    """Paper eq. (3): instances whose absolute deadline passed by ``t``.
+
+    May legitimately evaluate to -1 at ``t = 0`` when
+    ``offset + deadline > period`` — the "leftover instance" case the
+    paper handles with ``r0.B_i``.
+    """
+    return math.ceil((t - offset - deadline - TIME_EPS) / period)
+
+
+@dataclass(frozen=True)
+class ServiceCurve:
+    """Service function of one message given its allocated rounds.
+
+    Attributes:
+        round_ends: Sorted completion times (``r.t + Tr``) of the rounds
+            in which the message holds a slot, within one hyperperiod.
+        leftover: The paper's ``r0.B_i`` — number of instances released
+            in the previous hyperperiod but served in this one (0 or 1).
+    """
+
+    round_ends: Tuple[float, ...]
+    leftover: int = 0
+
+    def served(self, t: float) -> int:
+        """Instances served strictly by time ``t`` (eq. 10)."""
+        count = sum(1 for end in self.round_ends if end <= t + TIME_EPS)
+        return count - self.leftover
+
+
+def check_message_service(
+    offset: float,
+    deadline: float,
+    period: float,
+    hyperperiod: float,
+    allocated_round_starts: Sequence[float],
+    round_length: float,
+    leftover: int = 0,
+) -> List[str]:
+    """Validate one message's allocation against (C1), (C2), (C4.4).
+
+    Args:
+        offset: ``m.o`` — release relative to the hyperperiod start.
+        deadline: ``m.d`` — relative deadline from the offset.
+        period: ``m.p``.
+        hyperperiod: Mode hyperperiod (must be a multiple of ``period``).
+        allocated_round_starts: Start times ``r.t`` of rounds where the
+            message is allocated a slot.
+        round_length: ``Tr``.
+        leftover: ``r0.B_i``.
+
+    Returns:
+        A list of human-readable violations; empty when the allocation
+        is valid.  Checks, per allocated round ``r_j``:
+
+        * (C1) ``sf(r_j.t + Tr) <= af(r_j.t)`` — the message instance
+          the round serves was released before the round starts;
+        * (C2) ``sf(r_j.t) >= df(r_j.t + Tr)`` — no instance's deadline
+          elapses before a round serving it completes;
+
+        plus (C4.4): instances served per hyperperiod equals
+        ``hyperperiod / period``.
+    """
+    problems: List[str] = []
+    starts = sorted(allocated_round_starts)
+    curve = ServiceCurve(tuple(s + round_length for s in starts), leftover)
+
+    expected = hyperperiod / period
+    if abs(expected - round(expected)) > 1e-6:
+        problems.append(
+            f"hyperperiod {hyperperiod} is not a multiple of period {period}"
+        )
+    elif len(starts) != round(expected):
+        problems.append(
+            f"(C4.4) message allocated {len(starts)} slots per hyperperiod, "
+            f"expected {round(expected)}"
+        )
+
+    # The service function only changes at round completions, so it
+    # suffices to check at every allocated round boundary (paper eqs. 4-5)
+    # and additionally at the hyperperiod end for the demand side.
+    for start in starts:
+        end = start + round_length
+        sf_after = curve.served(end)
+        af_at_start = arrival_count(start, offset, period)
+        if sf_after > af_at_start:
+            problems.append(
+                f"(C1) round at t={start:g} serves instance "
+                f"#{sf_after} but only {af_at_start} released by its start"
+            )
+        sf_before = curve.served(start)
+        df_after = demand_count(end, offset, deadline, period)
+        if sf_before < df_after:
+            problems.append(
+                f"(C2) by round at t={start:g}: {sf_before} served but "
+                f"{df_after} deadlines pass before the round completes"
+            )
+    # Deadlines falling after the last round of the hyperperiod must be
+    # covered too (wrap-around instance served next hyperperiod iff
+    # leftover accounting matches).
+    df_end = demand_count(hyperperiod, offset, deadline, period)
+    sf_end = curve.served(hyperperiod)
+    if sf_end < df_end:
+        problems.append(
+            f"(C2) at hyperperiod end: served {sf_end} < due {df_end}"
+        )
+    return problems
+
+
+def leftover_instances(offset: float, deadline: float, period: float) -> int:
+    """Maximum possible value of the paper's ``r0.B_i``: 1 iff ``o+d > p``.
+
+    A message with ``offset + deadline > period`` released at the end
+    of one hyperperiod has its deadline in the next hyperperiod, so at
+    most one instance can be "in flight" across the boundary (the
+    appendix proves 0 or 1 are the only possibilities given ``d <= p``
+    and ``o <= p``).  Whether the leftover is *used* is an allocation
+    choice: the scheduler may instead serve the late instance within
+    the same hyperperiod and have ``r0.B_i = 0`` (paper Fig. 4).
+    """
+    return 1 if offset + deadline > period + TIME_EPS else 0

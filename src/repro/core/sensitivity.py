@@ -1,0 +1,192 @@
+"""Schedule slack and sensitivity analysis.
+
+Given a verified schedule, this module answers the deployment question
+"how much margin is left?":
+
+* per-task **WCET slack** — how much a task's execution time can grow
+  before any constraint (precedence, chain deadline, node exclusivity)
+  breaks, keeping all offsets fixed;
+* per-chain **deadline slack** — distance between achieved latency and
+  the deadline;
+* per-message **service slack** — earliest-completion margin between
+  the serving round's end and the message's absolute deadline.
+
+All analyses are exact recomputations on the fixed schedule (no ILP),
+so they run in microseconds and can gate deployment updates: a WCET
+re-measurement within the reported slack provably needs no re-synthesis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .app_model import Application
+from .latency import chain_latency
+from .modes import Mode
+from .schedule import ModeSchedule
+
+#: Numeric guard when converting slacks to "safe growth" margins.
+EPS = 1e-9
+
+
+@dataclass
+class SensitivityReport:
+    """Slack summary of one schedule.
+
+    Attributes:
+        task_wcet_slack: Per task: largest WCET increase (time units)
+            that provably keeps the schedule valid with fixed offsets.
+        chain_slack: Per chain (identified by its element tuple):
+            ``deadline - latency``.
+        message_slack: Per message: min over served instances of
+            ``absolute deadline - serving round end``.
+        bottleneck_task: Task with the smallest WCET slack.
+        bottleneck_chain: Chain with the smallest deadline slack.
+    """
+
+    task_wcet_slack: Dict[str, float] = field(default_factory=dict)
+    chain_slack: Dict[Tuple[str, ...], float] = field(default_factory=dict)
+    message_slack: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def bottleneck_task(self) -> str:
+        return min(self.task_wcet_slack, key=self.task_wcet_slack.get)
+
+    @property
+    def bottleneck_chain(self) -> Tuple[str, ...]:
+        return min(self.chain_slack, key=self.chain_slack.get)
+
+    @property
+    def min_task_slack(self) -> float:
+        return min(self.task_wcet_slack.values(), default=math.inf)
+
+
+def analyze_sensitivity(mode: Mode, schedule: ModeSchedule) -> SensitivityReport:
+    """Compute all slack figures for a (valid) schedule."""
+    report = SensitivityReport()
+    report.chain_slack = _chain_slacks(mode, schedule)
+    report.message_slack = _message_slacks(mode, schedule)
+    report.task_wcet_slack = _task_wcet_slacks(mode, schedule, report)
+    return report
+
+
+# ---------------------------------------------------------------------------
+
+
+def _chain_slacks(
+    mode: Mode, schedule: ModeSchedule
+) -> Dict[Tuple[str, ...], float]:
+    slacks: Dict[Tuple[str, ...], float] = {}
+    for app in mode.applications:
+        for chain in app.chains():
+            latency = chain_latency(
+                app, chain, schedule.task_offsets, schedule.sigma
+            )
+            slacks[chain.elements] = app.deadline - latency
+    return slacks
+
+
+def _message_slacks(mode: Mode, schedule: ModeSchedule) -> Dict[str, float]:
+    """Min margin between serving-round completion and deadline."""
+    t_r = schedule.config.round_length
+    slacks: Dict[str, float] = {}
+    for app in mode.applications:
+        n_by_msg = {m: round(schedule.hyperperiod / app.period) for m in app.messages}
+        for name in app.messages:
+            offset = schedule.message_offsets.get(name)
+            deadline = schedule.message_deadlines.get(name)
+            if offset is None or deadline is None:
+                continue
+            starts = sorted(schedule.rounds_for_message(name))
+            if not starts:
+                continue
+            leftover = schedule.leftover.get(name, 0)
+            margin = math.inf
+            for position, start in enumerate(starts):
+                instance = position - leftover
+                abs_deadline = instance * app.period + offset + deadline
+                if instance < 0:
+                    # The wrapped instance's deadline lies at
+                    # offset + deadline - period (mapped into this HP).
+                    abs_deadline = offset + deadline - app.period
+                margin = min(margin, abs_deadline - (start + t_r))
+            slacks[name] = margin
+    return slacks
+
+
+def _task_wcet_slacks(
+    mode: Mode, schedule: ModeSchedule, report: SensitivityReport
+) -> Dict[str, float]:
+    """Largest safe WCET growth per task, with offsets held fixed.
+
+    With fixed offsets, growing ``tau.e`` by ``delta`` affects:
+
+    * the task's own period containment: ``o + e + delta <= p``;
+    * successor precedence (task -> message): the message offset must
+      still come after completion: ``o + e + delta <= sigma*p + m.o``;
+    * chains through the task: each chain's latency grows by ``delta``
+      iff the task is the *last* task (intermediate tasks' contribution
+      is absorbed by fixed successor offsets — precedence is the
+      binding constraint instead), so the chain slack applies to the
+      last task directly;
+    * node exclusivity: the gap to the next task instance on the node.
+    """
+    lcm = schedule.hyperperiod
+    slacks: Dict[str, float] = {}
+
+    # Precompute per-node instance timelines for exclusivity gaps.
+    node_instances: Dict[str, List[Tuple[float, float, str]]] = {}
+    for app in mode.applications:
+        for name, task in app.tasks.items():
+            offset = schedule.task_offsets.get(name)
+            if offset is None:
+                continue
+            count = round(lcm / app.period)
+            for k in range(count):
+                start = offset + k * app.period
+                node_instances.setdefault(task.node, []).append(
+                    (start, start + task.wcet, name)
+                )
+    for intervals in node_instances.values():
+        intervals.sort()
+
+    for app in mode.applications:
+        chains = app.chains()
+        for name, task in app.tasks.items():
+            offset = schedule.task_offsets.get(name)
+            if offset is None:
+                continue
+            margin = app.period - (offset + task.wcet)  # own-period containment
+
+            # Precedence to successor messages.
+            for msg in app.successors(name):
+                sigma = schedule.sigma.get((name, msg), 0)
+                m_offset = schedule.message_offsets.get(msg)
+                if m_offset is None:
+                    continue
+                margin = min(
+                    margin,
+                    sigma * app.period + m_offset - (offset + task.wcet),
+                )
+
+            # Chain deadlines where this task is terminal.
+            for chain in chains:
+                if chain.last_task == name:
+                    margin = min(margin, report.chain_slack[chain.elements])
+
+            # Node exclusivity: gap to the next instance on the node.
+            intervals = node_instances[task.node]
+            for idx, (start, end, owner) in enumerate(intervals):
+                if owner != name:
+                    continue
+                if idx + 1 < len(intervals):
+                    margin = min(margin, intervals[idx + 1][0] - end)
+                else:
+                    # Wrap to the first instance of the next hyperperiod.
+                    margin = min(
+                        margin, (intervals[0][0] + lcm) - end
+                    )
+            slacks[name] = max(0.0, margin - EPS if margin < math.inf else margin)
+    return slacks

@@ -1,0 +1,110 @@
+"""Slot-level ordering inside rounds (the paper's ``r.[B]`` vector).
+
+The ILP allocates *which* messages go into each round; slot order
+within a round is timing-neutral for the schedule (the round is atomic,
+C2.1) but must be fixed and distributed so nodes know when exactly to
+transmit.  This module assigns concrete slot indices with a
+deadline-monotonic policy — messages closer to their deadline fly
+first — and computes the per-node early-sleep saving the paper notes
+("this enables to save energy if less than B slots are allocated").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .modes import Mode
+from .schedule import ModeSchedule
+
+
+@dataclass(frozen=True)
+class SlotPlan:
+    """Explicit slot assignment of one round.
+
+    Attributes:
+        round_index: Index of the round within the schedule.
+        start: Round start time.
+        slots: ``(slot index, message)`` pairs, contiguous from 0.
+        free_slots: ``B - len(slots)`` — slots the round does not use;
+            nodes sleep through them.
+    """
+
+    round_index: int
+    start: float
+    slots: Tuple[Tuple[int, str], ...]
+    free_slots: int
+
+
+def assign_slots(mode: Mode, schedule: ModeSchedule) -> List[SlotPlan]:
+    """Assign concrete slot indices within each round.
+
+    Messages are ordered deadline-monotonically (earliest absolute
+    deadline first), breaking ties by name for determinism.  Returns
+    one :class:`SlotPlan` per round.
+    """
+    deadlines: Dict[str, float] = {}
+    for app in mode.applications:
+        for name in app.messages:
+            offset = schedule.message_offsets.get(name, 0.0)
+            rel_deadline = schedule.message_deadlines.get(name, app.period)
+            deadlines[name] = offset + rel_deadline
+
+    plans: List[SlotPlan] = []
+    capacity = schedule.config.slots_per_round
+    for index, rnd in enumerate(schedule.rounds):
+        ordered = sorted(
+            rnd.messages, key=lambda m: (deadlines.get(m, float("inf")), m)
+        )
+        slots = tuple((i, message) for i, message in enumerate(ordered))
+        plans.append(
+            SlotPlan(
+                round_index=index,
+                start=rnd.start,
+                slots=slots,
+                free_slots=capacity - len(slots),
+            )
+        )
+    return plans
+
+
+def early_sleep_saving(
+    plans: List[SlotPlan],
+    slot_on_time_s: float,
+    capacity: int,
+) -> float:
+    """Radio-on seconds saved per hyperperiod by skipping free slots.
+
+    In a fixed-length round design, nodes would keep the radio on for
+    all ``B`` data slots; TTW's deployment tables include the number of
+    allocated slots per round, so nodes power down after the last used
+    slot (paper Sec. II-B, footnote 3).
+    """
+    if slot_on_time_s < 0:
+        raise ValueError("slot_on_time_s must be >= 0")
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    total_free = sum(plan.free_slots for plan in plans)
+    return total_free * slot_on_time_s
+
+
+def slot_tables_per_node(
+    mode: Mode, plans: List[SlotPlan]
+) -> Dict[str, List[Tuple[int, int, str]]]:
+    """Per-node TX tables: ``(round index, slot index, message)``.
+
+    The deployment-time payload each node stores (paper Sec. II-B):
+    pairs (slot id, message id) per round.
+    """
+    senders: Dict[str, str] = {}
+    for app in mode.applications:
+        for name in app.messages:
+            senders[name] = app.sender_node(name)
+    tables: Dict[str, List[Tuple[int, int, str]]] = {}
+    for plan in plans:
+        for slot_index, message in plan.slots:
+            node = senders[message]
+            tables.setdefault(node, []).append(
+                (plan.round_index, slot_index, message)
+            )
+    return tables

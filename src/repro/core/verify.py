@@ -1,0 +1,259 @@
+"""Independent schedule verifier — the repository's test oracle.
+
+:func:`verify_schedule` re-checks a concrete :class:`ModeSchedule`
+against every requirement of the paper *without* reusing the ILP
+machinery: precedences are plain arithmetic, node exclusivity is an
+interval sweep over the unrolled hyperperiod, and message service uses
+the direct network-calculus formulas from :mod:`repro.core.netcalc`.
+
+A correct synthesis must always produce an empty violation list; the
+test suite and the runtime simulator both rely on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .app_model import Application
+from .latency import chain_latency
+from .modes import Mode
+from .netcalc import check_message_service, leftover_instances
+from .schedule import ModeSchedule
+
+#: Tolerance for float comparisons throughout verification.
+EPS = 1e-6
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying one schedule."""
+
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, message: str) -> None:
+        self.violations.append(message)
+
+    def __repr__(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} violation(s)"
+        return f"VerificationReport({status})"
+
+
+def verify_schedule(mode: Mode, schedule: ModeSchedule) -> VerificationReport:
+    """Check ``schedule`` against the full constraint set of the paper.
+
+    Checks, in order: variable bounds, precedence constraints (C1.1),
+    chain deadlines (C1.2), round ordering and spacing (C2.x), node
+    exclusivity (C3), round capacity (C4.3), and message service
+    validity (C1/C2/C4.4 via network calculus), plus leftover-indicator
+    consistency.
+
+    Returns:
+        A :class:`VerificationReport`; ``report.ok`` is True iff the
+        schedule satisfies everything.
+    """
+    report = VerificationReport()
+    config = schedule.config
+    lcm = schedule.hyperperiod
+    t_r = config.round_length
+
+    _check_bounds(mode, schedule, report)
+    _check_precedence(mode, schedule, report)
+    _check_chains(mode, schedule, report)
+    _check_rounds(schedule, report, lcm, t_r)
+    _check_node_exclusivity(mode, schedule, report, lcm)
+    _check_message_service(mode, schedule, report, lcm, t_r)
+    return report
+
+
+# ---------------------------------------------------------------------------
+
+
+def _check_bounds(mode: Mode, schedule: ModeSchedule, report: VerificationReport):
+    for app in mode.applications:
+        for name, task in app.tasks.items():
+            if name not in schedule.task_offsets:
+                report.add(f"missing offset for task {name!r}")
+                continue
+            o = schedule.task_offsets[name]
+            if o < -EPS or o + task.wcet > app.period + EPS:
+                report.add(
+                    f"task {name!r}: offset {o:g} + wcet {task.wcet:g} outside "
+                    f"[0, period={app.period:g}]"
+                )
+        for name in app.messages:
+            if name not in schedule.message_offsets:
+                report.add(f"missing offset for message {name!r}")
+                continue
+            mo = schedule.message_offsets[name]
+            md = schedule.message_deadlines.get(name)
+            if md is None:
+                report.add(f"missing deadline for message {name!r}")
+                continue
+            if mo < -EPS or mo > app.period + EPS:
+                report.add(f"message {name!r}: offset {mo:g} outside [0, p]")
+            if md < -EPS or md > app.period + EPS:
+                report.add(f"message {name!r}: deadline {md:g} outside [0, p]")
+
+
+def _check_precedence(mode: Mode, schedule: ModeSchedule, report: VerificationReport):
+    """(C1.1) with the solver's sigma wrap choices."""
+    for app in mode.applications:
+        for msg_name, producers in app.msg_producers.items():
+            if msg_name not in schedule.message_offsets:
+                continue
+            mo = schedule.message_offsets[msg_name]
+            for t_name in producers:
+                if t_name not in schedule.task_offsets:
+                    continue
+                sigma = schedule.sigma.get((t_name, msg_name), 0)
+                task = app.tasks[t_name]
+                lhs = schedule.task_offsets[t_name] + task.wcet
+                rhs = app.period * sigma + mo
+                if lhs > rhs + EPS:
+                    report.add(
+                        f"(C1.1) {t_name!r} ends at {lhs:g} after message "
+                        f"{msg_name!r} release {rhs:g} (sigma={sigma})"
+                    )
+        for t_name, preds in app.task_preds.items():
+            if t_name not in schedule.task_offsets:
+                continue
+            for msg_name in preds:
+                if msg_name not in schedule.message_offsets:
+                    continue
+                sigma = schedule.sigma.get((msg_name, t_name), 0)
+                lhs = (
+                    schedule.message_offsets[msg_name]
+                    + schedule.message_deadlines[msg_name]
+                )
+                rhs = app.period * sigma + schedule.task_offsets[t_name]
+                if lhs > rhs + EPS:
+                    report.add(
+                        f"(C1.1) message {msg_name!r} deadline {lhs:g} after "
+                        f"task {t_name!r} start {rhs:g} (sigma={sigma})"
+                    )
+
+
+def _check_chains(mode: Mode, schedule: ModeSchedule, report: VerificationReport):
+    """(C1.2) end-to-end deadlines, recomputed from offsets."""
+    for app in mode.applications:
+        for chain in app.chains():
+            try:
+                latency = chain_latency(
+                    app, chain, schedule.task_offsets, schedule.sigma
+                )
+            except KeyError as missing:
+                report.add(f"chain {chain.elements}: missing value {missing}")
+                continue
+            if latency > app.deadline + EPS:
+                report.add(
+                    f"(C1.2) chain {'->'.join(chain.elements)}: latency "
+                    f"{latency:g} exceeds deadline {app.deadline:g}"
+                )
+            if latency < -EPS:
+                report.add(
+                    f"chain {'->'.join(chain.elements)}: negative latency "
+                    f"{latency:g}"
+                )
+
+
+def _check_rounds(
+    schedule: ModeSchedule, report: VerificationReport, lcm: float, t_r: float
+):
+    """(C2.1)/(C2.2) plus hyperperiod containment and capacity (C4.3)."""
+    config = schedule.config
+    rounds = schedule.rounds
+    for j, rnd in enumerate(rounds):
+        if rnd.start < -EPS or rnd.start + t_r > lcm + EPS:
+            report.add(
+                f"round {j} at {rnd.start:g} does not fit in the hyperperiod"
+            )
+        if rnd.num_allocated > config.slots_per_round:
+            report.add(
+                f"(C4.3) round {j} allocates {rnd.num_allocated} messages "
+                f"> B={config.slots_per_round}"
+            )
+        if len(set(rnd.messages)) != len(rnd.messages):
+            report.add(f"round {j} allocates the same message twice")
+    for j in range(len(rounds) - 1):
+        gap = rounds[j + 1].start - rounds[j].start
+        if gap < t_r - EPS:
+            report.add(
+                f"(C2.1) rounds {j} and {j + 1} overlap (gap {gap:g} < Tr)"
+            )
+        if config.max_round_gap is not None and gap > config.max_round_gap + EPS:
+            report.add(
+                f"(C2.2) gap between rounds {j} and {j + 1} is {gap:g} "
+                f"> Tmax={config.max_round_gap:g}"
+            )
+
+
+def _check_node_exclusivity(
+    mode: Mode, schedule: ModeSchedule, report: VerificationReport, lcm: float
+):
+    """(C3) interval sweep over all task instances in one hyperperiod."""
+    by_node = {}
+    for app in mode.applications:
+        for name, task in app.tasks.items():
+            if name not in schedule.task_offsets:
+                continue
+            offset = schedule.task_offsets[name]
+            count = round(lcm / app.period)
+            for k in range(count):
+                start = offset + k * app.period
+                by_node.setdefault(task.node, []).append(
+                    (start, start + task.wcet, name)
+                )
+    for node, intervals in by_node.items():
+        intervals.sort()
+        for (s1, e1, n1), (s2, e2, n2) in zip(intervals, intervals[1:]):
+            if s2 < e1 - EPS:
+                report.add(
+                    f"(C3) node {node!r}: {n1!r} [{s1:g},{e1:g}) overlaps "
+                    f"{n2!r} [{s2:g},{e2:g})"
+                )
+
+
+def _check_message_service(
+    mode: Mode,
+    schedule: ModeSchedule,
+    report: VerificationReport,
+    lcm: float,
+    t_r: float,
+):
+    """(C1)/(C2)/(C4.4) per message via the network-calculus formulas."""
+    for app in mode.applications:
+        for name in app.messages:
+            if name not in schedule.message_offsets:
+                continue
+            offset = schedule.message_offsets[name]
+            deadline = schedule.message_deadlines[name]
+            claimed = schedule.leftover.get(name, 0)
+            # r0 = 1 is only possible when o + d > p (the last
+            # instance's deadline crosses the hyperperiod boundary);
+            # r0 = 0 is always admissible and judged by the service
+            # checks below (paper Fig. 4: serving the late instance
+            # within the same hyperperiod gives r0.Bi = 0).
+            if claimed not in (0, 1):
+                report.add(
+                    f"message {name!r}: leftover {claimed} not in {{0, 1}}"
+                )
+            elif claimed == 1 and leftover_instances(
+                offset, deadline, app.period
+            ) == 0:
+                report.add(f"message {name!r}: leftover claimed but o+d <= p")
+            problems = check_message_service(
+                offset=offset,
+                deadline=deadline,
+                period=app.period,
+                hyperperiod=lcm,
+                allocated_round_starts=schedule.rounds_for_message(name),
+                round_length=t_r,
+                leftover=claimed,
+            )
+            for problem in problems:
+                report.add(f"message {name!r}: {problem}")

@@ -1,0 +1,32 @@
+"""Persistence: JSON round-tripping of workloads and schedules (the
+deployment-time image TTW distributes to nodes)."""
+
+from .serialize import (
+    SCHEMA_VERSION,
+    SerializationError,
+    application_from_dict,
+    application_to_dict,
+    config_from_dict,
+    config_to_dict,
+    load_system,
+    mode_from_dict,
+    mode_to_dict,
+    save_system,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SerializationError",
+    "application_from_dict",
+    "application_to_dict",
+    "config_from_dict",
+    "config_to_dict",
+    "load_system",
+    "mode_from_dict",
+    "mode_to_dict",
+    "save_system",
+    "schedule_from_dict",
+    "schedule_to_dict",
+]

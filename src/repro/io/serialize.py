@@ -1,0 +1,217 @@
+"""JSON (de)serialization of workloads and schedules.
+
+TTW distributes schedules to nodes at deployment time; this module
+provides the stable on-disk image for that step, plus round-tripping of
+the problem inputs so workloads can be versioned next to the code:
+
+* :func:`application_to_dict` / :func:`application_from_dict`
+* :func:`mode_to_dict` / :func:`mode_from_dict`
+* :func:`schedule_to_dict` / :func:`schedule_from_dict`
+* :func:`save_system` / :func:`load_system` — a whole multi-mode
+  system (modes + synthesized schedules) in one file.
+
+All dictionaries are plain JSON-compatible types.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from ..core.app_model import Application
+from ..core.modes import Mode
+from ..core.schedule import ModeSchedule, RoundSchedule, SchedulingConfig
+
+#: Schema version stamped into every file for forward compatibility.
+SCHEMA_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """Raised on malformed or version-incompatible input."""
+
+
+# -- applications -----------------------------------------------------------
+
+
+def application_to_dict(app: Application) -> dict:
+    """Serialize an application, including its precedence edges."""
+    edges: List[Tuple[str, str]] = []
+    for msg, producers in app.msg_producers.items():
+        for task in producers:
+            edges.append((task, msg))
+    for task, preds in app.task_preds.items():
+        for msg in preds:
+            edges.append((msg, task))
+    return {
+        "name": app.name,
+        "period": app.period,
+        "deadline": app.deadline,
+        "tasks": [
+            {"name": t.name, "node": t.node, "wcet": t.wcet}
+            for t in app.tasks.values()
+        ],
+        "messages": sorted(app.messages),
+        "edges": edges,
+    }
+
+
+def application_from_dict(data: dict) -> Application:
+    """Rebuild an application; validates structure on the way."""
+    try:
+        app = Application(
+            data["name"], period=data["period"], deadline=data["deadline"]
+        )
+        for task in data["tasks"]:
+            app.add_task(task["name"], node=task["node"], wcet=task["wcet"])
+        for msg in data["messages"]:
+            app.add_message(msg)
+        for source, target in data["edges"]:
+            app.connect(source, target)
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed application record: {exc}") from exc
+    app.validate()
+    return app
+
+
+# -- modes -------------------------------------------------------------------
+
+
+def mode_to_dict(mode: Mode) -> dict:
+    return {
+        "name": mode.name,
+        "mode_id": mode.mode_id,
+        "applications": [application_to_dict(a) for a in mode.applications],
+    }
+
+
+def mode_from_dict(data: dict) -> Mode:
+    try:
+        apps = [application_from_dict(a) for a in data["applications"]]
+        return Mode(data["name"], apps, mode_id=data.get("mode_id"))
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed mode record: {exc}") from exc
+
+
+# -- schedules ----------------------------------------------------------------
+
+
+def config_to_dict(config: SchedulingConfig) -> dict:
+    return {
+        "round_length": config.round_length,
+        "slots_per_round": config.slots_per_round,
+        "max_round_gap": config.max_round_gap,
+        "mm": config.mm,
+        "big_m": config.big_m,
+        "backend": config.backend,
+        "minimize_latency": config.minimize_latency,
+    }
+
+
+def config_from_dict(data: dict) -> SchedulingConfig:
+    return SchedulingConfig(
+        round_length=data["round_length"],
+        slots_per_round=data["slots_per_round"],
+        max_round_gap=data.get("max_round_gap"),
+        mm=data.get("mm", 1e-4),
+        big_m=data.get("big_m"),
+        backend=data.get("backend", "highs"),
+        minimize_latency=data.get("minimize_latency", True),
+    )
+
+
+def schedule_to_dict(schedule: ModeSchedule) -> dict:
+    return {
+        "mode_name": schedule.mode_name,
+        "hyperperiod": schedule.hyperperiod,
+        "config": config_to_dict(schedule.config),
+        "task_offsets": dict(schedule.task_offsets),
+        "message_offsets": dict(schedule.message_offsets),
+        "message_deadlines": dict(schedule.message_deadlines),
+        "rounds": [
+            {"start": r.start, "messages": list(r.messages)}
+            for r in schedule.rounds
+        ],
+        # JSON keys must be strings: encode the edge tuple as "src->dst".
+        "sigma": {f"{s}->{t}": v for (s, t), v in schedule.sigma.items()},
+        "leftover": dict(schedule.leftover),
+        "app_latencies": dict(schedule.app_latencies),
+    }
+
+
+def schedule_from_dict(data: dict) -> ModeSchedule:
+    try:
+        sigma: Dict[Tuple[str, str], int] = {}
+        for key, value in data.get("sigma", {}).items():
+            source, _, target = key.partition("->")
+            if not target:
+                raise SerializationError(f"bad sigma key {key!r}")
+            sigma[(source, target)] = int(value)
+        schedule = ModeSchedule(
+            mode_name=data["mode_name"],
+            hyperperiod=data["hyperperiod"],
+            config=config_from_dict(data["config"]),
+            task_offsets=dict(data["task_offsets"]),
+            message_offsets=dict(data["message_offsets"]),
+            message_deadlines=dict(data["message_deadlines"]),
+            rounds=[
+                RoundSchedule(start=r["start"], messages=list(r["messages"]))
+                for r in data["rounds"]
+            ],
+            sigma=sigma,
+            leftover={k: int(v) for k, v in data.get("leftover", {}).items()},
+            app_latencies=dict(data.get("app_latencies", {})),
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed schedule record: {exc}") from exc
+    schedule.total_latency = sum(schedule.app_latencies.values())
+    return schedule
+
+
+# -- whole systems -------------------------------------------------------------
+
+
+def save_system(
+    path: str | Path,
+    modes: List[Mode],
+    schedules: Dict[str, ModeSchedule],
+) -> None:
+    """Write modes and their synthesized schedules to one JSON file.
+
+    Args:
+        path: Output file.
+        modes: System modes.
+        schedules: Schedule per mode name (all modes must be covered).
+
+    Raises:
+        SerializationError: if a mode has no schedule.
+    """
+    missing = [m.name for m in modes if m.name not in schedules]
+    if missing:
+        raise SerializationError(f"modes without schedules: {missing}")
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "modes": [mode_to_dict(m) for m in modes],
+        "schedules": {
+            name: schedule_to_dict(sched) for name, sched in schedules.items()
+        },
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_system(path: str | Path) -> Tuple[List[Mode], Dict[str, ModeSchedule]]:
+    """Read a system file written by :func:`save_system`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"not valid JSON: {exc}") from exc
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise SerializationError(
+            f"unsupported schema {payload.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    modes = [mode_from_dict(m) for m in payload["modes"]]
+    schedules = {
+        name: schedule_from_dict(s) for name, s in payload["schedules"].items()
+    }
+    return modes, schedules

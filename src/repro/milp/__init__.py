@@ -1,0 +1,52 @@
+"""MILP modeling and solving substrate.
+
+The TTW paper synthesizes schedules with Gurobi.  This package provides
+the equivalent building blocks without external solvers:
+
+* :class:`~repro.milp.expr.Var`, :class:`~repro.milp.expr.LinExpr`,
+  :func:`~repro.milp.expr.quicksum` — algebraic modeling;
+* :class:`~repro.milp.model.Model` — the program container;
+* two exact backends: HiGHS via scipy (default) and a from-scratch
+  branch-and-bound (:mod:`repro.milp.bnb`).
+
+Example:
+    >>> from repro.milp import Model, quicksum
+    >>> m = Model("knapsack")
+    >>> xs = [m.add_binary(f"x{i}") for i in range(3)]
+    >>> m.add_constr(quicksum(xs) <= 2)       # doctest: +ELLIPSIS
+    Constraint(...)
+    >>> from repro.milp import ObjectiveSense
+    >>> m.set_objective(quicksum(x * w for x, w in zip(xs, [3, 1, 2])),
+    ...                 ObjectiveSense.MAXIMIZE)
+    >>> sol = m.solve()
+    >>> sol.objective
+    5.0
+"""
+
+from .expr import (
+    Constraint,
+    LinExpr,
+    Sense,
+    Var,
+    VarType,
+    quicksum,
+)
+from .model import (
+    Model,
+    ObjectiveSense,
+    Solution,
+    SolveStatus,
+)
+
+__all__ = [
+    "Constraint",
+    "LinExpr",
+    "Model",
+    "ObjectiveSense",
+    "Sense",
+    "Solution",
+    "SolveStatus",
+    "Var",
+    "VarType",
+    "quicksum",
+]

@@ -1,0 +1,220 @@
+"""From-scratch branch-and-bound MILP solver.
+
+This backend re-implements, in plain Python + ``scipy.optimize.linprog``
+LP relaxations, the core algorithm an industrial solver (Gurobi in the
+paper) uses to solve the TTW scheduling ILPs:
+
+* **best-bound node selection** via a priority queue keyed on the parent
+  relaxation value, which keeps the search tree small on the round
+  allocation problems;
+* **most-fractional branching** on integer variables;
+* **bound tightening by rounding**: a branch ``x <= floor(v)`` /
+  ``x >= ceil(v)`` only touches variable bounds, so every node reuses
+  the same constraint matrix;
+* **incumbent pruning** with a relative/absolute gap tolerance.
+
+It is deliberately dependency-light (the only solver primitive is an LP)
+so the tests can cross-validate it against HiGHS on identical models.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from .expr import Sense
+from .model import Model, ObjectiveSense, Solution, SolveStatus
+
+#: Absolute integrality tolerance: values closer than this to an integer
+#: are treated as integral.
+INT_TOL = 1e-6
+#: Objective gap below which an incumbent is accepted as optimal.
+GAP_TOL = 1e-9
+
+
+@dataclass
+class _LPData:
+    """Constraint data shared by every node of the search tree."""
+
+    c: np.ndarray
+    a_ub: Optional[sparse.csr_matrix]
+    b_ub: Optional[np.ndarray]
+    a_eq: Optional[sparse.csr_matrix]
+    b_eq: Optional[np.ndarray]
+    integral: np.ndarray  # boolean mask over columns
+
+
+def _build_lp(model: Model) -> _LPData:
+    """Translate the model into linprog-ready arrays (minimization)."""
+    n = model.num_vars
+    obj_sign = 1.0 if model.sense is ObjectiveSense.MINIMIZE else -1.0
+    c = np.zeros(n)
+    for var, coef in model.objective.terms.items():
+        c[var.index] = obj_sign * coef
+
+    ub_rows: List[Tuple[dict, float]] = []
+    eq_rows: List[Tuple[dict, float]] = []
+    for constr in model.constraints:
+        row = {v.index: coef for v, coef in constr.expr.terms.items()}
+        if constr.sense is Sense.LE:
+            ub_rows.append((row, constr.rhs))
+        elif constr.sense is Sense.GE:
+            ub_rows.append(({i: -c_ for i, c_ in row.items()}, -constr.rhs))
+        else:
+            eq_rows.append((row, constr.rhs))
+
+    def to_matrix(rows):
+        if not rows:
+            return None, None
+        data, ri, ci = [], [], []
+        rhs = np.empty(len(rows))
+        for i, (row, b) in enumerate(rows):
+            rhs[i] = b
+            for j, coef in row.items():
+                ri.append(i)
+                ci.append(j)
+                data.append(coef)
+        return sparse.csr_matrix((data, (ri, ci)), shape=(len(rows), n)), rhs
+
+    a_ub, b_ub = to_matrix(ub_rows)
+    a_eq, b_eq = to_matrix(eq_rows)
+    integral = np.array([v.is_integral for v in model.variables], dtype=bool)
+    return _LPData(c, a_ub, b_ub, a_eq, b_eq, integral)
+
+
+def _solve_relaxation(
+    lp: _LPData, lower: np.ndarray, upper: np.ndarray
+) -> Tuple[str, Optional[np.ndarray], float]:
+    """Solve one LP relaxation; returns (status, x, objective)."""
+    if np.any(lower > upper + 1e-12):
+        return "infeasible", None, math.inf
+    bounds = np.column_stack([lower, upper])
+    result = linprog(
+        lp.c,
+        A_ub=lp.a_ub,
+        b_ub=lp.b_ub,
+        A_eq=lp.a_eq,
+        b_eq=lp.b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if result.status == 2:
+        return "infeasible", None, math.inf
+    if result.status == 3:
+        return "unbounded", None, -math.inf
+    if result.status != 0 or result.x is None:
+        return "error", None, math.inf
+    return "optimal", result.x, float(result.fun)
+
+
+def _most_fractional(x: np.ndarray, integral: np.ndarray) -> Optional[int]:
+    """Index of the integer variable whose value is farthest from integral."""
+    frac = np.abs(x - np.round(x))
+    frac[~integral] = 0.0
+    j = int(np.argmax(frac))
+    if frac[j] <= INT_TOL:
+        return None
+    return j
+
+
+def solve_branch_and_bound(
+    model: Model,
+    time_limit: Optional[float] = None,
+    node_limit: Optional[int] = None,
+    tol: float = INT_TOL,
+) -> Solution:
+    """Solve ``model`` by best-bound branch-and-bound.
+
+    Args:
+        model: The MILP to solve.
+        time_limit: Wall-clock cap in seconds; returns the incumbent
+            (status ``TIME_LIMIT``) when exceeded.
+        node_limit: Maximum number of explored nodes.
+        tol: Integrality tolerance.
+
+    Returns:
+        A :class:`repro.milp.model.Solution`; ``nodes`` reports the
+        number of LP relaxations solved.
+    """
+    if model.num_vars == 0:
+        for constr in model.constraints:
+            if not constr.satisfied({}):
+                return Solution(SolveStatus.INFEASIBLE)
+        return Solution(SolveStatus.OPTIMAL, objective=model.objective.constant)
+
+    lp = _build_lp(model)
+    root_lower = np.array([v.lb for v in model.variables])
+    root_upper = np.array([v.ub for v in model.variables])
+
+    start = time.monotonic()
+    counter = itertools.count()  # tie-breaker for the heap
+    status, x, bound = _solve_relaxation(lp, root_lower, root_upper)
+    if status == "infeasible":
+        return Solution(SolveStatus.INFEASIBLE, nodes=1)
+    if status == "unbounded":
+        return Solution(SolveStatus.UNBOUNDED, nodes=1)
+    if status == "error":
+        return Solution(SolveStatus.ERROR, nodes=1)
+
+    heap: List[Tuple[float, int, np.ndarray, np.ndarray]] = []
+    heapq.heappush(heap, (bound, next(counter), root_lower, root_upper))
+
+    incumbent_x: Optional[np.ndarray] = None
+    incumbent_obj = math.inf
+    nodes = 0
+    limit_hit: Optional[SolveStatus] = None
+
+    while heap:
+        bound, _, lower, upper = heapq.heappop(heap)
+        if bound >= incumbent_obj - GAP_TOL:
+            continue  # cannot improve on the incumbent
+        if time_limit is not None and time.monotonic() - start > time_limit:
+            limit_hit = SolveStatus.TIME_LIMIT
+            break
+        if node_limit is not None and nodes >= node_limit:
+            limit_hit = SolveStatus.NODE_LIMIT
+            break
+
+        nodes += 1
+        status, x, value = _solve_relaxation(lp, lower, upper)
+        if status != "optimal" or value >= incumbent_obj - GAP_TOL:
+            continue
+
+        branch_var = _most_fractional(x, lp.integral)
+        if branch_var is None:
+            # Integral solution: new incumbent.
+            incumbent_x = np.round(np.where(lp.integral, np.round(x), x), 12)
+            incumbent_x = np.where(lp.integral, np.round(x), x)
+            incumbent_obj = value
+            continue
+
+        val = x[branch_var]
+        down_upper = upper.copy()
+        down_upper[branch_var] = math.floor(val + tol)
+        up_lower = lower.copy()
+        up_lower[branch_var] = math.ceil(val - tol)
+        heapq.heappush(heap, (value, next(counter), lower, down_upper))
+        heapq.heappush(heap, (value, next(counter), up_lower, upper))
+
+    if incumbent_x is None:
+        if limit_hit is not None:
+            return Solution(limit_hit, nodes=nodes)
+        return Solution(SolveStatus.INFEASIBLE, nodes=nodes)
+
+    values = {}
+    for var in model.variables:
+        val = float(incumbent_x[var.index])
+        if var.is_integral:
+            val = float(round(val))
+        values[var] = val
+    objective = model.objective.value(values)
+    status = SolveStatus.OPTIMAL if limit_hit is None else limit_hit
+    return Solution(status, objective=objective, values=values, nodes=nodes)

@@ -1,0 +1,242 @@
+"""Linear expressions and constraints for the MILP modeling layer.
+
+This module provides the algebraic building blocks used by
+:class:`repro.milp.model.Model`: decision variables (:class:`Var`),
+affine expressions over them (:class:`LinExpr`), and linear constraints
+(:class:`Constraint`).  The API deliberately mirrors the small subset of
+PuLP/Gurobi-style modeling that the TTW scheduling formulation needs,
+so the ILP builder in :mod:`repro.core.ilp_builder` reads like the
+paper's appendix.
+
+Expressions are immutable-by-convention: arithmetic operators always
+return new :class:`LinExpr` objects.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Dict, Iterable, Mapping, Union
+
+Number = Union[int, float]
+
+#: Tolerance used when checking integrality / constraint satisfaction.
+DEFAULT_TOL = 1e-6
+
+
+class VarType(enum.Enum):
+    """Domain of a decision variable."""
+
+    CONTINUOUS = "continuous"
+    INTEGER = "integer"
+    BINARY = "binary"
+
+
+class Sense(enum.Enum):
+    """Direction of a linear constraint, written as ``lhs SENSE rhs``."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class Var:
+    """A single decision variable.
+
+    Variables are created through :meth:`repro.milp.model.Model.add_var`
+    (which assigns the ``index`` used by solver backends); constructing
+    them directly is useful only in tests.
+
+    Attributes:
+        name: Human-readable identifier (unique within a model).
+        lb: Lower bound (``-inf`` allowed for continuous variables).
+        ub: Upper bound (``+inf`` allowed).
+        vtype: Variable domain.
+        index: Column index assigned by the owning model.
+    """
+
+    __slots__ = ("name", "lb", "ub", "vtype", "index")
+
+    def __init__(
+        self,
+        name: str,
+        lb: Number = 0.0,
+        ub: Number = math.inf,
+        vtype: VarType = VarType.CONTINUOUS,
+        index: int = -1,
+    ) -> None:
+        if vtype is VarType.BINARY:
+            lb, ub = max(0.0, lb), min(1.0, ub)
+        if lb > ub:
+            raise ValueError(f"variable {name!r}: lb {lb} > ub {ub}")
+        self.name = name
+        self.lb = float(lb)
+        self.ub = float(ub)
+        self.vtype = vtype
+        self.index = index
+
+    @property
+    def is_integral(self) -> bool:
+        """True for integer and binary variables."""
+        return self.vtype is not VarType.CONTINUOUS
+
+    def to_expr(self) -> "LinExpr":
+        """Return this variable as a single-term expression."""
+        return LinExpr({self: 1.0})
+
+    # -- arithmetic: delegate to LinExpr ------------------------------
+    def __add__(self, other): return self.to_expr() + other
+    def __radd__(self, other): return self.to_expr() + other
+    def __sub__(self, other): return self.to_expr() - other
+    def __rsub__(self, other): return (-self.to_expr()) + other
+    def __mul__(self, other): return self.to_expr() * other
+    def __rmul__(self, other): return self.to_expr() * other
+    def __truediv__(self, other): return self.to_expr() / other
+    def __neg__(self): return self.to_expr() * -1.0
+
+    # -- comparisons build constraints --------------------------------
+    def __le__(self, other): return self.to_expr() <= other
+    def __ge__(self, other): return self.to_expr() >= other
+    def __eq__(self, other):  # type: ignore[override]
+        return self.to_expr() == other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+class LinExpr:
+    """An affine expression: ``sum(coef * var) + constant``."""
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(
+        self,
+        terms: Mapping[Var, Number] | None = None,
+        constant: Number = 0.0,
+    ) -> None:
+        self.terms: Dict[Var, float] = (
+            {v: float(c) for v, c in terms.items() if c != 0} if terms else {}
+        )
+        self.constant = float(constant)
+
+    @staticmethod
+    def from_any(value: "LinExpr | Var | Number") -> "LinExpr":
+        """Coerce a variable or number into an expression."""
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, Var):
+            return value.to_expr()
+        if isinstance(value, (int, float)):
+            return LinExpr(constant=value)
+        raise TypeError(f"cannot build LinExpr from {type(value).__name__}")
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(dict(self.terms), self.constant)
+
+    def value(self, assignment: Mapping[Var, Number]) -> float:
+        """Evaluate the expression under a variable assignment."""
+        total = self.constant
+        for var, coef in self.terms.items():
+            total += coef * float(assignment[var])
+        return total
+
+    # -- arithmetic ----------------------------------------------------
+    def _added(self, other: "LinExpr | Var | Number", sign: float) -> "LinExpr":
+        other = LinExpr.from_any(other)
+        result = dict(self.terms)
+        for var, coef in other.terms.items():
+            result[var] = result.get(var, 0.0) + sign * coef
+        return LinExpr(result, self.constant + sign * other.constant)
+
+    def __add__(self, other): return self._added(other, 1.0)
+    def __radd__(self, other): return self._added(other, 1.0)
+    def __sub__(self, other): return self._added(other, -1.0)
+
+    def __rsub__(self, other):
+        return LinExpr.from_any(other)._added(self, -1.0)
+
+    def __mul__(self, scalar):
+        if not isinstance(scalar, (int, float)):
+            raise TypeError("LinExpr can only be multiplied by a scalar")
+        return LinExpr(
+            {v: c * scalar for v, c in self.terms.items()},
+            self.constant * scalar,
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar):
+        if not isinstance(scalar, (int, float)):
+            raise TypeError("LinExpr can only be divided by a scalar")
+        return self * (1.0 / scalar)
+
+    def __neg__(self): return self * -1.0
+
+    # -- comparisons build constraints ---------------------------------
+    def __le__(self, other): return Constraint(self - other, Sense.LE)
+    def __ge__(self, other): return Constraint(self - other, Sense.GE)
+    def __eq__(self, other):  # type: ignore[override]
+        return Constraint(self - other, Sense.EQ)
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        parts = [f"{c:+g}*{v.name}" for v, c in self.terms.items()]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return "LinExpr(" + " ".join(parts) + ")"
+
+
+def quicksum(items: Iterable[LinExpr | Var | Number]) -> LinExpr:
+    """Sum expressions/variables/numbers into one :class:`LinExpr`.
+
+    Faster and clearer than ``sum(...)`` for building large models.
+    """
+    terms: Dict[Var, float] = {}
+    constant = 0.0
+    for item in items:
+        expr = LinExpr.from_any(item)
+        constant += expr.constant
+        for var, coef in expr.terms.items():
+            terms[var] = terms.get(var, 0.0) + coef
+    return LinExpr(terms, constant)
+
+
+class Constraint:
+    """A linear constraint ``expr SENSE 0``.
+
+    Normalized so that the right-hand side is folded into the expression
+    constant; backends read ``expr.terms`` and ``rhs`` (the negated
+    constant).
+    """
+
+    __slots__ = ("expr", "sense", "name")
+
+    def __init__(self, expr: LinExpr, sense: Sense, name: str = "") -> None:
+        self.expr = expr
+        self.sense = sense
+        self.name = name
+
+    @property
+    def rhs(self) -> float:
+        """Right-hand side once variable terms are moved to the left."""
+        return -self.expr.constant
+
+    def satisfied(
+        self, assignment: Mapping[Var, Number], tol: float = DEFAULT_TOL
+    ) -> bool:
+        """Check the constraint against a concrete assignment."""
+        lhs = self.expr.value(assignment)
+        if self.sense is Sense.LE:
+            return lhs <= tol
+        if self.sense is Sense.GE:
+            return lhs >= -tol
+        return abs(lhs) <= tol
+
+    def __repr__(self) -> str:
+        label = f" [{self.name}]" if self.name else ""
+        return f"Constraint({self.expr!r} {self.sense.value} 0{label})"

@@ -1,0 +1,86 @@
+"""Export models in the CPLEX LP text format.
+
+Useful for debugging formulations and for feeding the exact same
+program to an external solver (Gurobi, CPLEX, cbc) to cross-check the
+built-in backends — the workflow the paper's authors used with Gurobi.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from pathlib import Path
+from typing import List
+
+from .expr import LinExpr, Sense
+from .model import Model, ObjectiveSense
+
+#: LP-format identifiers cannot contain these characters.
+_BAD_CHARS = re.compile(r"[^A-Za-z0-9_.]")
+
+
+def _safe_name(name: str) -> str:
+    """Sanitize a variable/constraint name for the LP format."""
+    cleaned = _BAD_CHARS.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "v_" + cleaned
+    return cleaned
+
+
+def _format_expr(expr: LinExpr, name_of: dict) -> str:
+    """Render the variable terms of an expression."""
+    parts: List[str] = []
+    for var, coef in sorted(expr.terms.items(), key=lambda kv: kv[0].index):
+        if coef >= 0 and parts:
+            parts.append(f"+ {coef:g} {name_of[var]}")
+        else:
+            parts.append(f"{coef:g} {name_of[var]}")
+    return " ".join(parts) if parts else "0"
+
+
+def write_lp(model: Model) -> str:
+    """Serialize ``model`` to an LP-format string."""
+    name_of = {}
+    used = set()
+    for var in model.variables:
+        base = _safe_name(var.name)
+        candidate = base
+        suffix = 1
+        while candidate in used:
+            candidate = f"{base}_{suffix}"
+            suffix += 1
+        used.add(candidate)
+        name_of[var] = candidate
+
+    lines: List[str] = []
+    lines.append(
+        "Minimize" if model.sense is ObjectiveSense.MINIMIZE else "Maximize"
+    )
+    lines.append(" obj: " + _format_expr(model.objective, name_of))
+
+    lines.append("Subject To")
+    for i, constr in enumerate(model.constraints):
+        cname = _safe_name(constr.name) if constr.name else f"c{i}"
+        op = {"<=": "<=", ">=": ">=", "==": "="}[constr.sense.value]
+        lines.append(
+            f" {cname}: {_format_expr(constr.expr, name_of)} {op} {constr.rhs:g}"
+        )
+
+    lines.append("Bounds")
+    for var in model.variables:
+        lb = "-inf" if math.isinf(var.lb) else f"{var.lb:g}"
+        ub = "+inf" if math.isinf(var.ub) else f"{var.ub:g}"
+        lines.append(f" {lb} <= {name_of[var]} <= {ub}")
+
+    integers = [name_of[v] for v in model.variables if v.is_integral]
+    if integers:
+        lines.append("Generals")
+        lines.append(" " + " ".join(integers))
+
+    lines.append("End")
+    return "\n".join(lines) + "\n"
+
+
+def save_lp(model: Model, path: str | Path) -> None:
+    """Write the LP file to disk."""
+    Path(path).write_text(write_lp(model))

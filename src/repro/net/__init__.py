@@ -1,0 +1,26 @@
+"""Wireless network substrate: topologies and the Glossy flood simulator."""
+
+from .glossy import FloodResult, GlossySimulator
+from .topology import (
+    Topology,
+    TopologyError,
+    diameter_line,
+    grid,
+    line,
+    random_geometric,
+    ring,
+    star,
+)
+
+__all__ = [
+    "FloodResult",
+    "GlossySimulator",
+    "Topology",
+    "TopologyError",
+    "diameter_line",
+    "grid",
+    "line",
+    "random_geometric",
+    "ring",
+    "star",
+]

@@ -1,0 +1,147 @@
+"""Multi-hop network topologies for the wireless substrate.
+
+TTW runs over an arbitrary multi-hop network (paper Fig. 1(a)); the
+only topology parameter entering the timing model is the network
+diameter ``H``.  This module builds common research topologies and
+computes hop distances used by the Glossy flood simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+
+class TopologyError(ValueError):
+    """Raised for malformed or disconnected topologies."""
+
+
+@dataclass
+class Topology:
+    """A connected multi-hop network with a designated host node.
+
+    Attributes:
+        graph: Undirected connectivity graph; nodes are string ids.
+        host: The central host node (sends beacons, runs Algorithm 1
+            offline).
+    """
+
+    graph: nx.Graph
+    host: str
+
+    def __post_init__(self) -> None:
+        if self.host not in self.graph:
+            raise TopologyError(f"host {self.host!r} not in the graph")
+        if self.graph.number_of_nodes() == 0:
+            raise TopologyError("empty topology")
+        if not nx.is_connected(self.graph):
+            raise TopologyError("topology must be connected")
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self.graph.nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def diameter(self) -> int:
+        """Network diameter ``H`` — the timing model's hop count input."""
+        return nx.diameter(self.graph)
+
+    def hop_distance(self, source: str, target: str) -> int:
+        return nx.shortest_path_length(self.graph, source, target)
+
+    def hops_from(self, source: str) -> Dict[str, int]:
+        """Hop distance from ``source`` to every node."""
+        return dict(nx.single_source_shortest_path_length(self.graph, source))
+
+    def neighbors(self, node: str) -> List[str]:
+        return sorted(self.graph.neighbors(node))
+
+    def validate_mapping(self, task_nodes: Iterable[str]) -> None:
+        """Check that every task-hosting node exists in the topology."""
+        missing = sorted(set(task_nodes) - set(self.graph.nodes))
+        if missing:
+            raise TopologyError(f"task nodes not in topology: {missing}")
+
+
+def line(num_nodes: int, host_index: int = 0) -> Topology:
+    """A line of ``num_nodes`` nodes — diameter ``num_nodes - 1``."""
+    if num_nodes < 1:
+        raise TopologyError("need at least one node")
+    graph = nx.path_graph(num_nodes)
+    graph = nx.relabel_nodes(graph, {i: f"n{i}" for i in range(num_nodes)})
+    return Topology(graph=graph, host=f"n{host_index}")
+
+
+def star(num_leaves: int) -> Topology:
+    """A star with the host at the hub — diameter 2 (or 1 for one leaf)."""
+    if num_leaves < 1:
+        raise TopologyError("need at least one leaf")
+    graph = nx.Graph()
+    graph.add_node("host")
+    for i in range(num_leaves):
+        graph.add_edge("host", f"n{i}")
+    return Topology(graph=graph, host="host")
+
+
+def grid(rows: int, cols: int) -> Topology:
+    """A rows x cols 4-connected grid, host at a corner."""
+    if rows < 1 or cols < 1:
+        raise TopologyError("grid needs positive dimensions")
+    graph = nx.grid_2d_graph(rows, cols)
+    graph = nx.relabel_nodes(graph, {(r, c): f"n{r}_{c}" for r, c in graph.nodes})
+    return Topology(graph=graph, host="n0_0")
+
+
+def ring(num_nodes: int) -> Topology:
+    """A cycle of ``num_nodes`` nodes — diameter ``floor(n/2)``."""
+    if num_nodes < 3:
+        raise TopologyError("ring needs at least 3 nodes")
+    graph = nx.cycle_graph(num_nodes)
+    graph = nx.relabel_nodes(graph, {i: f"n{i}" for i in range(num_nodes)})
+    return Topology(graph=graph, host="n0")
+
+
+def random_geometric(
+    num_nodes: int,
+    radius: float = 0.35,
+    seed: int = 1,
+    max_attempts: int = 50,
+) -> Topology:
+    """A connected random-geometric network (typical testbed layout).
+
+    Nodes are dropped uniformly in the unit square and linked when
+    within ``radius``; resamples until connected.
+
+    Raises:
+        TopologyError: if no connected sample is found within
+            ``max_attempts`` (increase ``radius``).
+    """
+    if num_nodes < 1:
+        raise TopologyError("need at least one node")
+    for attempt in range(max_attempts):
+        graph = nx.random_geometric_graph(
+            num_nodes, radius, seed=seed + attempt
+        )
+        if nx.is_connected(graph):
+            graph = nx.relabel_nodes(
+                graph, {i: f"n{i}" for i in range(num_nodes)}
+            )
+            return Topology(graph=graph, host="n0")
+    raise TopologyError(
+        f"no connected random-geometric graph with n={num_nodes}, "
+        f"r={radius} after {max_attempts} attempts"
+    )
+
+
+def diameter_line(diameter: int) -> Topology:
+    """Smallest line topology with exactly the requested diameter ``H``."""
+    if diameter < 1:
+        raise TopologyError("diameter must be >= 1")
+    return line(diameter + 1)

@@ -1,0 +1,61 @@
+"""TTW runtime: beacons, deployment tables, loss models, and the
+discrete-event protocol simulator (paper Sec. II)."""
+
+from .beacon import Beacon, encoded_size
+from .deployment import ModeDeployment, NodeTable, SlotAssignment, build_deployment
+from .loss import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    GlossyLoss,
+    LossModel,
+    PerfectLinks,
+    ScriptedBeaconLoss,
+)
+from .simulator import ModeRequest, NodePolicy, RadioTiming, RuntimeSimulator
+from .sync import (
+    DEFAULT_DRIFT_PPM,
+    SyncAnalysis,
+    analyze_sync,
+    max_gap_for_guard,
+    required_guard_time,
+    worst_case_offset,
+)
+from .trace import (
+    ChainInstanceRecord,
+    MessageInstanceRecord,
+    ModeSwitchRecord,
+    RoundRecord,
+    SlotRecord,
+    Trace,
+)
+
+__all__ = [
+    "Beacon",
+    "DEFAULT_DRIFT_PPM",
+    "BernoulliLoss",
+    "ChainInstanceRecord",
+    "GilbertElliottLoss",
+    "GlossyLoss",
+    "LossModel",
+    "MessageInstanceRecord",
+    "ModeDeployment",
+    "ModeRequest",
+    "ModeSwitchRecord",
+    "NodePolicy",
+    "NodeTable",
+    "PerfectLinks",
+    "RadioTiming",
+    "RoundRecord",
+    "RuntimeSimulator",
+    "ScriptedBeaconLoss",
+    "SlotAssignment",
+    "SlotRecord",
+    "SyncAnalysis",
+    "analyze_sync",
+    "Trace",
+    "build_deployment",
+    "max_gap_for_guard",
+    "required_guard_time",
+    "worst_case_offset",
+    "encoded_size",
+]

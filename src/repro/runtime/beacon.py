@@ -1,0 +1,54 @@
+"""Host beacons (paper Sec. II-B, Fig. 2).
+
+Each round starts with a beacon ``b = {round id, mode id, trigger bit
+SB}`` sent by the host.  Receiving a single beacon is sufficient for a
+node to recover the full system state: with the statically distributed
+schedules, the pair (mode id, round id) identifies the phase of the
+cyclic schedule, hence which message to send in which slot and when to
+wake up next.
+
+The paper notes a 3-byte beacon suffices; :func:`encoded_size` checks
+the chosen field widths against that budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Field widths used by the reference encoding (bits).
+ROUND_ID_BITS = 12
+MODE_ID_BITS = 8
+TRIGGER_BITS = 1
+
+
+@dataclass(frozen=True)
+class Beacon:
+    """Content of one host beacon.
+
+    Attributes:
+        round_id: Id of the *current* round within its mode's cyclic
+            round sequence.
+        mode_id: Current mode — or, during a transition, the id of the
+            mode being switched to (first phase of Fig. 2).
+        trigger: The paper's ``SB`` bit; 1 means the announced mode
+            starts directly after this round.
+    """
+
+    round_id: int
+    mode_id: int
+    trigger: bool = False
+
+    def __post_init__(self) -> None:
+        if self.round_id < 0 or self.round_id >= (1 << ROUND_ID_BITS):
+            raise ValueError(f"round_id {self.round_id} out of range")
+        if self.mode_id < 0 or self.mode_id >= (1 << MODE_ID_BITS):
+            raise ValueError(f"mode_id {self.mode_id} out of range")
+
+
+def encoded_size() -> int:
+    """Beacon size in bytes for the reference field widths.
+
+    The paper uses ``L_beacon = 3`` bytes; 12 + 8 + 1 = 21 bits fit.
+    """
+    total_bits = ROUND_ID_BITS + MODE_ID_BITS + TRIGGER_BITS
+    return (total_bits + 7) // 8

@@ -1,0 +1,154 @@
+"""Deployment-time schedule tables (paper Sec. II-B, "Energy efficiency").
+
+At deployment, every node receives, for each mode: the relative start
+times of the mode's rounds, the mode hyperperiod, the slots allocated
+to the node in each round as (slot id, message id) pairs, and the
+number of slots allocated per round.  :func:`build_deployment` compiles
+these tables from a synthesized :class:`~repro.core.schedule.ModeSchedule`
+and the mode's applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.app_model import Application
+from ..core.modes import Mode
+from ..core.schedule import ModeSchedule
+
+
+@dataclass(frozen=True)
+class SlotAssignment:
+    """One (round, slot) → message assignment for a sender node."""
+
+    round_index: int
+    slot_index: int
+    message: str
+
+
+@dataclass
+class NodeTable:
+    """Per-node, per-mode schedule information stored at deployment.
+
+    Attributes:
+        node: The node this table belongs to.
+        tx_slots: ``round index -> [(slot index, message)]`` this node
+            transmits in.
+        rx_messages: Messages this node must receive (it hosts a
+            consumer task), per round index.
+        task_offsets: Offsets of the tasks mapped to this node.
+    """
+
+    node: str
+    tx_slots: Dict[int, List[Tuple[int, str]]] = field(default_factory=dict)
+    rx_messages: Dict[int, List[str]] = field(default_factory=dict)
+    task_offsets: Dict[str, float] = field(default_factory=dict)
+
+    def slot_for_round(self, round_index: int) -> List[Tuple[int, str]]:
+        return self.tx_slots.get(round_index, [])
+
+
+@dataclass
+class ModeDeployment:
+    """Everything the network needs to execute one mode.
+
+    Attributes:
+        mode_id: Beacon-visible id of the mode.
+        mode_name: Human-readable name.
+        hyperperiod: Mode hyperperiod.
+        round_starts: ``r.t`` per round index (relative to hyperperiod).
+        round_messages: Slot allocation per round index (message names,
+            slot order fixed at deployment).
+        num_allocated: Allocated slot count per round — nodes can turn
+            the radio off after the last allocated slot.
+        node_tables: Per-node tables.
+        message_senders: Transmitting node per message.
+        message_consumers: Consumer nodes per message.
+        schedule: The synthesized schedule this was compiled from.
+    """
+
+    mode_id: int
+    mode_name: str
+    hyperperiod: float
+    round_starts: List[float]
+    round_messages: List[List[str]]
+    num_allocated: List[int]
+    node_tables: Dict[str, NodeTable]
+    message_senders: Dict[str, str]
+    message_consumers: Dict[str, List[str]]
+    schedule: ModeSchedule
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.round_starts)
+
+
+def build_deployment(
+    mode: Mode, schedule: ModeSchedule, mode_id: Optional[int] = None
+) -> ModeDeployment:
+    """Compile the deployment tables for ``mode`` from its schedule.
+
+    Args:
+        mode: The mode (provides task mappings and message routing).
+        schedule: A verified :class:`ModeSchedule` for that mode.
+        mode_id: Beacon id; defaults to ``mode.mode_id`` (or 0).
+
+    Raises:
+        ValueError: if the schedule does not belong to this mode.
+    """
+    if schedule.mode_name != mode.name:
+        raise ValueError(
+            f"schedule is for mode {schedule.mode_name!r}, not {mode.name!r}"
+        )
+    resolved_id = mode_id if mode_id is not None else (mode.mode_id or 0)
+
+    senders: Dict[str, str] = {}
+    consumers: Dict[str, List[str]] = {}
+    for app in mode.applications:
+        for msg_name in app.messages:
+            senders[msg_name] = app.sender_node(msg_name)
+            consumers[msg_name] = sorted(
+                {app.tasks[t].node for t in app.msg_consumers[msg_name]}
+            )
+
+    tables: Dict[str, NodeTable] = {}
+
+    def table(node: str) -> NodeTable:
+        if node not in tables:
+            tables[node] = NodeTable(node=node)
+        return tables[node]
+
+    for app in mode.applications:
+        for name, task in app.tasks.items():
+            table(task.node).task_offsets[name] = schedule.task_offsets[name]
+
+    round_starts: List[float] = []
+    round_messages: List[List[str]] = []
+    num_allocated: List[int] = []
+    for r_index, rnd in enumerate(schedule.rounds):
+        round_starts.append(rnd.start)
+        round_messages.append(list(rnd.messages))
+        num_allocated.append(rnd.num_allocated)
+        for slot_index, msg_name in enumerate(rnd.messages):
+            sender = senders[msg_name]
+            table(sender).tx_slots.setdefault(r_index, []).append(
+                (slot_index, msg_name)
+            )
+            for consumer in consumers[msg_name]:
+                table(consumer).rx_messages.setdefault(r_index, []).append(
+                    msg_name
+                )
+
+    return ModeDeployment(
+        mode_id=resolved_id,
+        mode_name=mode.name,
+        hyperperiod=schedule.hyperperiod,
+        round_starts=round_starts,
+        round_messages=round_messages,
+        num_allocated=num_allocated,
+        node_tables=tables,
+        message_senders=senders,
+        message_consumers=consumers,
+        schedule=schedule,
+    )

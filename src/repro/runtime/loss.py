@@ -1,0 +1,235 @@
+"""Packet-loss models for the runtime simulator.
+
+Loss happens at flood granularity: a beacon flood either reaches a
+given node or not, and a data flood either reaches a given consumer or
+not.  Two models are provided:
+
+* :class:`BernoulliLoss` — independent per-(flood, receiver) losses
+  with fixed probabilities; fast, used for the safety experiments;
+* :class:`GlossyLoss` — samples an actual :class:`GlossySimulator`
+  flood over a topology per slot, so spatial correlation (a node far
+  from the initiator fails more often) is captured.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Protocol, Set
+
+from ..net.glossy import GlossySimulator
+from ..net.topology import Topology
+
+
+class LossModel(Protocol):
+    """Decides which nodes receive a given flood."""
+
+    def beacon_receivers(self, host: str, nodes: Set[str]) -> Set[str]:
+        """Nodes (excluding implicit host) that receive a beacon flood."""
+        ...
+
+    def data_receivers(
+        self, sender: str, nodes: Set[str], payload_bytes: int
+    ) -> Set[str]:
+        """Nodes that receive a data flood initiated by ``sender``."""
+        ...
+
+
+class PerfectLinks:
+    """No loss at all — every flood reaches every node."""
+
+    def beacon_receivers(self, host: str, nodes: Set[str]) -> Set[str]:
+        return set(nodes)
+
+    def data_receivers(
+        self, sender: str, nodes: Set[str], payload_bytes: int
+    ) -> Set[str]:
+        return set(nodes)
+
+
+class BernoulliLoss:
+    """Independent per-receiver flood losses.
+
+    Args:
+        beacon_loss: Probability a given node misses a beacon flood.
+        data_loss: Probability a given node misses a data flood.
+        seed: RNG seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        beacon_loss: float = 0.0,
+        data_loss: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        for name, p in (("beacon_loss", beacon_loss), ("data_loss", data_loss)):
+            if not 0.0 <= p < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {p}")
+        self.beacon_loss = beacon_loss
+        self.data_loss = data_loss
+        self._rng = random.Random(seed)
+
+    def _sample(self, nodes: Set[str], loss: float, always: str) -> Set[str]:
+        received = {always} if always in nodes else set()
+        for node in nodes:
+            if node == always:
+                continue
+            if loss <= 0.0 or self._rng.random() >= loss:
+                received.add(node)
+        return received
+
+    def beacon_receivers(self, host: str, nodes: Set[str]) -> Set[str]:
+        return self._sample(nodes, self.beacon_loss, always=host)
+
+    def data_receivers(
+        self, sender: str, nodes: Set[str], payload_bytes: int
+    ) -> Set[str]:
+        return self._sample(nodes, self.data_loss, always=sender)
+
+
+class ScriptedBeaconLoss:
+    """Deterministic beacon drops for protocol experiments.
+
+    The n-th beacon flood (0-based, counted across the run) is missed
+    by exactly the nodes listed in ``drops[n]``.  Data floods are
+    lossless.  Used to reproduce targeted failure scenarios, e.g. "node
+    X misses the trigger beacon of a mode change".
+    """
+
+    def __init__(self, drops: dict) -> None:
+        self.drops = {int(k): set(v) for k, v in drops.items()}
+        self._beacon_counter = 0
+
+    def beacon_receivers(self, host: str, nodes: Set[str]) -> Set[str]:
+        missing = self.drops.get(self._beacon_counter, set())
+        self._beacon_counter += 1
+        received = set(nodes) - missing
+        received.add(host)
+        return received
+
+    def data_receivers(
+        self, sender: str, nodes: Set[str], payload_bytes: int
+    ) -> Set[str]:
+        return set(nodes)
+
+
+class GilbertElliottLoss:
+    """Bursty interference: per-node two-state Gilbert-Elliott channel.
+
+    The paper motivates TTW's reliability mechanisms with
+    high-interference environments (the EWSN dependability competition
+    [5]); interference there is *bursty*, not i.i.d.  Each node's
+    channel alternates between a GOOD state (losses rare) and a BAD
+    state (losses dominant) following a two-state Markov chain advanced
+    once per beacon (i.e. per round).
+
+    Args:
+        p_good_to_bad: Transition probability GOOD -> BAD per round.
+        p_bad_to_good: Transition probability BAD -> GOOD per round.
+        loss_good: Flood-miss probability while GOOD.
+        loss_bad: Flood-miss probability while BAD.
+        seed: RNG seed.
+
+    The stationary average loss rate is
+    ``pi_bad * loss_bad + (1 - pi_bad) * loss_good`` with
+    ``pi_bad = p_gb / (p_gb + p_bg)`` — exposed as
+    :meth:`average_loss_rate` so experiments can compare bursty vs.
+    i.i.d. channels at equal average rates.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float = 0.05,
+        p_bad_to_good: float = 0.3,
+        loss_good: float = 0.01,
+        loss_bad: float = 0.8,
+        seed: Optional[int] = None,
+    ) -> None:
+        for name, p in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if p_good_to_bad + p_bad_to_good == 0.0:
+            raise ValueError("the chain must have at least one transition")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self._rng = random.Random(seed)
+        self._bad: dict = {}
+
+    def average_loss_rate(self) -> float:
+        """Stationary flood-miss probability of the channel."""
+        pi_bad = self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good)
+        return pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
+
+    def _advance(self, node: str) -> None:
+        bad = self._bad.get(node, False)
+        if bad:
+            if self._rng.random() < self.p_bad_to_good:
+                self._bad[node] = False
+        else:
+            if self._rng.random() < self.p_good_to_bad:
+                self._bad[node] = True
+
+    def _loss(self, node: str) -> float:
+        return self.loss_bad if self._bad.get(node, False) else self.loss_good
+
+    def beacon_receivers(self, host: str, nodes: Set[str]) -> Set[str]:
+        # One channel step per round (the beacon starts the round).
+        received = {host}
+        for node in nodes:
+            self._advance(node)
+            if node == host:
+                continue
+            if self._rng.random() >= self._loss(node):
+                received.add(node)
+        return received
+
+    def data_receivers(
+        self, sender: str, nodes: Set[str], payload_bytes: int
+    ) -> Set[str]:
+        received = {sender}
+        for node in nodes:
+            if node == sender:
+                continue
+            if self._rng.random() >= self._loss(node):
+                received.add(node)
+        return received
+
+
+class GlossyLoss:
+    """Flood-accurate loss: every slot runs a simulated Glossy flood.
+
+    Args:
+        topology: The multi-hop network.
+        link_success: Per-link, per-hop reception probability.
+        beacon_payload: Beacon size in bytes (timing only).
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        link_success: float = 0.9,
+        beacon_payload: int = 3,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.topology = topology
+        self.beacon_payload = beacon_payload
+        self.simulator = GlossySimulator(
+            topology, link_success=link_success, seed=seed
+        )
+
+    def beacon_receivers(self, host: str, nodes: Set[str]) -> Set[str]:
+        result = self.simulator.flood(host, self.beacon_payload)
+        return result.received & set(nodes)
+
+    def data_receivers(
+        self, sender: str, nodes: Set[str], payload_bytes: int
+    ) -> Set[str]:
+        result = self.simulator.flood(sender, payload_bytes)
+        return result.received & set(nodes)

@@ -1,0 +1,126 @@
+"""Clock drift and guard-time analysis — why (C2.2) exists.
+
+Glossy gives sub-microsecond synchronization at every flood [11], so a
+node's clock error is bounded by its drift since the *last beacon it
+received*.  The schedule keeps nodes aligned only if the guard time
+nodes wake up before a slot exceeds the worst-case drift over the
+maximum inter-round gap — that is what the paper's ``T_max`` bound
+(constraint C2.2) buys.
+
+This module computes the worst-case clock offset for a given crystal
+tolerance and round spacing, derives the required guard time when a
+node may additionally miss ``k`` consecutive beacons, and checks a
+:class:`~repro.core.schedule.SchedulingConfig` against a radio's
+wake-up margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Typical crystal tolerance of low-power nodes (e.g. TelosB): 20 ppm.
+DEFAULT_DRIFT_PPM = 20.0
+
+
+@dataclass(frozen=True)
+class SyncAnalysis:
+    """Result of a guard-time check.
+
+    Attributes:
+        max_gap: Largest time between consecutive synchronization
+            points (beacons received), in ms.
+        worst_offset: Worst-case clock offset accumulated over
+            ``max_gap``, in ms.
+        guard_time: Wake-up margin available before each slot, in ms.
+        missed_beacons_tolerated: How many consecutive beacons a node
+            can miss before its drift may exceed the guard time.
+    """
+
+    max_gap: float
+    worst_offset: float
+    guard_time: float
+    missed_beacons_tolerated: int
+
+    @property
+    def safe(self) -> bool:
+        """True when a fully-synchronized node stays inside the guard."""
+        return self.worst_offset <= self.guard_time
+
+
+def worst_case_offset(gap_ms: float, drift_ppm: float = DEFAULT_DRIFT_PPM) -> float:
+    """Worst-case clock offset [ms] accumulated over ``gap_ms``.
+
+    Two nodes can drift in opposite directions, so the relative offset
+    grows at twice the individual tolerance.
+    """
+    if gap_ms < 0:
+        raise ValueError("gap must be >= 0")
+    if drift_ppm < 0:
+        raise ValueError("drift must be >= 0")
+    return 2.0 * drift_ppm * 1e-6 * gap_ms
+
+
+def required_guard_time(
+    max_round_gap_ms: float,
+    drift_ppm: float = DEFAULT_DRIFT_PPM,
+    missed_beacons: int = 0,
+) -> float:
+    """Guard time [ms] needed to absorb drift over the round gap.
+
+    Args:
+        max_round_gap_ms: The schedule's ``T_max`` (C2.2 bound).
+        drift_ppm: Crystal tolerance.
+        missed_beacons: Consecutive beacons the node may have missed;
+            each miss extends the unsynchronized interval by one gap.
+    """
+    if missed_beacons < 0:
+        raise ValueError("missed_beacons must be >= 0")
+    effective_gap = max_round_gap_ms * (1 + missed_beacons)
+    return worst_case_offset(effective_gap, drift_ppm)
+
+
+def analyze_sync(
+    max_round_gap_ms: float,
+    guard_time_ms: float,
+    drift_ppm: float = DEFAULT_DRIFT_PPM,
+) -> SyncAnalysis:
+    """Check a round spacing against an available guard time.
+
+    Returns:
+        A :class:`SyncAnalysis`; ``missed_beacons_tolerated`` counts the
+        consecutive beacon losses after which the node must fall back to
+        re-synchronization (listening with a widened window).
+    """
+    if guard_time_ms <= 0:
+        raise ValueError("guard_time must be > 0")
+    offset = worst_case_offset(max_round_gap_ms, drift_ppm)
+    tolerated = 0
+    while (
+        required_guard_time(max_round_gap_ms, drift_ppm, tolerated + 1)
+        <= guard_time_ms
+    ):
+        tolerated += 1
+        if tolerated > 10**6:  # zero-drift clocks: effectively unbounded
+            break
+    return SyncAnalysis(
+        max_gap=max_round_gap_ms,
+        worst_offset=offset,
+        guard_time=guard_time_ms,
+        missed_beacons_tolerated=tolerated,
+    )
+
+
+def max_gap_for_guard(
+    guard_time_ms: float, drift_ppm: float = DEFAULT_DRIFT_PPM
+) -> float:
+    """Largest ``T_max`` a guard time supports (inverse of the check).
+
+    This is how a deployment derives the (C2.2) constant: given the
+    radio's wake-up margin, the scheduler must not space rounds further
+    apart than this.
+    """
+    if guard_time_ms <= 0:
+        raise ValueError("guard_time must be > 0")
+    if drift_ppm <= 0:
+        return float("inf")
+    return guard_time_ms / (2.0 * drift_ppm * 1e-6)

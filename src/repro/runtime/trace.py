@@ -1,0 +1,174 @@
+"""Execution traces of the runtime simulator.
+
+The trace records everything the evaluation needs: which rounds ran,
+who heard the beacon, who transmitted in each slot (for collision
+detection), message-instance delivery, mode switches, and per-node
+radio-on time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclass
+class SlotRecord:
+    """One data slot of one executed round.
+
+    Attributes:
+        slot_index: Position within the round.
+        message: Message scheduled in the slot.
+        transmitters: Nodes that actually started transmitting — more
+            than one is a collision (must never happen in TTW).
+        receivers: Nodes that received the flood.
+    """
+
+    slot_index: int
+    message: str
+    transmitters: List[str] = field(default_factory=list)
+    receivers: Set[str] = field(default_factory=set)
+
+    @property
+    def collided(self) -> bool:
+        return len(self.transmitters) > 1
+
+    @property
+    def silent(self) -> bool:
+        """No transmitter showed up (sender missed the beacon)."""
+        return not self.transmitters
+
+
+@dataclass
+class RoundRecord:
+    """One executed communication round."""
+
+    time: float
+    mode_id: int
+    round_id: int
+    beacon_mode_id: int
+    trigger: bool
+    beacon_receivers: Set[str] = field(default_factory=set)
+    slots: List[SlotRecord] = field(default_factory=list)
+
+    @property
+    def collisions(self) -> List[SlotRecord]:
+        return [s for s in self.slots if s.collided]
+
+
+@dataclass
+class MessageInstanceRecord:
+    """One message instance's fate."""
+
+    message: str
+    instance: int
+    release_time: float
+    abs_deadline: float
+    served_round_time: Optional[float] = None
+    delivered_to: Set[str] = field(default_factory=set)
+    consumers: Set[str] = field(default_factory=set)
+
+    @property
+    def delivered(self) -> bool:
+        return bool(self.consumers) and self.consumers <= self.delivered_to
+
+    @property
+    def on_time(self) -> bool:
+        return (
+            self.delivered
+            and self.served_round_time is not None
+            and self.served_round_time <= self.abs_deadline + 1e-9
+        )
+
+
+@dataclass
+class ChainInstanceRecord:
+    """One end-to-end chain instance."""
+
+    app: str
+    chain: Tuple[str, ...]
+    instance: int
+    release_time: float
+    completion_time: Optional[float] = None
+    complete: bool = False
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.release_time
+
+
+@dataclass
+class ModeSwitchRecord:
+    """One completed mode change."""
+
+    requested_at: float
+    announced_at: float
+    trigger_round_time: float
+    new_mode_start: float
+    from_mode: int
+    to_mode: int
+
+    @property
+    def switch_delay(self) -> float:
+        """Request-to-new-mode-start delay."""
+        return self.new_mode_start - self.requested_at
+
+
+@dataclass
+class Trace:
+    """Full record of one simulation run."""
+
+    rounds: List[RoundRecord] = field(default_factory=list)
+    messages: List[MessageInstanceRecord] = field(default_factory=list)
+    chains: List[ChainInstanceRecord] = field(default_factory=list)
+    mode_switches: List[ModeSwitchRecord] = field(default_factory=list)
+    radio_on: Dict[str, float] = field(default_factory=dict)
+    duration: float = 0.0
+
+    # -- aggregate queries ------------------------------------------------
+    def collisions(self) -> List[Tuple[RoundRecord, SlotRecord]]:
+        """All collided slots — an empty list is the TTW safety claim."""
+        found = []
+        for rnd in self.rounds:
+            for slot in rnd.collisions:
+                found.append((rnd, slot))
+        return found
+
+    @property
+    def collision_free(self) -> bool:
+        return not self.collisions()
+
+    def delivery_rate(self) -> float:
+        """Fraction of message instances delivered to all consumers."""
+        if not self.messages:
+            return 1.0
+        return sum(1 for m in self.messages if m.delivered) / len(self.messages)
+
+    def on_time_rate(self) -> float:
+        """Fraction of message instances delivered within deadline."""
+        if not self.messages:
+            return 1.0
+        return sum(1 for m in self.messages if m.on_time) / len(self.messages)
+
+    def chain_success_rate(self) -> float:
+        if not self.chains:
+            return 1.0
+        return sum(1 for c in self.chains if c.complete) / len(self.chains)
+
+    def chain_latencies(self) -> List[float]:
+        return [c.latency for c in self.chains if c.latency is not None]
+
+    def total_radio_on(self) -> float:
+        return sum(self.radio_on.values())
+
+    def beacon_reception_rate(self) -> float:
+        """Average fraction of nodes hearing each beacon."""
+        if not self.rounds:
+            return 1.0
+        totals = [len(r.beacon_receivers) for r in self.rounds]
+        universe = max(totals) if totals else 1
+        if universe == 0:
+            return 0.0
+        return sum(totals) / (len(totals) * universe)

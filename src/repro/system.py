@@ -1,0 +1,190 @@
+"""High-level facade: build, synthesize, deploy, and simulate a whole
+multi-mode TTW system in a few calls.
+
+:class:`TTWSystem` wires the subpackages together the way a deployment
+would:
+
+    >>> from repro.system import TTWSystem
+    >>> from repro.core import SchedulingConfig
+    >>> from repro.workloads import closed_loop_pipeline
+    >>> from repro.core import Mode
+    >>> system = TTWSystem(SchedulingConfig(round_length=1.0,
+    ...                                     max_round_gap=None))
+    >>> _ = system.add_mode(Mode("normal", [
+    ...     closed_loop_pipeline("a", period=20, deadline=20, num_hops=1)]))
+    >>> system.synthesize_all()
+    >>> trace = system.simulate(duration=100.0)
+    >>> trace.collision_free
+    True
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .core.modes import Mode, ModeGraph
+from .core.schedule import ModeSchedule, SchedulingConfig
+from .core.synthesis import synthesize
+from .core.verify import VerificationReport, verify_schedule
+from .runtime.deployment import ModeDeployment, build_deployment
+from .runtime.loss import LossModel
+from .runtime.simulator import ModeRequest, NodePolicy, RadioTiming, RuntimeSimulator
+from .runtime.trace import Trace
+
+
+class SystemError_(RuntimeError):
+    """Raised on inconsistent system usage (e.g. simulate before synth)."""
+
+
+class TTWSystem:
+    """A complete TTW deployment: modes, schedules, and runtime.
+
+    Args:
+        config: Scheduling parameters shared by all modes.
+        warm_start: Use the demand-bound warm start in Algorithm 1.
+    """
+
+    def __init__(
+        self, config: Optional[SchedulingConfig] = None, warm_start: bool = False
+    ) -> None:
+        self.config = config or SchedulingConfig()
+        self.warm_start = warm_start
+        self.mode_graph = ModeGraph()
+        self.schedules: Dict[str, ModeSchedule] = {}
+        self.deployments: Dict[int, ModeDeployment] = {}
+
+    # -- construction ---------------------------------------------------
+    def add_mode(self, mode: Mode) -> Mode:
+        """Register a mode (ids are assigned by the mode graph)."""
+        return self.mode_graph.add_mode(mode)
+
+    def allow_transition(self, source: str, target: str) -> None:
+        self.mode_graph.add_transition(source, target)
+
+    @property
+    def modes(self) -> List[Mode]:
+        return list(self.mode_graph.modes.values())
+
+    def mode_id(self, name: str) -> int:
+        mode = self.mode_graph.modes[name]
+        assert mode.mode_id is not None
+        return mode.mode_id
+
+    # -- synthesis --------------------------------------------------------
+    def synthesize_all(self, verify: bool = True) -> Dict[str, ModeSchedule]:
+        """Run Algorithm 1 for every mode; optionally verify each result.
+
+        Raises:
+            repro.core.synthesis.InfeasibleError: if any mode is
+                unschedulable.
+            SystemError_: if verification fails (indicates a bug —
+                synthesized schedules must always verify).
+        """
+        if not self.mode_graph.modes:
+            raise SystemError_("no modes registered")
+        for mode in self.modes:
+            schedule = synthesize(mode, self.config, warm_start=self.warm_start)
+            if verify:
+                report = verify_schedule(mode, schedule)
+                if not report.ok:
+                    raise SystemError_(
+                        f"schedule for {mode.name!r} failed verification: "
+                        f"{report.violations}"
+                    )
+            self.schedules[mode.name] = schedule
+            assert mode.mode_id is not None
+            self.deployments[mode.mode_id] = build_deployment(
+                mode, schedule, mode.mode_id
+            )
+        return dict(self.schedules)
+
+    def verify_all(self) -> Dict[str, VerificationReport]:
+        """Re-verify all synthesized schedules."""
+        return {
+            mode.name: verify_schedule(mode, self.schedules[mode.name])
+            for mode in self.modes
+            if mode.name in self.schedules
+        }
+
+    # -- runtime ---------------------------------------------------------
+    def simulator(
+        self,
+        initial_mode: Optional[str] = None,
+        loss: Optional[LossModel] = None,
+        policy: NodePolicy = NodePolicy.BEACON_GATED,
+        radio: Optional[RadioTiming] = None,
+    ) -> RuntimeSimulator:
+        """Build a runtime simulator over the synthesized deployments."""
+        if not self.deployments:
+            raise SystemError_("call synthesize_all() before simulating")
+        modes_by_id = {
+            mode.mode_id: mode for mode in self.modes if mode.mode_id is not None
+        }
+        first = (
+            self.mode_id(initial_mode)
+            if initial_mode is not None
+            else min(self.deployments)
+        )
+        return RuntimeSimulator(
+            modes_by_id,
+            dict(self.deployments),
+            initial_mode=first,
+            loss=loss,
+            policy=policy,
+            radio=radio,
+        )
+
+    def simulate(
+        self,
+        duration: float,
+        initial_mode: Optional[str] = None,
+        mode_requests: Sequence[ModeRequest] = (),
+        loss: Optional[LossModel] = None,
+        policy: NodePolicy = NodePolicy.BEACON_GATED,
+        radio: Optional[RadioTiming] = None,
+        host_node: Optional[str] = None,
+    ) -> Trace:
+        """Synthesize-then-run convenience wrapper."""
+        sim = self.simulator(
+            initial_mode=initial_mode, loss=loss, policy=policy, radio=radio
+        )
+        return sim.run(duration, mode_requests=mode_requests, host_node=host_node)
+
+    def request(self, time: float, target_mode: str) -> ModeRequest:
+        """Build a mode request by mode *name*."""
+        return ModeRequest(time, self.mode_id(target_mode))
+
+    # -- persistence ---------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write modes + schedules to a JSON system file."""
+        from .io.serialize import save_system
+
+        if set(self.schedules) != set(self.mode_graph.modes):
+            raise SystemError_("synthesize_all() before saving")
+        save_system(path, self.modes, self.schedules)
+
+    @classmethod
+    def load(
+        cls, path: str | Path, config: Optional[SchedulingConfig] = None
+    ) -> "TTWSystem":
+        """Rebuild a system (modes, schedules, deployments) from disk."""
+        from .io.serialize import load_system
+
+        modes, schedules = load_system(path)
+        first_config = (
+            config
+            if config is not None
+            else next(iter(schedules.values())).config
+        )
+        system = cls(first_config)
+        for mode in modes:
+            system.mode_graph.add_mode(mode)
+        for mode in system.modes:
+            schedule = schedules[mode.name]
+            system.schedules[mode.name] = schedule
+            assert mode.mode_id is not None
+            system.deployments[mode.mode_id] = build_deployment(
+                mode, schedule, mode.mode_id
+            )
+        return system

@@ -1,0 +1,45 @@
+"""Time and energy models of TTW rounds (paper Sec. V, Table I).
+
+Closed-form models of slot/flood/round duration and radio-on time, used
+both to dimension the scheduler's ``Tr`` input and to regenerate
+Figs. 6 and 7.
+"""
+
+from .constants import DEFAULT_CONSTANTS, GlossyConstants
+from .energy import (
+    energy_saving,
+    energy_saving_limit,
+    no_rounds_on_time,
+    rounds_on_time,
+)
+from .slots import (
+    RoundTiming,
+    flood_time,
+    hop_time,
+    round_length,
+    round_length_ms,
+    round_timing,
+    slot_off_time,
+    slot_on_time,
+    slot_time,
+    transmission_time,
+)
+
+__all__ = [
+    "DEFAULT_CONSTANTS",
+    "GlossyConstants",
+    "RoundTiming",
+    "energy_saving",
+    "energy_saving_limit",
+    "flood_time",
+    "hop_time",
+    "no_rounds_on_time",
+    "round_length",
+    "round_length_ms",
+    "round_timing",
+    "rounds_on_time",
+    "slot_off_time",
+    "slot_on_time",
+    "slot_time",
+    "transmission_time",
+]

@@ -1,0 +1,56 @@
+"""Glossy radio constants — paper Table I.
+
+The values are those of the publicly available Glossy/LWB
+implementation [17] the paper measures: a CC2420-class 802.15.4 radio
+at 250 kbps.  All times are in **seconds** inside this package and
+converted explicitly at the boundary to the scheduler's milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GlossyConstants:
+    """Radio and protocol constants (paper Table I).
+
+    Attributes:
+        t_wakeup: ``T_wake-up`` — MCU wake-up before a slot [s].
+        t_start: ``T_start`` — radio start-up time [s].
+        t_d: ``T_d`` — per-hop radio delay [s].
+        l_cal: ``L_cal`` — clock-calibration message length [bytes].
+        l_header: ``L_header`` — protocol header length [bytes].
+        t_gap: ``T_gap`` — inter-slot processing gap [s].
+        bitrate: ``R_bit`` — radio bit rate [bit/s].
+        l_beacon: ``L_beacon`` — TTW beacon payload [bytes]
+          (round id + mode id + trigger bit fit in 3 bytes, Sec. V).
+        n_tx: ``N`` — retransmissions per node per flood; the paper
+          uses N = 2 (>99.9 % flood reliability [11]).
+    """
+
+    t_wakeup: float = 750e-6
+    t_start: float = 164e-6
+    t_d: float = 68e-6
+    l_cal: int = 3
+    l_header: int = 6
+    t_gap: float = 3e-3
+    bitrate: float = 250e3
+    l_beacon: int = 3
+    n_tx: int = 2
+
+    def __post_init__(self) -> None:
+        if self.bitrate <= 0:
+            raise ValueError("bitrate must be > 0")
+        if self.n_tx < 1:
+            raise ValueError("n_tx must be >= 1")
+        for field_name in ("t_wakeup", "t_start", "t_d", "t_gap"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be >= 0")
+        for field_name in ("l_cal", "l_header", "l_beacon"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be >= 0")
+
+
+#: The paper's Table I values.
+DEFAULT_CONSTANTS = GlossyConstants()

@@ -1,0 +1,89 @@
+"""Energy model: radio-on time and the benefit of rounds — paper Sec. V.
+
+The paper quantifies energy through radio-on time.  Rounds amortize one
+beacon over ``B`` message slots, whereas a design without rounds pays a
+beacon per message (eq. 20):
+
+    T_wo/r(l) = B * (T_slot(L_beacon) + T_slot(l))            (20)
+    E = (T_on_wo/r - T_on_r) / T_on_wo/r                      (Fig. 7)
+
+``E`` only involves the radio-ON portions (Fig. 5: the idle parts are
+spent with the radio off in both designs).
+"""
+
+from __future__ import annotations
+
+from .constants import DEFAULT_CONSTANTS, GlossyConstants
+from .slots import slot_on_time
+
+
+def rounds_on_time(
+    payload_bytes: int,
+    diameter: int,
+    num_slots: int,
+    constants: GlossyConstants = DEFAULT_CONSTANTS,
+) -> float:
+    """Radio-on time of one TTW round serving ``B`` messages [s].
+
+    One beacon flood plus ``B`` data floods.
+    """
+    if num_slots < 1:
+        raise ValueError("num_slots must be >= 1")
+    return slot_on_time(constants.l_beacon, diameter, constants) + num_slots * (
+        slot_on_time(payload_bytes, diameter, constants)
+    )
+
+
+def no_rounds_on_time(
+    payload_bytes: int,
+    diameter: int,
+    num_messages: int,
+    constants: GlossyConstants = DEFAULT_CONSTANTS,
+) -> float:
+    """Radio-on time to send ``B`` messages without rounds [s].
+
+    Paper eq. (20): each message transmission is preceded by its own
+    beacon (beacons are required to prevent collisions, Sec. II).
+    """
+    if num_messages < 1:
+        raise ValueError("num_messages must be >= 1")
+    per_message = slot_on_time(
+        constants.l_beacon, diameter, constants
+    ) + slot_on_time(payload_bytes, diameter, constants)
+    return num_messages * per_message
+
+
+def energy_saving(
+    payload_bytes: int,
+    diameter: int,
+    num_slots: int,
+    constants: GlossyConstants = DEFAULT_CONSTANTS,
+) -> float:
+    """Relative radio-on-time saving of rounds vs. per-message beacons.
+
+    ``E = (T_on_wo/r - T_on_r) / T_on_wo/r`` — the quantity plotted in
+    Fig. 7.  Grows with ``B`` (one beacon amortized over more slots) and
+    shrinks with payload size (the beacon overhead matters less).
+
+    Returns:
+        A fraction in [0, 1); e.g. 0.33 means 33 % radio-on time saved.
+    """
+    with_rounds = rounds_on_time(payload_bytes, diameter, num_slots, constants)
+    without = no_rounds_on_time(payload_bytes, diameter, num_slots, constants)
+    return (without - with_rounds) / without
+
+
+def energy_saving_limit(
+    payload_bytes: int,
+    diameter: int,
+    constants: GlossyConstants = DEFAULT_CONSTANTS,
+) -> float:
+    """Asymptotic saving as ``B -> inf``: the full beacon share.
+
+    ``E_inf = T_on(L_beacon) / (T_on(L_beacon) + T_on(l))`` — rounds
+    can at best remove all but one beacon, so the saving approaches the
+    beacon's share of the per-message cost.
+    """
+    beacon = slot_on_time(constants.l_beacon, diameter, constants)
+    data = slot_on_time(payload_bytes, diameter, constants)
+    return beacon / (beacon + data)

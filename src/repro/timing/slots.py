@@ -1,0 +1,148 @@
+"""Slot, flood, and round timing model — paper Sec. V, eqs. (14)-(19).
+
+A communication round consists of a beacon slot followed by ``B`` data
+slots.  Each slot runs one Glossy flood across the whole network; the
+flood duration depends only on the network diameter ``H``, the
+retransmission count ``N``, and the payload size ``l``:
+
+    T_flood = (H + 2N - 1) * T_hop                           (14)
+    T_hop   = T_d + (8 * (L_cal + L_header + l)) / R_bit     (15)-(16)
+    T_slot  = T_on + T_off                                   (17)-(18)
+    T_r(l)  = T_slot(L_beacon) + B * T_slot(l)               (19)
+
+All functions take/return **seconds**; use :func:`round_length_ms` at
+the scheduler boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .constants import DEFAULT_CONSTANTS, GlossyConstants
+
+
+def transmission_time(payload_bytes: float, bitrate: float) -> float:
+    """Paper eq. (16): time to transmit ``l`` bytes at ``R_bit``."""
+    if payload_bytes < 0:
+        raise ValueError("payload must be >= 0 bytes")
+    return 8.0 * payload_bytes / bitrate
+
+
+def hop_time(payload_bytes: int, constants: GlossyConstants = DEFAULT_CONSTANTS) -> float:
+    """Paper eq. (15): one protocol step (a one-hop transmission).
+
+    ``T_hop = T_d + T_cal + T_header + T_payload``.
+    """
+    return constants.t_d + transmission_time(
+        constants.l_cal + constants.l_header + payload_bytes, constants.bitrate
+    )
+
+
+def flood_time(
+    payload_bytes: int,
+    diameter: int,
+    constants: GlossyConstants = DEFAULT_CONSTANTS,
+) -> float:
+    """Paper eq. (14): total Glossy flood length ``(H + 2N - 1) * T_hop``.
+
+    Args:
+        payload_bytes: Application payload ``l``.
+        diameter: Network diameter ``H`` (max hop distance), >= 1.
+        constants: Radio constants (Table I).
+    """
+    if diameter < 1:
+        raise ValueError("network diameter must be >= 1")
+    steps = diameter + 2 * constants.n_tx - 1
+    return steps * hop_time(payload_bytes, constants)
+
+
+def slot_on_time(
+    payload_bytes: int,
+    diameter: int,
+    constants: GlossyConstants = DEFAULT_CONSTANTS,
+) -> float:
+    """Paper eq. (18): radio-on time of one slot.
+
+    ``T_on = T_start + (H + 2N - 1) * (T_d + 8(L_cal + L_header + l)/R_bit)``.
+    As in the paper's energy evaluation (Fig. 5 caption), the radio is
+    assumed on for the whole flood.
+    """
+    return constants.t_start + flood_time(payload_bytes, diameter, constants)
+
+
+def slot_off_time(constants: GlossyConstants = DEFAULT_CONSTANTS) -> float:
+    """Paper eq. (17): radio-off portion ``T_off = T_wake-up + T_gap``."""
+    return constants.t_wakeup + constants.t_gap
+
+
+def slot_time(
+    payload_bytes: int,
+    diameter: int,
+    constants: GlossyConstants = DEFAULT_CONSTANTS,
+) -> float:
+    """Full slot duration ``T_slot(l) = T_off + T_on(l)``."""
+    return slot_off_time(constants) + slot_on_time(payload_bytes, diameter, constants)
+
+
+@dataclass(frozen=True)
+class RoundTiming:
+    """Breakdown of one round's timing (all in seconds)."""
+
+    beacon_slot: float
+    data_slot: float
+    num_slots: int
+    total: float
+    radio_on: float
+    radio_off: float
+
+
+def round_timing(
+    payload_bytes: int,
+    diameter: int,
+    num_slots: int,
+    constants: GlossyConstants = DEFAULT_CONSTANTS,
+) -> RoundTiming:
+    """Complete timing breakdown of one TTW round (paper eq. 19).
+
+    Args:
+        payload_bytes: Data slot payload ``l``.
+        diameter: Network diameter ``H``.
+        num_slots: Data slots per round ``B``.
+        constants: Radio constants.
+    """
+    if num_slots < 0:
+        raise ValueError("num_slots must be >= 0")
+    beacon = slot_time(constants.l_beacon, diameter, constants)
+    data = slot_time(payload_bytes, diameter, constants)
+    on = slot_on_time(constants.l_beacon, diameter, constants) + num_slots * (
+        slot_on_time(payload_bytes, diameter, constants)
+    )
+    off = (1 + num_slots) * slot_off_time(constants)
+    return RoundTiming(
+        beacon_slot=beacon,
+        data_slot=data,
+        num_slots=num_slots,
+        total=beacon + num_slots * data,
+        radio_on=on,
+        radio_off=off,
+    )
+
+
+def round_length(
+    payload_bytes: int,
+    diameter: int,
+    num_slots: int,
+    constants: GlossyConstants = DEFAULT_CONSTANTS,
+) -> float:
+    """Paper eq. (19): ``T_r(l) = T_slot(L_beacon) + B * T_slot(l)`` [s]."""
+    return round_timing(payload_bytes, diameter, num_slots, constants).total
+
+
+def round_length_ms(
+    payload_bytes: int,
+    diameter: int,
+    num_slots: int,
+    constants: GlossyConstants = DEFAULT_CONSTANTS,
+) -> float:
+    """Round length in milliseconds — the scheduler's ``Tr`` input."""
+    return 1e3 * round_length(payload_bytes, diameter, num_slots, constants)

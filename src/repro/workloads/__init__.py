@@ -1,0 +1,19 @@
+"""Workloads: the paper's Fig. 3 control application, industrial-control
+presets, and random generators for scaling/fuzz experiments."""
+
+from .generator import GeneratorConfig, WorkloadGenerator
+from .presets import (
+    closed_loop_pipeline,
+    emergency_mode,
+    fig3_control_app,
+    industrial_mode,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "WorkloadGenerator",
+    "closed_loop_pipeline",
+    "emergency_mode",
+    "fig3_control_app",
+    "industrial_mode",
+]

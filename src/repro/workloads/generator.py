@@ -1,0 +1,115 @@
+"""Random workload generation for scaling experiments and fuzz tests.
+
+Generates applications with random task DAGs (layered, always valid:
+acyclic, every message has one producer and at least one consumer,
+producers on a single node), random mappings onto a node set, and
+multi-application modes with harmonic or arbitrary periods.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core.app_model import Application
+from ..core.modes import Mode
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs of the random application generator.
+
+    Attributes:
+        num_tasks: Tasks per application (>= 1).
+        num_nodes: Size of the node pool applications map onto.
+        period_choices: Candidate application periods (harmonic sets
+            keep hyperperiods small).
+        deadline_factor: Deadline as a fraction of the period, in
+            (0, 1].
+        wcet_range: Uniform WCET range.
+        fanout: Max consumers of a multicast message.
+        layers: Depth of the layered DAG; tasks are spread across
+            layers and messages connect consecutive layers.
+    """
+
+    num_tasks: int = 4
+    num_nodes: int = 5
+    period_choices: Sequence[float] = (20.0, 40.0, 80.0)
+    deadline_factor: float = 1.0
+    wcet_range: tuple = (0.5, 2.0)
+    fanout: int = 2
+    layers: int = 3
+
+    def __post_init__(self) -> None:
+        if self.num_tasks < 1:
+            raise ValueError("num_tasks must be >= 1")
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if not 0 < self.deadline_factor <= 1:
+            raise ValueError("deadline_factor must be in (0, 1]")
+
+
+class WorkloadGenerator:
+    """Seeded generator of random applications and modes."""
+
+    def __init__(self, config: Optional[GeneratorConfig] = None, seed: int = 1) -> None:
+        self.config = config or GeneratorConfig()
+        self._rng = random.Random(seed)
+
+    def application(self, name: str) -> Application:
+        """Generate one random, always-valid application."""
+        cfg = self.config
+        rng = self._rng
+        period = rng.choice(list(cfg.period_choices))
+        deadline = period * cfg.deadline_factor
+        app = Application(name, period=period, deadline=deadline)
+
+        # Spread tasks over layers; each layer gets at least one task.
+        num_layers = min(cfg.layers, cfg.num_tasks)
+        layer_of: List[int] = []
+        for i in range(cfg.num_tasks):
+            layer_of.append(i if i < num_layers else rng.randrange(num_layers))
+        tasks_by_layer: List[List[str]] = [[] for _ in range(num_layers)]
+        nodes = [f"n{i}" for i in range(cfg.num_nodes)]
+        for i in range(cfg.num_tasks):
+            task_name = f"{name}_t{i}"
+            wcet = rng.uniform(*cfg.wcet_range)
+            app.add_task(task_name, node=rng.choice(nodes), wcet=wcet)
+            tasks_by_layer[layer_of[i]].append(task_name)
+
+        # Connect consecutive layers with messages.  Each producer in
+        # layer L sends one (possibly multicast) message to tasks in
+        # layer L+1; every layer-(L+1) task gets at least one input.
+        msg_index = 0
+        for layer in range(num_layers - 1):
+            producers = tasks_by_layer[layer]
+            consumers = tasks_by_layer[layer + 1]
+            if not producers or not consumers:
+                continue
+            unfed = set(consumers)
+            for producer in producers:
+                msg_name = f"{name}_m{msg_index}"
+                msg_index += 1
+                app.add_message(msg_name)
+                app.connect(producer, msg_name)
+                count = rng.randint(1, min(cfg.fanout, len(consumers)))
+                targets = rng.sample(consumers, count)
+                for target in targets:
+                    app.connect(msg_name, target)
+                    unfed.discard(target)
+            # Feed any leftover consumer from a random producer.
+            for target in sorted(unfed):
+                msg_name = f"{name}_m{msg_index}"
+                msg_index += 1
+                app.add_message(msg_name)
+                app.connect(rng.choice(producers), msg_name)
+                app.connect(msg_name, target)
+
+        app.validate()
+        return app
+
+    def mode(self, name: str, num_apps: int) -> Mode:
+        """Generate a mode of ``num_apps`` random applications."""
+        apps = [self.application(f"{name}_a{i}") for i in range(num_apps)]
+        return Mode(name, apps)

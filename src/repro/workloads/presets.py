@@ -1,0 +1,100 @@
+"""Reference workloads, including the paper's Fig. 3 control application.
+
+Fig. 3: execution starts with two sensor readings (tau1, tau2), both
+received by the controller (tau3) via messages m1, m2; actuation values
+are computed, multicast to the actuators via m3, and applied by tau5
+and tau6.  (The paper's figure labels the receiving tasks tau4/tau5/tau6
+inconsistently across text and figure; we use sense1, sense2, control,
+act1, act2.)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.app_model import Application, linear_pipeline
+from ..core.modes import Mode
+
+
+def fig3_control_app(
+    name: str = "ctrl",
+    period: float = 100.0,
+    deadline: float = 100.0,
+    sense_wcet: float = 2.0,
+    control_wcet: float = 5.0,
+    act_wcet: float = 1.0,
+    nodes: tuple = ("sensor1", "sensor2", "controller", "actuator1", "actuator2"),
+) -> Application:
+    """The paper's Fig. 3 example: 2 sensors -> controller -> 2 actuators.
+
+    ``m3`` is a multicast message (one message vertex with two consumer
+    tasks), exactly as the paper's precedence graph models it.
+    """
+    if len(nodes) != 5:
+        raise ValueError("fig3_control_app needs 5 node names")
+    app = Application(name, period=period, deadline=deadline)
+    app.add_task(f"{name}_sense1", node=nodes[0], wcet=sense_wcet)
+    app.add_task(f"{name}_sense2", node=nodes[1], wcet=sense_wcet)
+    app.add_task(f"{name}_control", node=nodes[2], wcet=control_wcet)
+    app.add_task(f"{name}_act1", node=nodes[3], wcet=act_wcet)
+    app.add_task(f"{name}_act2", node=nodes[4], wcet=act_wcet)
+    app.add_message(f"{name}_m1")
+    app.add_message(f"{name}_m2")
+    app.add_message(f"{name}_m3")
+    app.connect(f"{name}_sense1", f"{name}_m1")
+    app.connect(f"{name}_sense2", f"{name}_m2")
+    app.connect(f"{name}_m1", f"{name}_control")
+    app.connect(f"{name}_m2", f"{name}_control")
+    app.connect(f"{name}_control", f"{name}_m3")
+    app.connect(f"{name}_m3", f"{name}_act1")
+    app.connect(f"{name}_m3", f"{name}_act2")
+    return app
+
+
+def closed_loop_pipeline(
+    name: str = "loop",
+    period: float = 50.0,
+    deadline: float = 50.0,
+    num_hops: int = 2,
+    wcet: float = 1.0,
+) -> Application:
+    """A sense -> process^k -> actuate pipeline on distinct nodes.
+
+    Models the 10-500 ms distributed closed-loop control systems the
+    paper's introduction targets.
+    """
+    stages = [(f"{name}_node{i}", wcet) for i in range(num_hops + 1)]
+    return linear_pipeline(name, period=period, deadline=deadline, stages=stages)
+
+
+def industrial_mode(
+    num_loops: int = 3,
+    base_period: float = 100.0,
+    name: str = "normal",
+) -> Mode:
+    """A multi-application industrial control mode.
+
+    ``num_loops`` independent control pipelines with harmonic periods
+    (p, 2p, 4p, ...) on disjoint node sets — typical of process-control
+    deployments with several concurrent loops.
+    """
+    apps: List[Application] = []
+    for i in range(num_loops):
+        period = base_period * (2 ** min(i, 2))
+        apps.append(
+            closed_loop_pipeline(
+                name=f"loop{i}",
+                period=period,
+                deadline=period,
+                num_hops=2,
+            )
+        )
+    return Mode(name, apps)
+
+
+def emergency_mode(name: str = "emergency", period: float = 50.0) -> Mode:
+    """A fast single-loop emergency mode (for mode-change scenarios)."""
+    app = closed_loop_pipeline(
+        name="em", period=period, deadline=period, num_hops=1
+    )
+    return Mode(name, [app])

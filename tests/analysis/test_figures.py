@@ -1,0 +1,79 @@
+"""Tests of the figure data generators (shape checks vs. the paper)."""
+
+import pytest
+
+from repro.analysis import (
+    fig6_round_length,
+    fig7_energy_savings,
+    latency_vs_drp,
+)
+from repro.workloads import closed_loop_pipeline, fig3_control_app
+
+
+class TestFig6:
+    def test_default_grid_dimensions(self):
+        data = fig6_round_length()
+        assert data.diameters == (1, 2, 3, 4, 5, 6, 7, 8)
+        assert data.slots == tuple(range(1, 11))
+        assert data.payload_bytes == 10
+
+    def test_spotlight_value(self):
+        """Paper: ~50 ms for H=4, B=5, l=10 B."""
+        data = fig6_round_length()
+        assert data.grid[4][5] == pytest.approx(50.0, rel=0.02)
+
+    def test_monotone_in_both_axes(self):
+        data = fig6_round_length()
+        for h in data.diameters:
+            series = data.series(h)
+            assert series == sorted(series)
+        for b in data.slots:
+            column = [data.grid[h][b] for h in data.diameters]
+            assert column == sorted(column)
+
+    def test_custom_grid(self):
+        data = fig6_round_length(payload_bytes=32, diameters=[2], slots=[3])
+        assert set(data.grid) == {2}
+        assert set(data.grid[2]) == {3}
+
+
+class TestFig7:
+    def test_default_series(self):
+        data = fig7_energy_savings()
+        assert data.diameter == 4
+        assert data.payloads == (8, 16, 32, 64, 128)
+        assert all(len(s) == 30 for s in data.series.values())
+
+    def test_savings_ordering_by_payload(self):
+        """Lighter payloads save more (Fig. 7's color gradient)."""
+        data = fig7_energy_savings()
+        at_b10 = [data.series[l][9] for l in data.payloads]
+        assert at_b10 == sorted(at_b10, reverse=True)
+
+    def test_paper_band_at_10_bytes(self):
+        data = fig7_energy_savings(payloads=(10,))
+        series = data.series[10]
+        # B = 5 .. 30 -> 33%-40% (paper abstract).
+        band = series[4:]
+        assert min(band) >= 0.32
+        assert max(band) <= 0.40
+
+
+class TestLatencyComparison:
+    def test_speedup_structure(self):
+        app = fig3_control_app(period=400, deadline=400)
+        cmp = latency_vs_drp(app, round_length=50.0)
+        # DRP pays one extra Tr per message hop on the longest chain
+        # (2 hops): drp = ttw + 2 * Tr.
+        assert cmp.drp_bound == pytest.approx(cmp.ttw_bound + 2 * 50.0)
+        assert cmp.speedup > 1.5
+
+    def test_exact_values(self):
+        app = closed_loop_pipeline("p", period=500, deadline=500,
+                                   num_hops=2, wcet=1.0)
+        cmp = latency_vs_drp(app, round_length=50.0)
+        # TTW: 3*1 + 2*50 = 103; DRP: 3*1 + 2*100 = 203.
+        assert cmp.ttw_bound == pytest.approx(103.0)
+        assert cmp.drp_bound == pytest.approx(203.0)
+        assert cmp.drp_guarantee == pytest.approx(203.0)
+        assert cmp.speedup == pytest.approx(203.0 / 103.0)

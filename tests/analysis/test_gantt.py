@@ -1,0 +1,84 @@
+"""Tests of the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.analysis import render_gantt, render_round_table
+from repro.core import Mode, synthesize
+
+
+@pytest.fixture
+def scheduled(simple_mode, tight_config):
+    return simple_mode, synthesize(simple_mode, tight_config)
+
+
+class TestRenderGantt:
+    def test_contains_all_lanes(self, scheduled):
+        mode, sched = scheduled
+        chart = render_gantt(mode, sched)
+        lines = chart.splitlines()
+        assert any(line.startswith("net") for line in lines)
+        assert any(line.startswith("n1") for line in lines)
+        assert any(line.startswith("n2") for line in lines)
+
+    def test_round_marker_present(self, scheduled):
+        mode, sched = scheduled
+        chart = render_gantt(mode, sched)
+        net_line = next(l for l in chart.splitlines() if l.startswith("net"))
+        assert "R" in net_line
+
+    def test_task_markers_present(self, scheduled):
+        mode, sched = scheduled
+        chart = render_gantt(mode, sched)
+        lanes = [l for l in chart.splitlines() if l.startswith("n")]
+        assert any(c not in "|. " for lane in lanes for c in lane[4:])
+
+    def test_width_respected(self, scheduled):
+        mode, sched = scheduled
+        chart = render_gantt(mode, sched, width=40)
+        for line in chart.splitlines()[1:]:
+            content = line[line.index("|") + 1 : line.rindex("|")]
+            assert len(content) == 40
+
+    def test_ruler_endpoints(self, scheduled):
+        mode, sched = scheduled
+        ruler = render_gantt(mode, sched).splitlines()[0]
+        assert "0" in ruler
+        assert "20" in ruler  # the hyperperiod
+
+    def test_periodic_instances_repeat(self, tight_config):
+        from repro.workloads import closed_loop_pipeline
+
+        fast = closed_loop_pipeline("f", period=10, deadline=10, num_hops=1)
+        slow = closed_loop_pipeline("s", period=20, deadline=20, num_hops=1)
+        mode = Mode("m", [fast, slow])
+        sched = synthesize(mode, tight_config)
+        chart = render_gantt(mode, sched, width=60)
+        # The fast task appears twice in the hyperperiod: its marker
+        # must appear in two separate runs on its lane.
+        lane = next(
+            l for l in chart.splitlines() if l.startswith("f_node0")
+        )
+        content = lane[lane.index("|") + 1:]
+        runs = [run for run in content.replace("|", "").split(".") if run]
+        assert len(runs) >= 2
+
+    def test_min_width(self, scheduled):
+        mode, sched = scheduled
+        with pytest.raises(ValueError):
+            render_gantt(mode, sched, width=5)
+
+
+class TestRoundTable:
+    def test_table_lists_rounds(self, scheduled):
+        _, sched = scheduled
+        table = render_round_table(sched)
+        lines = table.splitlines()
+        assert len(lines) == 1 + sched.num_rounds
+        assert "simple_m" in table
+
+    def test_empty_round_marked(self, scheduled):
+        _, sched = scheduled
+        from repro.core import RoundSchedule
+
+        sched.rounds.append(RoundSchedule(start=15.0, messages=[]))
+        assert "(empty)" in render_round_table(sched)

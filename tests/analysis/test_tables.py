@@ -1,0 +1,53 @@
+"""Tests of the table emitters and ASCII formatting."""
+
+from repro.analysis import format_series, format_table, table1_rows, table2_rows
+from repro.core import SchedulingConfig
+
+
+class TestTable1:
+    def test_matches_paper_values(self):
+        rows = dict(table1_rows())
+        assert rows["T_wake-up"] == "750 us"
+        assert rows["T_start"] == "164 us"
+        assert rows["T_d"] == "68 us"
+        assert rows["L_cal"] == "3 B"
+        assert rows["L_header"] == "6 B"
+        assert rows["T_gap"] == "3 ms"
+        assert rows["R_bit"] == "250 kbps"
+
+    def test_row_count(self):
+        assert len(table1_rows()) == 7
+
+
+class TestTable2:
+    def test_constants_reflected(self):
+        config = SchedulingConfig(round_length=1.0, slots_per_round=5,
+                                  max_round_gap=30.0)
+        rows = {r[0]: r for r in table2_rows(config, hyperperiod=40.0)}
+        assert rows["Tr"][2] == "1"
+        assert rows["B"][2] == "5"
+        assert rows["Tmax"][2] == "30.0"
+        assert "400" in rows["MM"][2]  # 10 * LCM
+
+    def test_custom_big_m(self):
+        config = SchedulingConfig(round_length=1.0, big_m=77.0)
+        rows = {r[0]: r for r in table2_rows(config, hyperperiod=40.0)}
+        assert rows["MM"][2] == "77"
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "2.50" in lines[2]
+        assert "0.25" in lines[3]
+
+    def test_format_table_custom_float_fmt(self):
+        text = format_table(["x"], [[0.123456]], float_fmt="{:.4f}")
+        assert "0.1235" in text
+
+    def test_format_series(self):
+        text = format_series("E", [1, 2], [0.1, 0.2])
+        assert text.startswith("E:")
+        assert "(1, 0.1)" in text

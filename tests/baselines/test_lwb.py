@@ -1,0 +1,87 @@
+"""Tests of the plain-LWB baseline (bandwidth-driven periodic rounds)."""
+
+import pytest
+
+from repro.baselines import LwbScheduler
+from repro.core import Application, Mode
+from repro.workloads import closed_loop_pipeline
+
+
+def two_message_mode(period=20.0):
+    app = closed_loop_pipeline("p", period=period, deadline=period, num_hops=2)
+    return Mode("m", [app])
+
+
+class TestPlan:
+    def test_demand_counting(self):
+        mode = two_message_mode()
+        scheduler = LwbScheduler(round_length=1.0, slots_per_round=5)
+        # 2 messages, 1 instance each per hyperperiod.
+        assert scheduler.demand_per_hyperperiod(mode) == 2
+
+    def test_demand_with_mixed_periods(self):
+        fast = closed_loop_pipeline("f", period=10, deadline=10, num_hops=1)
+        slow = closed_loop_pipeline("s", period=20, deadline=20, num_hops=1)
+        mode = Mode("m", [fast, slow])
+        scheduler = LwbScheduler(round_length=1.0, slots_per_round=5)
+        # hyperperiod 20: fast_m x2 + slow_m x1 = 3.
+        assert scheduler.demand_per_hyperperiod(mode) == 3
+
+    def test_plan_minimal_rounds(self):
+        mode = two_message_mode()
+        scheduler = LwbScheduler(round_length=1.0, slots_per_round=5)
+        plan = scheduler.plan(mode)
+        assert plan.rounds_per_hyperperiod == 1
+        assert plan.utilization == pytest.approx(2 / 5)
+
+    def test_plan_capacity_split(self):
+        mode = two_message_mode()
+        scheduler = LwbScheduler(round_length=1.0, slots_per_round=1)
+        plan = scheduler.plan(mode)
+        assert plan.rounds_per_hyperperiod == 2
+        assert plan.round_period == pytest.approx(10.0)
+        assert plan.utilization == pytest.approx(1.0)
+
+    def test_overload_rejected(self):
+        app = closed_loop_pipeline("p", period=3.0, deadline=3.0, num_hops=2)
+        mode = Mode("m", [app])
+        scheduler = LwbScheduler(round_length=2.0, slots_per_round=1)
+        with pytest.raises(ValueError, match="fit"):
+            scheduler.plan(mode)
+
+    def test_task_only_mode(self):
+        app = Application("a", period=10, deadline=10)
+        app.add_task("t", node="n1", wcet=1)
+        mode = Mode("m", [app])
+        scheduler = LwbScheduler(round_length=1.0, slots_per_round=5)
+        plan = scheduler.plan(mode)
+        assert plan.rounds_per_hyperperiod == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LwbScheduler(round_length=0, slots_per_round=5)
+        with pytest.raises(ValueError):
+            LwbScheduler(round_length=1.0, slots_per_round=0)
+
+
+class TestLatencyDistribution:
+    def test_distribution_spreads_over_phases(self):
+        mode = two_message_mode(period=40.0)
+        app = mode.applications[0]
+        scheduler = LwbScheduler(round_length=1.0, slots_per_round=5)
+        plan = scheduler.plan(mode)
+        latencies = scheduler.latency_distribution(app, plan, phase_samples=32)
+        assert len(latencies) == 32
+        assert max(latencies) > min(latencies)
+
+    def test_no_timing_guarantee_without_co_scheduling(self):
+        """LWB's achieved worst case exceeds TTW's optimum — the gap the
+        paper's co-scheduling closes."""
+        from repro.core import latency_lower_bound
+
+        mode = two_message_mode(period=40.0)
+        app = mode.applications[0]
+        scheduler = LwbScheduler(round_length=2.0, slots_per_round=5)
+        plan = scheduler.plan(mode)
+        latencies = scheduler.latency_distribution(app, plan, phase_samples=64)
+        assert max(latencies) > latency_lower_bound(app, 2.0) + 1e-6

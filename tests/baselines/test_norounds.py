@@ -1,0 +1,61 @@
+"""Tests of the no-rounds design comparison (eq. 20, Fig. 7)."""
+
+import pytest
+
+from repro.baselines import compare_energy, latency_without_rounds, savings_series, simulate_energy
+from repro.net import diameter_line
+from repro.timing import energy_saving, slot_time
+
+
+class TestCompareEnergy:
+    def test_matches_energy_saving(self):
+        cmp = compare_energy(payload_bytes=10, diameter=4, num_messages=5)
+        assert cmp.saving == pytest.approx(energy_saving(10, 4, 5))
+
+    def test_rounds_always_cheaper_beyond_one_message(self):
+        for b in range(2, 20):
+            cmp = compare_energy(10, 4, b)
+            assert cmp.with_rounds < cmp.without_rounds
+
+    def test_single_message_equal(self):
+        cmp = compare_energy(10, 4, 1)
+        assert cmp.with_rounds == pytest.approx(cmp.without_rounds)
+
+
+class TestSimulatedCrossCheck:
+    def test_simulation_matches_model_closely(self):
+        """Flood-level simulation must reproduce the closed-form saving
+        (same flood lengths, same per-slot start-up)."""
+        topo = diameter_line(4)
+        sim = simulate_energy(topo, payload_bytes=10, num_messages=5)
+        model = compare_energy(10, 4, 5)
+        assert sim.saving == pytest.approx(model.saving, abs=0.02)
+
+    def test_simulated_diameter_recorded(self):
+        topo = diameter_line(3)
+        sim = simulate_energy(topo, payload_bytes=16, num_messages=3)
+        assert sim.diameter == 3
+
+
+class TestSavingsSeries:
+    def test_series_monotone(self):
+        series = savings_series(10, 4, list(range(1, 31)))
+        assert series == sorted(series)
+        assert series[0] == pytest.approx(0.0)
+
+    def test_paper_band(self):
+        series = savings_series(10, 4, [5, 10, 20, 30])
+        assert all(0.32 <= s <= 0.40 for s in series)
+
+
+class TestLatencyWithoutRounds:
+    def test_composition(self):
+        expected = slot_time(3, 4) + slot_time(10, 4)
+        assert latency_without_rounds(10, 4) == pytest.approx(expected)
+
+    def test_smaller_than_full_round(self):
+        """A single message is faster without a round (no other slots),
+        which is exactly why energy, not latency, motivates rounds."""
+        from repro.timing import round_length
+
+        assert latency_without_rounds(10, 4) < round_length(10, 4, 5)

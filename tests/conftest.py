@@ -1,0 +1,59 @@
+"""Shared fixtures: reference applications, modes, and configs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Application, Mode, SchedulingConfig
+from repro.workloads import fig3_control_app
+
+
+@pytest.fixture
+def simple_app() -> Application:
+    """One sense -> m -> actuate pipeline, period 20, deadline 20."""
+    app = Application("simple", period=20, deadline=20)
+    app.add_task("simple_s", node="n1", wcet=1)
+    app.add_task("simple_a", node="n2", wcet=1)
+    app.add_message("simple_m")
+    app.connect("simple_s", "simple_m")
+    app.connect("simple_m", "simple_a")
+    return app
+
+
+@pytest.fixture
+def fig3_app() -> Application:
+    """The paper's Fig. 3 control application."""
+    return fig3_control_app(period=100, deadline=100)
+
+
+@pytest.fixture
+def diamond_app() -> Application:
+    """Two parallel sensor chains joining in one controller (Fig. 3 shape)."""
+    app = Application("diamond", period=40, deadline=40)
+    app.add_task("d_s1", node="n1", wcet=1)
+    app.add_task("d_s2", node="n2", wcet=1)
+    app.add_task("d_c", node="n3", wcet=2)
+    app.add_message("d_m1")
+    app.add_message("d_m2")
+    app.connect("d_s1", "d_m1")
+    app.connect("d_s2", "d_m2")
+    app.connect("d_m1", "d_c")
+    app.connect("d_m2", "d_c")
+    return app
+
+
+@pytest.fixture
+def simple_mode(simple_app) -> Mode:
+    return Mode("m_simple", [simple_app], mode_id=0)
+
+
+@pytest.fixture
+def unit_config() -> SchedulingConfig:
+    """The paper's Table II setting: Tr = 1 unit, B = 5, Tmax = 30."""
+    return SchedulingConfig(round_length=1.0, slots_per_round=5, max_round_gap=30.0)
+
+
+@pytest.fixture
+def tight_config() -> SchedulingConfig:
+    """Small rounds, no gap bound — for fast synthesis tests."""
+    return SchedulingConfig(round_length=1.0, slots_per_round=5, max_round_gap=None)

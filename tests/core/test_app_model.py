@@ -1,0 +1,197 @@
+"""Unit tests for the application model (tasks, messages, DAGs, chains)."""
+
+import pytest
+
+from repro.core import Application, ModelError, linear_pipeline
+
+
+class TestApplicationConstruction:
+    def test_period_must_be_positive(self):
+        with pytest.raises(ModelError):
+            Application("a", period=0, deadline=1)
+
+    def test_deadline_bounds(self):
+        with pytest.raises(ModelError):
+            Application("a", period=10, deadline=0)
+        with pytest.raises(ModelError):
+            Application("a", period=10, deadline=11)
+        Application("a", period=10, deadline=10)  # d == p is legal
+
+    def test_add_task_sets_period(self):
+        app = Application("a", period=10, deadline=10)
+        task = app.add_task("t", node="n1", wcet=1)
+        assert task.period == 10
+
+    def test_wcet_must_be_positive(self):
+        app = Application("a", period=10, deadline=10)
+        with pytest.raises(ModelError):
+            app.add_task("t", node="n1", wcet=0)
+
+    def test_duplicate_names_rejected(self):
+        app = Application("a", period=10, deadline=10)
+        app.add_task("x", node="n1", wcet=1)
+        with pytest.raises(ModelError):
+            app.add_task("x", node="n2", wcet=1)
+        with pytest.raises(ModelError):
+            app.add_message("x")
+
+    def test_connect_task_to_task_rejected(self):
+        app = Application("a", period=10, deadline=10)
+        app.add_task("t1", node="n1", wcet=1)
+        app.add_task("t2", node="n2", wcet=1)
+        with pytest.raises(ModelError):
+            app.connect("t1", "t2")
+
+    def test_connect_unknown_rejected(self):
+        app = Application("a", period=10, deadline=10)
+        app.add_task("t1", node="n1", wcet=1)
+        with pytest.raises(ModelError):
+            app.connect("t1", "ghost")
+
+    def test_duplicate_edge_rejected(self):
+        app = Application("a", period=10, deadline=10)
+        app.add_task("t1", node="n1", wcet=1)
+        app.add_message("m")
+        app.connect("t1", "m")
+        with pytest.raises(ModelError):
+            app.connect("t1", "m")
+
+
+class TestValidation:
+    def test_message_without_producer(self):
+        app = Application("a", period=10, deadline=10)
+        app.add_task("t", node="n1", wcet=1)
+        app.add_message("m")
+        app.connect("m", "t")
+        with pytest.raises(ModelError, match="no preceding task"):
+            app.validate()
+
+    def test_message_without_consumer(self):
+        app = Application("a", period=10, deadline=10)
+        app.add_task("t", node="n1", wcet=1)
+        app.add_message("m")
+        app.connect("t", "m")
+        with pytest.raises(ModelError, match="no consumer"):
+            app.validate()
+
+    def test_producers_must_share_node(self):
+        app = Application("a", period=10, deadline=10)
+        app.add_task("t1", node="n1", wcet=1)
+        app.add_task("t2", node="n2", wcet=1)
+        app.add_task("t3", node="n3", wcet=1)
+        app.add_message("m")
+        app.connect("t1", "m")
+        app.connect("t2", "m")
+        app.connect("m", "t3")
+        with pytest.raises(ModelError, match="same node"):
+            app.validate()
+
+    def test_cycle_detected(self):
+        app = Application("a", period=10, deadline=10)
+        app.add_task("t1", node="n1", wcet=1)
+        app.add_task("t2", node="n1", wcet=1)
+        app.add_message("m1")
+        app.add_message("m2")
+        app.connect("t1", "m1")
+        app.connect("m1", "t2")
+        app.connect("t2", "m2")
+        app.connect("m2", "t1")
+        with pytest.raises(ModelError, match="cycle"):
+            app.validate()
+
+    def test_no_tasks_rejected(self):
+        app = Application("a", period=10, deadline=10)
+        with pytest.raises(ModelError, match="no tasks"):
+            app.validate()
+
+    def test_valid_app_passes(self, simple_app):
+        simple_app.validate()
+
+
+class TestChains:
+    def test_single_chain(self, simple_app):
+        chains = simple_app.chains()
+        assert len(chains) == 1
+        assert chains[0].elements == ("simple_s", "simple_m", "simple_a")
+        assert chains[0].tasks == ("simple_s", "simple_a")
+        assert chains[0].messages == ("simple_m",)
+
+    def test_fig3_chains(self, fig3_app):
+        chains = fig3_app.chains()
+        # 2 sensors x 2 actuators = 4 source-to-sink paths.
+        assert len(chains) == 4
+        for chain in chains:
+            assert chain.first_task in ("ctrl_sense1", "ctrl_sense2")
+            assert chain.last_task in ("ctrl_act1", "ctrl_act2")
+            assert len(chain.elements) == 5
+
+    def test_diamond_chains(self, diamond_app):
+        chains = diamond_app.chains()
+        assert len(chains) == 2
+        assert {c.first_task for c in chains} == {"d_s1", "d_s2"}
+        assert all(c.last_task == "d_c" for c in chains)
+
+    def test_isolated_task_is_its_own_chain(self):
+        app = Application("a", period=10, deadline=10)
+        app.add_task("solo", node="n1", wcet=1)
+        chains = app.chains()
+        assert len(chains) == 1
+        assert chains[0].elements == ("solo",)
+        assert chains[0].messages == ()
+
+    def test_chain_len_and_iter(self, simple_app):
+        chain = simple_app.chains()[0]
+        assert len(chain) == 3
+        assert list(chain) == ["simple_s", "simple_m", "simple_a"]
+
+
+class TestStructureQueries:
+    def test_source_and_sink_tasks(self, fig3_app):
+        assert set(fig3_app.source_tasks()) == {"ctrl_sense1", "ctrl_sense2"}
+        assert set(fig3_app.sink_tasks()) == {"ctrl_act1", "ctrl_act2"}
+
+    def test_successors_predecessors(self, simple_app):
+        assert simple_app.successors("simple_s") == ["simple_m"]
+        assert simple_app.successors("simple_m") == ["simple_a"]
+        assert simple_app.predecessors("simple_a") == ["simple_m"]
+        assert simple_app.predecessors("simple_m") == ["simple_s"]
+
+    def test_unknown_element_queries(self, simple_app):
+        with pytest.raises(ModelError):
+            simple_app.successors("ghost")
+        with pytest.raises(ModelError):
+            simple_app.predecessors("ghost")
+
+    def test_sender_node(self, simple_app):
+        assert simple_app.sender_node("simple_m") == "n1"
+
+    def test_nodes_sorted_unique(self, fig3_app):
+        nodes = fig3_app.nodes()
+        assert nodes == sorted(set(nodes))
+        assert len(nodes) == 5
+
+    def test_multicast_consumers(self, fig3_app):
+        consumers = fig3_app.msg_consumers["ctrl_m3"]
+        assert set(consumers) == {"ctrl_act1", "ctrl_act2"}
+
+
+class TestLinearPipeline:
+    def test_basic_pipeline(self):
+        app = linear_pipeline(
+            "p", period=30, deadline=25, stages=[("n1", 1), ("n2", 2), ("n3", 1)]
+        )
+        app.validate()
+        assert len(app.tasks) == 3
+        assert len(app.messages) == 2
+        chains = app.chains()
+        assert len(chains) == 1
+        assert len(chains[0].messages) == 2
+
+    def test_single_stage(self):
+        app = linear_pipeline("p", period=10, deadline=10, stages=[("n1", 1)])
+        assert len(app.messages) == 0
+        app.validate()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            linear_pipeline("p", period=10, deadline=10, stages=[])

@@ -1,0 +1,121 @@
+"""Tests of the latency analysis (eq. 13, eq. 47/48, the 2x claim)."""
+
+import pytest
+
+from repro.core import (
+    Application,
+    Mode,
+    SchedulingConfig,
+    application_latency,
+    chain_latency,
+    drp_latency_bound,
+    latency_lower_bound,
+    synthesize,
+    ttw_vs_drp_speedup,
+)
+from repro.workloads import closed_loop_pipeline, fig3_control_app
+
+
+class TestLowerBound:
+    def test_single_hop(self, simple_app):
+        # wcet 1 + Tr + wcet 1
+        assert latency_lower_bound(simple_app, round_length=1.0) == pytest.approx(3.0)
+
+    def test_scales_with_round_length(self, simple_app):
+        assert latency_lower_bound(simple_app, 50.0) == pytest.approx(52.0)
+
+    def test_fig3_bound(self, fig3_app):
+        # Longest chain: sense (2) + Tr + control (5) + Tr + act (1).
+        assert latency_lower_bound(fig3_app, 10.0) == pytest.approx(28.0)
+
+    def test_task_only_app(self):
+        app = Application("a", period=10, deadline=10)
+        app.add_task("t", node="n1", wcet=4)
+        assert latency_lower_bound(app, 1.0) == pytest.approx(4.0)
+
+
+class TestDrpBound:
+    def test_single_hop_doubles_comm(self, simple_app):
+        assert drp_latency_bound(simple_app, 1.0) == pytest.approx(4.0)
+
+    def test_speedup_approaches_two(self):
+        # Communication-dominated chain: tiny WCETs, many hops.
+        app = closed_loop_pipeline("p", period=1000, deadline=1000,
+                                   num_hops=4, wcet=0.01)
+        speedup = ttw_vs_drp_speedup(app, round_length=10.0)
+        assert speedup == pytest.approx(2.0, abs=0.01)
+
+    def test_speedup_at_least_one(self, fig3_app):
+        assert ttw_vs_drp_speedup(fig3_app, 5.0) >= 1.0
+
+    def test_computation_dominated_speedup_small(self):
+        app = closed_loop_pipeline("p", period=1000, deadline=1000,
+                                   num_hops=1, wcet=100.0)
+        speedup = ttw_vs_drp_speedup(app, round_length=1.0)
+        assert speedup < 1.01
+
+
+class TestChainLatency:
+    def test_manual_computation(self, simple_app):
+        offsets = {"simple_s": 2.0, "simple_a": 7.0}
+        sigma = {("simple_s", "simple_m"): 0, ("simple_m", "simple_a"): 0}
+        chain = simple_app.chains()[0]
+        # last.o + last.e - first.o = 7 + 1 - 2
+        assert chain_latency(simple_app, chain, offsets, sigma) == pytest.approx(6.0)
+
+    def test_sigma_wrap_adds_period(self, simple_app):
+        offsets = {"simple_s": 18.0, "simple_a": 2.0}
+        sigma = {("simple_s", "simple_m"): 1, ("simple_m", "simple_a"): 0}
+        chain = simple_app.chains()[0]
+        # 2 + 1 - 18 + 20 = 5
+        assert chain_latency(simple_app, chain, offsets, sigma) == pytest.approx(5.0)
+
+    def test_application_latency_is_max(self, diamond_app):
+        offsets = {"d_s1": 0.0, "d_s2": 5.0, "d_c": 10.0}
+        sigma = {
+            ("d_s1", "d_m1"): 0,
+            ("d_m1", "d_c"): 0,
+            ("d_s2", "d_m2"): 0,
+            ("d_m2", "d_c"): 0,
+        }
+        # Chain 1: 10 + 2 - 0 = 12; chain 2: 10 + 2 - 5 = 7.
+        assert application_latency(diamond_app, offsets, sigma) == pytest.approx(12.0)
+
+
+class TestSynthesizedLatencyOptimality:
+    """The ILP objective should reach the eq. (13) bound whenever the
+    round placement allows it (single app, no contention)."""
+
+    @pytest.mark.parametrize("hops", [1, 2, 3])
+    def test_pipeline_reaches_bound(self, hops):
+        app = closed_loop_pipeline("p", period=50, deadline=50,
+                                   num_hops=hops, wcet=1.0)
+        mode = Mode("m", [app])
+        config = SchedulingConfig(round_length=2.0, slots_per_round=5,
+                                  max_round_gap=None)
+        sched = synthesize(mode, config)
+        bound = latency_lower_bound(app, 2.0)
+        assert sched.app_latencies[app.name] == pytest.approx(bound, abs=1e-4)
+
+    def test_fig3_reaches_bound(self):
+        app = fig3_control_app(period=50, deadline=50, sense_wcet=1,
+                               control_wcet=2, act_wcet=1)
+        mode = Mode("m", [app])
+        config = SchedulingConfig(round_length=2.0, slots_per_round=5,
+                                  max_round_gap=None)
+        sched = synthesize(mode, config)
+        bound = latency_lower_bound(app, 2.0)
+        assert sched.app_latencies[app.name] == pytest.approx(bound, abs=1e-4)
+
+    def test_measured_at_least_two_times_better_than_drp(self):
+        """The paper's headline claim on a synthesized schedule."""
+        app = closed_loop_pipeline("p", period=400, deadline=400,
+                                   num_hops=3, wcet=0.5)
+        mode = Mode("m", [app])
+        tr = 50.0  # a realistic Tr from Fig. 6
+        config = SchedulingConfig(round_length=tr, slots_per_round=5,
+                                  max_round_gap=None)
+        sched = synthesize(mode, config)
+        ttw = sched.app_latencies[app.name]
+        drp = drp_latency_bound(app, tr)
+        assert drp / ttw >= 1.9

@@ -1,0 +1,128 @@
+"""Unit tests for modes, hyperperiods, and the mode graph."""
+
+import pytest
+
+from repro.core import Application, Mode, ModeGraph, ModelError, lcm_times
+
+
+def make_app(name, period, node_prefix="n"):
+    app = Application(name, period=period, deadline=period)
+    app.add_task(f"{name}_t1", node=f"{node_prefix}1", wcet=1)
+    app.add_task(f"{name}_t2", node=f"{node_prefix}2", wcet=1)
+    app.add_message(f"{name}_m")
+    app.connect(f"{name}_t1", f"{name}_m")
+    app.connect(f"{name}_m", f"{name}_t2")
+    return app
+
+
+class TestLcmTimes:
+    def test_integers(self):
+        assert lcm_times([10, 15]) == 30.0
+
+    def test_fractional(self):
+        assert lcm_times([2.5, 10.0]) == 10.0
+
+    def test_single(self):
+        assert lcm_times([7]) == 7.0
+
+    def test_harmonic(self):
+        assert lcm_times([20, 40, 80]) == 80.0
+
+    def test_decimal_inputs(self):
+        assert lcm_times([0.1, 0.25]) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            lcm_times([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            lcm_times([10, 0])
+
+
+class TestMode:
+    def test_hyperperiod(self):
+        mode = Mode("m", [make_app("a", 20), make_app("b", 30)])
+        assert mode.hyperperiod == 60.0
+
+    def test_empty_mode_rejected(self):
+        with pytest.raises(ModelError):
+            Mode("m", [])
+
+    def test_duplicate_app_names_rejected(self):
+        with pytest.raises(ModelError):
+            Mode("m", [make_app("a", 20), make_app("a", 20)])
+
+    def test_nodes_union(self):
+        mode = Mode("m", [make_app("a", 20, "x"), make_app("b", 20, "y")])
+        assert mode.nodes() == ["x1", "x2", "y1", "y2"]
+
+    def test_iterate_tasks_and_messages(self):
+        mode = Mode("m", [make_app("a", 20), make_app("b", 40)])
+        tasks = list(mode.tasks())
+        messages = list(mode.messages())
+        assert len(tasks) == 4
+        assert len(messages) == 2
+
+    def test_shared_element_period_mismatch_rejected(self):
+        a = make_app("a", 20)
+        b = Application("b", period=40, deadline=40)
+        b.add_task("a_t1", node="n1", wcet=1)  # same name as in app a
+        with pytest.raises(ModelError, match="different periods"):
+            Mode("m", [a, b])
+
+    def test_validate_propagates(self):
+        app = Application("bad", period=10, deadline=10)
+        app.add_task("t", node="n1", wcet=1)
+        app.add_message("m")
+        app.connect("t", "m")  # no consumer
+        mode = Mode("m", [app])
+        with pytest.raises(ModelError):
+            mode.validate()
+
+
+class TestModeGraph:
+    def test_ids_assigned_sequentially(self):
+        graph = ModeGraph()
+        m0 = graph.add_mode(Mode("a", [make_app("x", 20)]))
+        m1 = graph.add_mode(Mode("b", [make_app("y", 20)]))
+        assert (m0.mode_id, m1.mode_id) == (0, 1)
+        assert graph.mode_by_id(1) is m1
+
+    def test_duplicate_mode_rejected(self):
+        graph = ModeGraph()
+        graph.add_mode(Mode("a", [make_app("x", 20)]))
+        with pytest.raises(ModelError):
+            graph.add_mode(Mode("a", [make_app("y", 20)]))
+
+    def test_disjointness_enforced(self):
+        graph = ModeGraph()
+        shared = make_app("x", 20)
+        graph.add_mode(Mode("a", [shared]))
+        with pytest.raises(ModelError, match="disjoint"):
+            graph.add_mode(Mode("b", [shared]))
+
+    def test_duplicate_explicit_id_rejected(self):
+        graph = ModeGraph()
+        graph.add_mode(Mode("a", [make_app("x", 20)], mode_id=5))
+        with pytest.raises(ModelError, match="duplicate mode id"):
+            graph.add_mode(Mode("b", [make_app("y", 20)], mode_id=5))
+
+    def test_transitions(self):
+        graph = ModeGraph()
+        graph.add_mode(Mode("a", [make_app("x", 20)]))
+        graph.add_mode(Mode("b", [make_app("y", 20)]))
+        graph.add_transition("a", "b")
+        assert graph.can_switch("a", "b")
+        assert not graph.can_switch("b", "a")
+
+    def test_unknown_transition_rejected(self):
+        graph = ModeGraph()
+        graph.add_mode(Mode("a", [make_app("x", 20)]))
+        with pytest.raises(ModelError):
+            graph.add_transition("a", "ghost")
+
+    def test_len(self):
+        graph = ModeGraph()
+        graph.add_mode(Mode("a", [make_app("x", 20)]))
+        assert len(graph) == 1

@@ -1,0 +1,232 @@
+"""Tests of the arrival/demand/service functions (paper eqs. 1-12, Fig. 4).
+
+Includes a direct reconstruction of the paper's Fig. 4 scenario and
+hypothesis property tests on the counting functions.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import arrival_count, demand_count, leftover_instances
+from repro.core.netcalc import ServiceCurve, check_message_service
+
+
+class TestArrivalCount:
+    def test_at_offset(self):
+        # One instance is released exactly at the offset.
+        assert arrival_count(5.0, offset=5.0, period=10.0) == 1
+
+    def test_just_before_offset(self):
+        assert arrival_count(4.9, offset=5.0, period=10.0) == 0
+
+    def test_second_release(self):
+        assert arrival_count(15.0, offset=5.0, period=10.0) == 2
+
+    def test_clamped_at_zero(self):
+        assert arrival_count(-100.0, offset=5.0, period=10.0) == 0
+
+    def test_zero_offset(self):
+        assert arrival_count(0.0, offset=0.0, period=10.0) == 1
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        t=st.floats(0, 1000),
+        offset=st.floats(0, 50),
+        period=st.floats(1, 100),
+    )
+    def test_monotone_nondecreasing(self, t, offset, period):
+        a1 = arrival_count(t, offset, period)
+        a2 = arrival_count(t + 1.0, offset, period)
+        assert a2 >= a1 >= 0
+
+
+class TestDemandCount:
+    def test_deadline_passed(self):
+        # offset 0, deadline 3: demand registers strictly after t=3
+        # (paper eq. 3: df(o+d) = ceil(0) = 0).
+        assert demand_count(3.0, offset=0.0, deadline=3.0, period=10.0) == 0
+        assert demand_count(3.1, offset=0.0, deadline=3.0, period=10.0) == 1
+        assert demand_count(2.9, offset=0.0, deadline=3.0, period=10.0) == 0
+
+    def test_leftover_negative_at_zero(self):
+        # o + d > p -> df(0) = -1 (the paper's leftover case).
+        assert demand_count(0.0, offset=8.0, deadline=5.0, period=10.0) == -1
+
+    def test_no_leftover_at_zero(self):
+        assert demand_count(0.0, offset=2.0, deadline=5.0, period=10.0) == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        t=st.floats(0, 1000),
+        offset=st.floats(0, 50),
+        deadline=st.floats(0.5, 50),
+        period=st.floats(1, 100),
+    )
+    def test_demand_below_arrival(self, t, offset, deadline, period):
+        # An instance's deadline can only pass after it arrived.
+        assert demand_count(t, offset, deadline, period) <= arrival_count(
+            t, offset, period
+        )
+
+
+class TestLeftover:
+    def test_no_leftover(self):
+        assert leftover_instances(offset=2.0, deadline=5.0, period=10.0) == 0
+
+    def test_leftover(self):
+        assert leftover_instances(offset=8.0, deadline=5.0, period=10.0) == 1
+
+    def test_boundary_exact(self):
+        # o + d == p -> deadline lands exactly at the period end: no carry.
+        assert leftover_instances(offset=5.0, deadline=5.0, period=10.0) == 0
+
+
+class TestServiceCurve:
+    def test_counts_completed_rounds(self):
+        curve = ServiceCurve(round_ends=(2.0, 5.0, 9.0))
+        assert curve.served(1.0) == 0
+        assert curve.served(2.0) == 1
+        assert curve.served(6.0) == 2
+        assert curve.served(100.0) == 3
+
+    def test_leftover_shifts_count(self):
+        curve = ServiceCurve(round_ends=(2.0, 5.0), leftover=1)
+        assert curve.served(3.0) == 0
+        assert curve.served(6.0) == 1
+
+
+class TestCheckMessageService:
+    """Reconstructions of the paper's Fig. 4 scenario.
+
+    Message m_i with period LCM/3 (3 instances per hyperperiod),
+    allocated rounds r1, r2, r4 of five rounds; allocating r3 instead of
+    r2 violates (C2); allocating r5 instead of r1 is valid with
+    leftover accounting.
+    """
+
+    # Concretization: hyperperiod 30, period 10, Tr = 1.
+    # Rounds r1..r5 start at 1, 8, 12, 18, 27.
+    HP = 30.0
+    P = 10.0
+    TR = 1.0
+    ROUNDS = {1: 1.0, 2: 8.0, 3: 12.0, 4: 18.0, 5: 27.0}
+
+    def test_valid_allocation_r1_r2_r4(self):
+        # Fig. 4's depicted situation has o + d > p, so the round r1
+        # serves the instance released at the end of the *previous*
+        # hyperperiod (r0.Bi = 1).  Releases: 6, 16, 26; absolute
+        # deadlines: 13, 23, 33 (i.e. 3 of the next hyperperiod).
+        problems = check_message_service(
+            offset=6.0,
+            deadline=7.0,
+            period=self.P,
+            hyperperiod=self.HP,
+            allocated_round_starts=[self.ROUNDS[1], self.ROUNDS[2], self.ROUNDS[4]],
+            round_length=self.TR,
+            leftover=1,
+        )
+        assert problems == []
+
+    def test_r3_instead_of_r2_violates_deadline(self):
+        # Tighter deadline so r3 (ends 13) misses instance 1's deadline
+        # window relative to release 0... instance 0 released at 0 with
+        # deadline 9 must be served by a round completing before 9; r1
+        # serves it.  Instance 1 (release 10, deadline 19) served by r3
+        # (ends 13) is fine; so instead tighten to deadline 2.5:
+        problems = check_message_service(
+            offset=0.0,
+            deadline=2.5,
+            period=self.P,
+            hyperperiod=self.HP,
+            allocated_round_starts=[self.ROUNDS[1], self.ROUNDS[3], self.ROUNDS[4]],
+            round_length=self.TR,
+        )
+        assert any("(C2)" in p for p in problems)
+
+    def test_round_before_release_violates_c1(self):
+        # Instance 1 releases at 10 but its serving round starts at 8.
+        problems = check_message_service(
+            offset=0.0,
+            deadline=10.0,
+            period=self.P,
+            hyperperiod=self.HP,
+            allocated_round_starts=[1.0, 8.0, 8.5],
+            round_length=self.TR,
+        )
+        assert any("(C1)" in p for p in problems)
+
+    def test_wrong_allocation_count(self):
+        problems = check_message_service(
+            offset=0.0,
+            deadline=10.0,
+            period=self.P,
+            hyperperiod=self.HP,
+            allocated_round_starts=[1.0, 12.0],
+            round_length=self.TR,
+        )
+        assert any("(C4.4)" in p for p in problems)
+
+    def test_leftover_wraparound_valid(self):
+        # offset 8, deadline 5 -> o+d > p: the instance released at 28
+        # is served by the *first* round of the (next) hyperperiod.
+        # Allocation: rounds at 1 (serves the wrapped instance), 12, 22.
+        problems = check_message_service(
+            offset=8.0,
+            deadline=5.0,
+            period=self.P,
+            hyperperiod=self.HP,
+            allocated_round_starts=[1.0, 12.0, 22.0],
+            round_length=self.TR,
+            leftover=1,
+        )
+        assert problems == []
+
+    def test_non_multiple_hyperperiod_reported(self):
+        problems = check_message_service(
+            offset=0.0,
+            deadline=5.0,
+            period=7.0,
+            hyperperiod=30.0,
+            allocated_round_starts=[1.0],
+            round_length=self.TR,
+        )
+        assert any("not a multiple" in p for p in problems)
+
+
+class TestServiceProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(1, 4),
+        offset=st.floats(0, 5),
+        deadline=st.floats(2, 10),
+        data=st.data(),
+    )
+    def test_evenly_spread_rounds_near_release_are_valid(
+        self, n, offset, deadline, data
+    ):
+        """Rounds placed right after each release always satisfy C1/C2."""
+        period = 10.0
+        hyperperiod = n * period
+        tr = 1.0
+        # Keep o + d <= p (no leftover) and d large enough for the
+        # round (start + 0.01, length 1) to finish inside the window.
+        deadline = min(deadline, period - offset)
+        if deadline < tr + 0.02:
+            return
+        starts = [offset + k * period + 0.01 for k in range(n)]
+        if starts[-1] + tr > hyperperiod:
+            return  # round would cross the hyperperiod boundary
+        assert leftover_instances(offset, deadline, period) == 0
+        problems = check_message_service(
+            offset=offset,
+            deadline=deadline,
+            period=period,
+            hyperperiod=hyperperiod,
+            allocated_round_starts=starts,
+            round_length=tr,
+            leftover=0,
+        )
+        assert problems == []

@@ -1,0 +1,91 @@
+"""Tests of the schedule container types and configuration validation."""
+
+import pytest
+
+from repro.core import (
+    IterationStats,
+    ModeSchedule,
+    RoundSchedule,
+    SchedulingConfig,
+    SynthesisStats,
+)
+
+
+class TestSchedulingConfig:
+    def test_defaults_match_paper_table2(self):
+        config = SchedulingConfig()
+        assert config.round_length == 1.0
+        assert config.slots_per_round == 5
+        assert config.max_round_gap == 30.0
+        assert config.mm == pytest.approx(1e-4)
+        assert config.big_m is None  # resolved to 10 * LCM at build time
+
+    def test_invalid_round_length(self):
+        with pytest.raises(ValueError):
+            SchedulingConfig(round_length=0)
+
+    def test_invalid_slots(self):
+        with pytest.raises(ValueError):
+            SchedulingConfig(slots_per_round=0)
+
+    def test_gap_must_cover_round(self):
+        with pytest.raises(ValueError):
+            SchedulingConfig(round_length=5.0, max_round_gap=4.0)
+
+    def test_gap_none_allowed(self):
+        SchedulingConfig(round_length=5.0, max_round_gap=None)
+
+    def test_frozen(self):
+        config = SchedulingConfig()
+        with pytest.raises(AttributeError):
+            config.round_length = 2.0
+
+
+class TestRoundSchedule:
+    def test_num_allocated(self):
+        rnd = RoundSchedule(start=1.0, messages=["a", "b"])
+        assert rnd.num_allocated == 2
+
+    def test_empty_round(self):
+        assert RoundSchedule(start=0.0).num_allocated == 0
+
+
+class TestModeSchedule:
+    def make(self):
+        return ModeSchedule(
+            mode_name="m",
+            hyperperiod=20.0,
+            config=SchedulingConfig(max_round_gap=None),
+            rounds=[
+                RoundSchedule(start=1.0, messages=["x", "y"]),
+                RoundSchedule(start=5.0, messages=["x"]),
+            ],
+        )
+
+    def test_num_rounds(self):
+        assert self.make().num_rounds == 2
+
+    def test_rounds_for_message(self):
+        sched = self.make()
+        assert sched.rounds_for_message("x") == [1.0, 5.0]
+        assert sched.rounds_for_message("y") == [1.0]
+        assert sched.rounds_for_message("ghost") == []
+
+    def test_slot_table(self):
+        table = self.make().slot_table()
+        assert table == [(1.0, ("x", "y")), (5.0, ("x",))]
+
+
+class TestStats:
+    def test_final_rounds(self):
+        stats = SynthesisStats(mode_name="m")
+        stats.iterations.append(
+            IterationStats(num_rounds=0, feasible=False, solve_time=0.1,
+                           num_vars=5, num_constraints=7)
+        )
+        assert stats.final_rounds is None
+        stats.iterations.append(
+            IterationStats(num_rounds=1, feasible=True, solve_time=0.2,
+                           num_vars=9, num_constraints=12, objective=3.0)
+        )
+        assert stats.final_rounds == 1

@@ -1,0 +1,123 @@
+"""Tests of slack/sensitivity analysis.
+
+The central soundness property: growing a task's WCET by *less* than
+its reported slack keeps the schedule valid (per the independent
+verifier); growing it well beyond must break it.
+"""
+
+import copy
+
+import pytest
+
+from repro.core import (
+    Application,
+    Mode,
+    SchedulingConfig,
+    analyze_sensitivity,
+    synthesize,
+    verify_schedule,
+)
+from repro.workloads import fig3_control_app
+
+
+@pytest.fixture
+def fig3_mode():
+    app = fig3_control_app(period=20, deadline=18, sense_wcet=1,
+                           control_wcet=2, act_wcet=1)
+    return Mode("m", [app], mode_id=0)
+
+
+@pytest.fixture
+def schedule(fig3_mode, unit_config):
+    return synthesize(fig3_mode, unit_config)
+
+
+class TestReportShape:
+    def test_covers_all_tasks_and_chains(self, fig3_mode, schedule):
+        report = analyze_sensitivity(fig3_mode, schedule)
+        app = fig3_mode.applications[0]
+        assert set(report.task_wcet_slack) == set(app.tasks)
+        assert len(report.chain_slack) == len(app.chains())
+        assert set(report.message_slack) == set(app.messages)
+
+    def test_slacks_nonnegative_for_valid_schedule(self, fig3_mode, schedule):
+        report = analyze_sensitivity(fig3_mode, schedule)
+        assert all(v >= 0 for v in report.task_wcet_slack.values())
+        assert all(v >= -1e-6 for v in report.chain_slack.values())
+        assert all(v >= -1e-6 for v in report.message_slack.values())
+
+    def test_bottlenecks_identified(self, fig3_mode, schedule):
+        report = analyze_sensitivity(fig3_mode, schedule)
+        assert report.bottleneck_task in schedule.task_offsets
+        assert report.bottleneck_chain in report.chain_slack
+        assert report.min_task_slack == min(report.task_wcet_slack.values())
+
+
+class TestSlackSoundness:
+    def grow_and_verify(self, mode, schedule, task_name, delta):
+        """Grow one task's WCET and re-verify with fixed offsets."""
+        grown = copy.deepcopy(mode)
+        for app in grown.applications:
+            if task_name in app.tasks:
+                app.tasks[task_name].wcet += delta
+        return verify_schedule(grown, schedule)
+
+    def test_growth_within_slack_stays_valid(self, fig3_mode, schedule):
+        report = analyze_sensitivity(fig3_mode, schedule)
+        for task_name, slack in report.task_wcet_slack.items():
+            if slack <= 1e-6:
+                continue
+            result = self.grow_and_verify(
+                fig3_mode, schedule, task_name, 0.9 * slack
+            )
+            assert result.ok, (
+                f"{task_name}: growth within slack broke the schedule: "
+                f"{result.violations}"
+            )
+
+    def test_growth_beyond_slack_breaks(self, fig3_mode, schedule):
+        report = analyze_sensitivity(fig3_mode, schedule)
+        # The bottleneck task with finite slack must break when grown
+        # clearly past its slack.
+        task_name = report.bottleneck_task
+        slack = report.task_wcet_slack[task_name]
+        result = self.grow_and_verify(
+            fig3_mode, schedule, task_name, slack + 1.0
+        )
+        assert not result.ok
+
+    def test_chain_slack_matches_latency(self, fig3_mode, schedule):
+        report = analyze_sensitivity(fig3_mode, schedule)
+        app = fig3_mode.applications[0]
+        worst = min(report.chain_slack.values())
+        achieved = schedule.app_latencies[app.name]
+        assert worst == pytest.approx(app.deadline - achieved, abs=1e-6)
+
+
+class TestTightSchedules:
+    def test_zero_slack_at_exact_deadline(self, tight_config):
+        # Chain needs exactly 1 + Tr + 1 = 3; deadline 3 -> zero slack.
+        app = Application("a", period=20, deadline=3.0)
+        app.add_task("s", node="n1", wcet=1)
+        app.add_task("t", node="n2", wcet=1)
+        app.add_message("m")
+        app.connect("s", "m")
+        app.connect("m", "t")
+        mode = Mode("m", [app])
+        sched = synthesize(mode, tight_config)
+        report = analyze_sensitivity(mode, sched)
+        assert min(report.chain_slack.values()) == pytest.approx(0.0, abs=1e-6)
+        # The terminal task has (almost) no WCET slack.
+        assert report.task_wcet_slack["t"] == pytest.approx(0.0, abs=1e-6)
+
+    def test_busy_node_limits_slack(self, tight_config):
+        app = Application("a", period=10, deadline=10)
+        app.add_task("t1", node="shared", wcet=4)
+        app.add_task("t2", node="shared", wcet=4)
+        mode = Mode("m", [app])
+        sched = synthesize(mode, tight_config)
+        report = analyze_sensitivity(mode, sched)
+        # 8 of 10 units are used; total growth capacity is 2 split
+        # across the gaps around the two instances.
+        total = sum(report.task_wcet_slack.values())
+        assert total <= 2.0 + 1e-6

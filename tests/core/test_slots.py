@@ -1,0 +1,105 @@
+"""Tests of explicit slot assignment within rounds."""
+
+import pytest
+
+from repro.core import (
+    Mode,
+    SchedulingConfig,
+    assign_slots,
+    early_sleep_saving,
+    slot_tables_per_node,
+    synthesize,
+)
+from repro.workloads import fig3_control_app
+
+
+@pytest.fixture
+def scheduled_fig3(unit_config):
+    app = fig3_control_app(period=20, deadline=20, sense_wcet=1,
+                           control_wcet=2, act_wcet=1)
+    mode = Mode("m", [app])
+    return mode, synthesize(mode, unit_config)
+
+
+class TestAssignSlots:
+    def test_one_plan_per_round(self, scheduled_fig3):
+        mode, sched = scheduled_fig3
+        plans = assign_slots(mode, sched)
+        assert len(plans) == sched.num_rounds
+
+    def test_slots_contiguous_from_zero(self, scheduled_fig3):
+        mode, sched = scheduled_fig3
+        for plan in assign_slots(mode, sched):
+            indices = [i for i, _ in plan.slots]
+            assert indices == list(range(len(indices)))
+
+    def test_all_messages_assigned(self, scheduled_fig3):
+        mode, sched = scheduled_fig3
+        plans = assign_slots(mode, sched)
+        assigned = sorted(m for plan in plans for _, m in plan.slots)
+        scheduled = sorted(m for r in sched.rounds for m in r.messages)
+        assert assigned == scheduled
+
+    def test_deadline_monotone_within_round(self, scheduled_fig3):
+        mode, sched = scheduled_fig3
+        app = mode.applications[0]
+        abs_deadline = {
+            m: sched.message_offsets[m] + sched.message_deadlines[m]
+            for m in app.messages
+        }
+        for plan in assign_slots(mode, sched):
+            deadlines = [abs_deadline[m] for _, m in plan.slots]
+            assert deadlines == sorted(deadlines)
+
+    def test_free_slots_counted(self, scheduled_fig3):
+        mode, sched = scheduled_fig3
+        for plan in assign_slots(mode, sched):
+            assert plan.free_slots == (
+                sched.config.slots_per_round - len(plan.slots)
+            )
+            assert plan.free_slots >= 0
+
+
+class TestEarlySleepSaving:
+    def test_saving_counts_free_slots(self, scheduled_fig3):
+        mode, sched = scheduled_fig3
+        plans = assign_slots(mode, sched)
+        total_free = sum(p.free_slots for p in plans)
+        saving = early_sleep_saving(plans, slot_on_time_s=0.01, capacity=5)
+        assert saving == pytest.approx(total_free * 0.01)
+
+    def test_fully_packed_round_saves_nothing(self):
+        from repro.core.schedule import ModeSchedule, RoundSchedule
+        from repro.core.slots import SlotPlan
+
+        plans = [SlotPlan(0, 0.0, tuple((i, f"m{i}") for i in range(5)), 0)]
+        assert early_sleep_saving(plans, 0.01, capacity=5) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            early_sleep_saving([], slot_on_time_s=-1.0, capacity=5)
+        with pytest.raises(ValueError):
+            early_sleep_saving([], slot_on_time_s=1.0, capacity=0)
+
+
+class TestPerNodeTables:
+    def test_tables_cover_senders_only(self, scheduled_fig3):
+        mode, sched = scheduled_fig3
+        plans = assign_slots(mode, sched)
+        tables = slot_tables_per_node(mode, plans)
+        # Senders in Fig. 3: the two sensors and the controller.
+        assert set(tables) == {"sensor1", "sensor2", "controller"}
+
+    def test_entries_match_plans(self, scheduled_fig3):
+        mode, sched = scheduled_fig3
+        plans = assign_slots(mode, sched)
+        tables = slot_tables_per_node(mode, plans)
+        flattened = sorted(
+            entry for entries in tables.values() for entry in entries
+        )
+        expected = sorted(
+            (plan.round_index, slot, message)
+            for plan in plans
+            for slot, message in plan.slots
+        )
+        assert flattened == expected

@@ -1,0 +1,83 @@
+"""Fuzz test: random corruptions of valid schedules must be caught.
+
+Complements the targeted corruption tests in ``test_verify.py`` with a
+hypothesis-driven version: take a valid synthesized schedule, apply a
+random *meaningful* mutation (large enough to actually break a
+constraint), and require the verifier to flag it.
+"""
+
+import copy
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Mode, SchedulingConfig, synthesize, verify_schedule
+from repro.workloads import fig3_control_app
+
+
+def make_schedule():
+    app = fig3_control_app(period=20, deadline=20, sense_wcet=1,
+                           control_wcet=2, act_wcet=1)
+    mode = Mode("m", [app])
+    config = SchedulingConfig(round_length=1.0, slots_per_round=5,
+                              max_round_gap=None)
+    return mode, synthesize(mode, config)
+
+
+MODE, SCHEDULE = make_schedule()
+
+MUTATIONS = [
+    "shift_task_late",
+    "shift_message_early",
+    "shrink_message_deadline",
+    "move_round_out",
+    "drop_allocation",
+    "duplicate_allocation",
+]
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    mutation=st.sampled_from(MUTATIONS),
+    which=st.integers(0, 10),
+    magnitude=st.floats(5.0, 15.0),
+)
+def test_random_corruption_is_flagged(mutation, which, magnitude):
+    schedule = copy.deepcopy(SCHEDULE)
+
+    if mutation == "shift_task_late":
+        name = sorted(schedule.task_offsets)[which % len(schedule.task_offsets)]
+        schedule.task_offsets[name] += magnitude + 25.0  # beyond the period
+    elif mutation == "shift_message_early":
+        name = sorted(schedule.message_offsets)[
+            which % len(schedule.message_offsets)
+        ]
+        schedule.message_offsets[name] = -magnitude
+    elif mutation == "shrink_message_deadline":
+        name = sorted(schedule.message_deadlines)[
+            which % len(schedule.message_deadlines)
+        ]
+        schedule.message_deadlines[name] = 0.01  # < Tr: unservable
+    elif mutation == "move_round_out":
+        idx = which % len(schedule.rounds)
+        schedule.rounds[idx].start = schedule.hyperperiod + magnitude
+    elif mutation == "drop_allocation":
+        for rnd in schedule.rounds:
+            if rnd.messages:
+                rnd.messages.pop(which % len(rnd.messages))
+                break
+    elif mutation == "duplicate_allocation":
+        target = sorted(schedule.message_offsets)[0]
+        schedule.rounds[which % len(schedule.rounds)].messages.append(target)
+
+    report = verify_schedule(MODE, schedule)
+    assert not report.ok, f"corruption {mutation!r} went undetected"
+
+
+def test_unmutated_baseline_is_valid():
+    assert verify_schedule(MODE, SCHEDULE).ok

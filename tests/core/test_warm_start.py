@@ -1,0 +1,84 @@
+"""Tests of the demand-bound warm start for Algorithm 1."""
+
+import pytest
+
+from repro.core import (
+    Mode,
+    SchedulingConfig,
+    demand_round_bound,
+    synthesize,
+    verify_schedule,
+)
+from repro.workloads import closed_loop_pipeline, fig3_control_app
+
+
+def many_message_mode(num_apps=4, period=40.0):
+    apps = [
+        closed_loop_pipeline(f"p{i}", period=period, deadline=period,
+                             num_hops=2)
+        for i in range(num_apps)
+    ]
+    return Mode("m", apps)
+
+
+class TestDemandBound:
+    def test_counts_instances(self):
+        mode = many_message_mode(num_apps=3)  # 6 messages, 1 inst each
+        config = SchedulingConfig(round_length=1.0, slots_per_round=5,
+                                  max_round_gap=None)
+        assert demand_round_bound(mode, config) == 2  # ceil(6/5)
+
+    def test_respects_capacity(self):
+        mode = many_message_mode(num_apps=2)  # 4 messages
+        config = SchedulingConfig(round_length=1.0, slots_per_round=1,
+                                  max_round_gap=None)
+        assert demand_round_bound(mode, config) == 4
+
+    def test_counts_multiple_instances(self):
+        fast = closed_loop_pipeline("f", period=10, deadline=10, num_hops=1)
+        slow = closed_loop_pipeline("s", period=20, deadline=20, num_hops=1)
+        mode = Mode("m", [fast, slow])
+        config = SchedulingConfig(round_length=1.0, slots_per_round=1,
+                                  max_round_gap=None)
+        # hyperperiod 20: f_m x2 + s_m x1 = 3 slots.
+        assert demand_round_bound(mode, config) == 3
+
+
+class TestWarmStart:
+    def test_same_result_with_fewer_iterations(self):
+        mode = many_message_mode(num_apps=4)
+        config = SchedulingConfig(round_length=1.0, slots_per_round=2,
+                                  max_round_gap=None)
+        cold = synthesize(mode, config)
+        warm = synthesize(mode, config, warm_start=True)
+        assert warm.num_rounds == cold.num_rounds
+        assert warm.total_latency == pytest.approx(cold.total_latency, abs=1e-4)
+        assert len(warm.solve_stats.iterations) < len(
+            cold.solve_stats.iterations
+        )
+        assert verify_schedule(mode, warm).ok
+
+    def test_warm_start_first_iteration_at_bound(self):
+        mode = many_message_mode(num_apps=4)
+        config = SchedulingConfig(round_length=1.0, slots_per_round=2,
+                                  max_round_gap=None)
+        warm = synthesize(mode, config, warm_start=True)
+        bound = demand_round_bound(mode, config)
+        assert warm.solve_stats.iterations[0].num_rounds == bound
+
+    def test_warm_start_task_only_mode(self, tight_config):
+        from repro.core import Application
+
+        app = Application("a", period=10, deadline=10)
+        app.add_task("t", node="n1", wcet=1)
+        mode = Mode("m", [app])
+        sched = synthesize(mode, tight_config, warm_start=True)
+        assert sched.num_rounds == 0
+
+    def test_fig3_warm_equals_cold(self, unit_config):
+        app = fig3_control_app(period=20, deadline=20, sense_wcet=1,
+                               control_wcet=2, act_wcet=1)
+        mode = Mode("m", [app])
+        cold = synthesize(mode, unit_config)
+        warm = synthesize(mode, unit_config, warm_start=True)
+        assert warm.num_rounds == cold.num_rounds

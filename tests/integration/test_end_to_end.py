@@ -1,0 +1,141 @@
+"""End-to-end integration: timing model -> synthesis -> deployment ->
+runtime execution, on realistic parameters.
+
+This is the full TTW pipeline a deployment would run: dimension ``Tr``
+from the radio model and topology, synthesize mode schedules with
+Algorithm 1, verify, compile deployment tables, and execute over a
+lossy network with a mode change — checking the paper's properties
+(collision freedom, delivery, end-to-end latency, energy benefit) on
+the way.
+"""
+
+import pytest
+
+from repro.baselines import compare_energy
+from repro.core import (
+    Mode,
+    SchedulingConfig,
+    latency_lower_bound,
+    synthesize,
+    verify_schedule,
+)
+from repro.net import GlossySimulator, diameter_line
+from repro.runtime import (
+    BernoulliLoss,
+    ModeRequest,
+    RadioTiming,
+    RuntimeSimulator,
+    build_deployment,
+)
+from repro.timing import round_length_ms
+from repro.workloads import closed_loop_pipeline, fig3_control_app
+
+
+@pytest.fixture(scope="module")
+def system():
+    """A two-mode system dimensioned from the radio model (H=4, B=5)."""
+    tr = round_length_ms(payload_bytes=10, diameter=4, num_slots=5)
+    config = SchedulingConfig(round_length=tr, slots_per_round=5,
+                              max_round_gap=None)
+
+    normal = Mode(
+        "normal",
+        [
+            fig3_control_app(period=400, deadline=400, sense_wcet=2,
+                             control_wcet=5, act_wcet=1),
+            closed_loop_pipeline("aux", period=800, deadline=800,
+                                 num_hops=1, wcet=2.0),
+        ],
+        mode_id=0,
+    )
+    emergency = Mode(
+        "emergency",
+        [closed_loop_pipeline("em", period=200, deadline=200,
+                              num_hops=1, wcet=1.0)],
+        mode_id=1,
+    )
+    schedules = {
+        0: synthesize(normal, config),
+        1: synthesize(emergency, config),
+    }
+    deployments = {
+        mode_id: build_deployment(mode, schedules[mode_id], mode_id)
+        for mode_id, mode in ((0, normal), (1, emergency))
+    }
+    return {
+        "tr": tr,
+        "config": config,
+        "modes": {0: normal, 1: emergency},
+        "schedules": schedules,
+        "deployments": deployments,
+    }
+
+
+class TestPipeline:
+    def test_tr_close_to_paper_spotlight(self, system):
+        assert system["tr"] == pytest.approx(50.0, rel=0.02)
+
+    def test_all_schedules_verify(self, system):
+        for mode_id, mode in system["modes"].items():
+            report = verify_schedule(mode, system["schedules"][mode_id])
+            assert report.ok, report.violations
+
+    def test_latency_optimal_for_fig3(self, system):
+        sched = system["schedules"][0]
+        app = system["modes"][0].applications[0]
+        bound = latency_lower_bound(app, system["tr"])
+        assert sched.app_latencies[app.name] == pytest.approx(bound, abs=1e-3)
+
+    def test_perfect_execution(self, system):
+        sim = RuntimeSimulator(
+            system["modes"], system["deployments"], initial_mode=0
+        )
+        trace = sim.run(4000.0)
+        assert trace.collision_free
+        assert trace.delivery_rate() == 1.0
+        assert trace.chain_success_rate() == 1.0
+
+    def test_execution_with_loss_and_mode_change(self, system):
+        sim = RuntimeSimulator(
+            system["modes"],
+            system["deployments"],
+            initial_mode=0,
+            loss=BernoulliLoss(beacon_loss=0.05, data_loss=0.05, seed=17),
+            radio=RadioTiming(payload_bytes=10, diameter=4),
+        )
+        trace = sim.run(
+            8000.0, mode_requests=[ModeRequest(1500.0, 1), ModeRequest(5000.0, 0)]
+        )
+        assert trace.collision_free  # the paper's safety claim
+        assert trace.delivery_rate() > 0.8
+        assert len(trace.mode_switches) == 2
+        assert trace.total_radio_on() > 0
+
+    def test_measured_latency_matches_analysis(self, system):
+        sim = RuntimeSimulator(
+            system["modes"], system["deployments"], initial_mode=0
+        )
+        trace = sim.run(4000.0)
+        fig3_latencies = [
+            c.latency for c in trace.chains
+            if c.app == "ctrl" and c.latency is not None
+        ]
+        sched = system["schedules"][0]
+        assert fig3_latencies
+        assert max(fig3_latencies) <= sched.app_latencies["ctrl"] + 1e-6
+
+    def test_energy_benefit_of_rounds_on_this_system(self, system):
+        """The deployment's round sizing gives the paper's saving."""
+        cmp = compare_energy(payload_bytes=10, diameter=4, num_messages=5)
+        assert cmp.saving == pytest.approx(0.33, abs=0.02)
+
+    def test_glossy_substrate_consistency(self, system):
+        """The flood simulator agrees with the timing model used to
+        dimension Tr."""
+        topo = diameter_line(4)
+        sim = GlossySimulator(topo)
+        flood = sim.flood(topo.host, payload_bytes=10)
+        from repro.timing import flood_time
+
+        assert flood.duration == pytest.approx(flood_time(10, 4))
+        assert flood.delivered_to_all(topo.nodes)

@@ -1,0 +1,83 @@
+"""Stress test: randomized multi-mode systems under loss and repeated
+mode switches.
+
+For a batch of seeds: build 2-3 modes of random pipeline applications,
+synthesize (skipping infeasible draws), then run long simulations with
+random loss and several mode requests.  Invariants checked on every
+draw:
+
+* every synthesized schedule passes the independent verifier;
+* the runtime is collision-free throughout;
+* every requested (distinct-target) switch eventually completes;
+* with loss disabled, delivery is perfect in every visited mode.
+"""
+
+import random
+
+import pytest
+
+from repro.core import InfeasibleError, Mode, SchedulingConfig
+from repro.runtime import BernoulliLoss
+from repro.system import TTWSystem
+from repro.workloads import closed_loop_pipeline
+
+SEEDS = list(range(8))
+
+
+def build_system(rng: random.Random):
+    config = SchedulingConfig(round_length=1.0, slots_per_round=5,
+                              max_round_gap=None)
+    system = TTWSystem(config)
+    num_modes = rng.randint(2, 3)
+    for mode_index in range(num_modes):
+        apps = []
+        for app_index in range(rng.randint(1, 2)):
+            period = rng.choice([10.0, 20.0, 40.0])
+            apps.append(
+                closed_loop_pipeline(
+                    f"m{mode_index}a{app_index}",
+                    period=period,
+                    deadline=period,
+                    num_hops=rng.randint(1, 2),
+                )
+            )
+        system.add_mode(Mode(f"mode{mode_index}", apps))
+    return system
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_multimode_stress(seed):
+    rng = random.Random(seed)
+    system = build_system(rng)
+    try:
+        system.synthesize_all()  # verifies internally
+    except InfeasibleError:
+        pytest.skip("random draw infeasible (acceptable)")
+
+    mode_names = sorted(system.mode_graph.modes)
+    requests = []
+    t = 50.0
+    current = mode_names[0]
+    for _ in range(3):
+        target = rng.choice([m for m in mode_names if m != current])
+        requests.append(system.request(t, target))
+        current = target
+        t += rng.uniform(150.0, 300.0)
+
+    # Lossless run: full delivery and all switches complete.
+    trace = system.simulate(duration=t + 300.0, mode_requests=requests)
+    assert trace.collision_free
+    assert trace.delivery_rate() == pytest.approx(1.0)
+    assert len(trace.mode_switches) == len(requests)
+    for request, switch in zip(requests, trace.mode_switches):
+        assert switch.to_mode == request.target_mode_id
+        assert switch.new_mode_start >= request.time
+
+    # Lossy run: safety still holds.
+    lossy = system.simulate(
+        duration=t + 300.0,
+        mode_requests=requests,
+        loss=BernoulliLoss(beacon_loss=0.15, data_loss=0.1, seed=seed),
+    )
+    assert lossy.collision_free
+    assert lossy.delivery_rate() <= 1.0

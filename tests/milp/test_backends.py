@@ -1,0 +1,204 @@
+"""Backend tests: HiGHS and the from-scratch branch-and-bound must agree.
+
+Includes deterministic LP/MILP cases (knapsack, assignment,
+infeasible/unbounded detection) and a hypothesis cross-check on random
+knapsack instances.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.milp import Model, ObjectiveSense, SolveStatus, quicksum
+
+BACKENDS = ["highs", "bnb"]
+
+
+def knapsack_model(values, weights, capacity):
+    m = Model("knapsack")
+    xs = [m.add_binary(f"x{i}") for i in range(len(values))]
+    m.add_constr(quicksum(x * w for x, w in zip(xs, weights)) <= capacity)
+    m.set_objective(
+        quicksum(x * v for x, v in zip(xs, values)), ObjectiveSense.MAXIMIZE
+    )
+    return m, xs
+
+
+class TestLpCases:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_pure_lp(self, backend):
+        m = Model()
+        x = m.add_continuous("x", 0, 10)
+        y = m.add_continuous("y", 0, 10)
+        m.add_constr(x + y <= 8)
+        m.set_objective(x + 2 * y, ObjectiveSense.MAXIMIZE)
+        sol = m.solve(backend=backend)
+        assert sol.is_optimal
+        # Optimum puts the whole budget on y: x=0, y=8 -> objective 16.
+        assert sol.objective == pytest.approx(16.0)
+        assert sol[y] == pytest.approx(8.0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_minimization_default(self, backend):
+        m = Model()
+        x = m.add_continuous("x", 2, 10)
+        m.set_objective(x)
+        sol = m.solve(backend=backend)
+        assert sol.objective == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_equality_constraint(self, backend):
+        m = Model()
+        x = m.add_continuous("x", 0, 10)
+        y = m.add_continuous("y", 0, 10)
+        m.add_constr(x + y == 7)
+        m.set_objective(x)
+        sol = m.solve(backend=backend)
+        assert sol.is_optimal
+        assert sol[x] + sol[y] == pytest.approx(7.0)
+        assert sol[x] == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_infeasible_detected(self, backend):
+        m = Model()
+        x = m.add_continuous("x", 0, 1)
+        m.add_constr(x >= 2)
+        assert m.solve(backend=backend).status is SolveStatus.INFEASIBLE
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_unbounded_detected(self, backend):
+        m = Model()
+        x = m.add_continuous("x", 0, math.inf)
+        m.set_objective(x, ObjectiveSense.MAXIMIZE)
+        status = m.solve(backend=backend).status
+        assert status in (SolveStatus.UNBOUNDED, SolveStatus.ERROR)
+
+
+class TestMilpCases:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_knapsack_optimum(self, backend):
+        # values 6,5,4 weights 3,2,2 capacity 4 -> best = 5+4 = 9
+        m, xs = knapsack_model([6, 5, 4], [3, 2, 2], 4)
+        sol = m.solve(backend=backend)
+        assert sol.is_optimal
+        assert sol.objective == pytest.approx(9.0)
+        assert m.check_solution(sol) == []
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_integrality_matters(self, backend):
+        # LP relaxation would take x = 2.5; MILP must land on an integer.
+        m = Model()
+        x = m.add_integer("x", 0, 10)
+        m.add_constr(2 * x <= 5)
+        m.set_objective(x, ObjectiveSense.MAXIMIZE)
+        sol = m.solve(backend=backend)
+        assert sol.objective == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_assignment_problem(self, backend):
+        # 3x3 assignment, cost matrix with known optimum 1+2+1 = 4.
+        cost = [[1, 5, 9], [8, 2, 6], [4, 7, 1]]
+        m = Model("assign")
+        x = [[m.add_binary(f"x{i}{j}") for j in range(3)] for i in range(3)]
+        for i in range(3):
+            m.add_constr(quicksum(x[i]) == 1)
+        for j in range(3):
+            m.add_constr(quicksum(x[i][j] for i in range(3)) == 1)
+        m.set_objective(
+            quicksum(x[i][j] * cost[i][j] for i in range(3) for j in range(3))
+        )
+        sol = m.solve(backend=backend)
+        assert sol.is_optimal
+        assert sol.objective == pytest.approx(4.0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_integer_infeasibility_from_gaps(self, backend):
+        # 2 <= 3x <= 2.5 has LP solutions but no integer ones.
+        m = Model()
+        x = m.add_integer("x", 0, 10)
+        m.add_constr(3 * x >= 2)
+        m.add_constr(3 * x <= 2.5)
+        assert m.solve(backend=backend).status is SolveStatus.INFEASIBLE
+
+    def test_bnb_reports_nodes(self):
+        m, _ = knapsack_model([6, 5, 4, 3], [3, 2, 2, 1], 5)
+        sol = m.solve(backend="bnb")
+        assert sol.nodes >= 1
+
+    def test_bnb_node_limit(self):
+        values = list(range(1, 15))
+        weights = [v + 0.5 for v in values]
+        m, _ = knapsack_model(values, weights, sum(weights) / 2)
+        sol = m.solve(backend="bnb", node_limit=1)
+        assert sol.status in (
+            SolveStatus.NODE_LIMIT,
+            SolveStatus.OPTIMAL,  # trivially solved at the root
+        )
+
+    def test_bnb_time_limit_returns_quickly(self):
+        import time
+
+        values = list(range(1, 22))
+        weights = [(v * 7919) % 13 + 1.5 for v in values]
+        m, _ = knapsack_model(values, weights, sum(weights) / 3)
+        start = time.monotonic()
+        sol = m.solve(backend="bnb", time_limit=0.05)
+        elapsed = time.monotonic() - start
+        assert elapsed < 5.0
+        assert sol.status in (
+            SolveStatus.TIME_LIMIT,
+            SolveStatus.OPTIMAL,
+        )
+
+
+class TestBackendAgreement:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(st.integers(1, 20), min_size=1, max_size=7),
+        weights_seed=st.integers(0, 10**6),
+        cap_factor=st.floats(0.2, 0.9),
+    )
+    def test_random_knapsacks_agree(self, values, weights_seed, cap_factor):
+        import random
+
+        rng = random.Random(weights_seed)
+        weights = [rng.randint(1, 15) for _ in values]
+        capacity = max(1, int(sum(weights) * cap_factor))
+        m1, _ = knapsack_model(values, weights, capacity)
+        m2, _ = knapsack_model(values, weights, capacity)
+        s1 = m1.solve(backend="highs")
+        s2 = m2.solve(backend="bnb")
+        assert s1.is_optimal and s2.is_optimal
+        assert s1.objective == pytest.approx(s2.objective)
+        assert m1.check_solution(s1) == []
+        assert m2.check_solution(s2) == []
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_random_mixed_lps_agree(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randint(2, 5)
+        m1, m2 = Model(), Model()
+        for m in (m1, m2):
+            xs = []
+            for i in range(n):
+                if i % 2 == 0:
+                    xs.append(m.add_integer(f"x{i}", 0, 10))
+                else:
+                    xs.append(m.add_continuous(f"x{i}", 0, 10))
+            rng2 = random.Random(seed)
+            total = quicksum(
+                x * rng2.randint(1, 5) for x in xs
+            )
+            m.add_constr(total <= rng2.randint(10, 40))
+            m.set_objective(
+                quicksum(x * rng2.randint(1, 3) for x in xs),
+                ObjectiveSense.MAXIMIZE,
+            )
+        s1 = m1.solve(backend="highs")
+        s2 = m2.solve(backend="bnb")
+        assert s1.objective == pytest.approx(s2.objective, abs=1e-5)

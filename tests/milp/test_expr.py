@@ -1,0 +1,190 @@
+"""Unit tests for the MILP expression algebra."""
+
+import math
+
+import pytest
+
+from repro.milp import LinExpr, Sense, Var, VarType, quicksum
+from repro.milp.expr import Constraint
+
+
+def v(name="x", lb=0.0, ub=10.0, vtype=VarType.CONTINUOUS):
+    return Var(name, lb, ub, vtype)
+
+
+class TestVar:
+    def test_defaults(self):
+        var = Var("x")
+        assert var.lb == 0.0
+        assert var.ub == math.inf
+        assert var.vtype is VarType.CONTINUOUS
+        assert not var.is_integral
+
+    def test_binary_clamps_bounds(self):
+        var = Var("b", lb=-5, ub=5, vtype=VarType.BINARY)
+        assert var.lb == 0.0
+        assert var.ub == 1.0
+        assert var.is_integral
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Var("x", lb=2, ub=1)
+
+    def test_integer_is_integral(self):
+        assert Var("i", vtype=VarType.INTEGER).is_integral
+
+    def test_hash_is_identity(self):
+        a, b = Var("x"), Var("x")
+        assert hash(a) != hash(b) or a is not b
+        assert len({a, b}) == 2
+
+
+class TestLinExprArithmetic:
+    def test_add_var_and_constant(self):
+        x = v("x")
+        expr = x + 3
+        assert expr.terms == {x: 1.0}
+        assert expr.constant == 3.0
+
+    def test_radd(self):
+        x = v("x")
+        expr = 3 + x
+        assert expr.constant == 3.0
+
+    def test_sub(self):
+        x, y = v("x"), v("y")
+        expr = x - y
+        assert expr.terms[x] == 1.0
+        assert expr.terms[y] == -1.0
+
+    def test_rsub(self):
+        x = v("x")
+        expr = 5 - x
+        assert expr.terms[x] == -1.0
+        assert expr.constant == 5.0
+
+    def test_mul_scalar(self):
+        x = v("x")
+        expr = (x + 1) * 2
+        assert expr.terms[x] == 2.0
+        assert expr.constant == 2.0
+
+    def test_rmul(self):
+        x = v("x")
+        assert (2 * x).terms[x] == 2.0
+
+    def test_div(self):
+        x = v("x")
+        assert (x / 4).terms[x] == 0.25
+
+    def test_mul_by_expr_rejected(self):
+        x, y = v("x"), v("y")
+        with pytest.raises(TypeError):
+            _ = x.to_expr() * y.to_expr()
+
+    def test_neg(self):
+        x = v("x")
+        expr = -(x + 1)
+        assert expr.terms[x] == -1.0
+        assert expr.constant == -1.0
+
+    def test_zero_coefficients_dropped(self):
+        x = v("x")
+        expr = x - x
+        assert expr.terms == {}
+
+    def test_terms_merge(self):
+        x = v("x")
+        expr = x + x + x
+        assert expr.terms[x] == 3.0
+
+    def test_value_evaluation(self):
+        x, y = v("x"), v("y")
+        expr = 2 * x + 3 * y + 1
+        assert expr.value({x: 2, y: 1}) == 8.0
+
+    def test_from_any_number(self):
+        expr = LinExpr.from_any(7)
+        assert expr.constant == 7.0
+        assert expr.terms == {}
+
+    def test_from_any_rejects_strings(self):
+        with pytest.raises(TypeError):
+            LinExpr.from_any("nope")
+
+    def test_copy_is_independent(self):
+        x = v("x")
+        expr = x + 1
+        clone = expr.copy()
+        clone.terms[x] = 99.0
+        assert expr.terms[x] == 1.0
+
+
+class TestQuicksum:
+    def test_mixed_items(self):
+        x, y = v("x"), v("y")
+        expr = quicksum([x, 2 * y, 3])
+        assert expr.terms == {x: 1.0, y: 2.0}
+        assert expr.constant == 3.0
+
+    def test_empty(self):
+        expr = quicksum([])
+        assert expr.terms == {}
+        assert expr.constant == 0.0
+
+    def test_generator_input(self):
+        xs = [v(f"x{i}") for i in range(5)]
+        expr = quicksum(x * i for i, x in enumerate(xs))
+        assert expr.terms[xs[4]] == 4.0
+        assert xs[0] not in expr.terms
+
+
+class TestConstraints:
+    def test_le_builds_constraint(self):
+        x = v("x")
+        constr = x <= 5
+        assert isinstance(constr, Constraint)
+        assert constr.sense is Sense.LE
+        assert constr.rhs == 5.0
+
+    def test_ge(self):
+        x = v("x")
+        constr = x >= 2
+        assert constr.sense is Sense.GE
+        assert constr.rhs == 2.0
+
+    def test_eq(self):
+        x = v("x")
+        constr = x.to_expr() == 3
+        assert constr.sense is Sense.EQ
+        assert constr.rhs == 3.0
+
+    def test_var_vs_var(self):
+        x, y = v("x"), v("y")
+        constr = x <= y
+        assert constr.expr.terms == {x: 1.0, y: -1.0}
+        assert constr.rhs == 0.0
+
+    def test_satisfied_le(self):
+        x = v("x")
+        constr = x <= 5
+        assert constr.satisfied({x: 5.0})
+        assert constr.satisfied({x: 4.0})
+        assert not constr.satisfied({x: 5.1})
+
+    def test_satisfied_ge(self):
+        x = v("x")
+        constr = x >= 5
+        assert constr.satisfied({x: 5.0})
+        assert not constr.satisfied({x: 4.9})
+
+    def test_satisfied_eq_with_tolerance(self):
+        x = v("x")
+        constr = x.to_expr() == 1
+        assert constr.satisfied({x: 1.0 + 1e-9})
+        assert not constr.satisfied({x: 1.01})
+
+    def test_repr_contains_name(self):
+        x = v("x")
+        constr = Constraint((x + 0).copy() - 1, Sense.LE, name="cap")
+        assert "cap" in repr(constr)

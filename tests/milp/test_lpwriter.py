@@ -1,0 +1,80 @@
+"""Tests of the LP-format exporter."""
+
+import pytest
+
+from repro.milp import Model, ObjectiveSense, quicksum
+from repro.milp.lpwriter import save_lp, write_lp
+
+
+@pytest.fixture
+def small_model():
+    m = Model("demo")
+    x = m.add_continuous("x", 0, 10)
+    y = m.add_integer("y[1]", 0, 5)  # name needs sanitizing
+    m.add_constr(x + 2 * y <= 8, name="cap")
+    m.add_constr(x - y >= 1)
+    m.set_objective(3 * x + y, ObjectiveSense.MAXIMIZE)
+    return m
+
+
+class TestWriteLp:
+    def test_sections_present(self, small_model):
+        text = write_lp(small_model)
+        for section in ("Maximize", "Subject To", "Bounds", "Generals", "End"):
+            assert section in text
+
+    def test_objective_rendered(self, small_model):
+        text = write_lp(small_model)
+        assert "3 x" in text
+
+    def test_named_constraint(self, small_model):
+        assert "cap:" in write_lp(small_model)
+
+    def test_unnamed_constraint_numbered(self, small_model):
+        assert "c1:" in write_lp(small_model)
+
+    def test_bad_chars_sanitized(self, small_model):
+        text = write_lp(small_model)
+        assert "y[1]" not in text
+        assert "y_1_" in text
+
+    def test_integer_listed_in_generals(self, small_model):
+        text = write_lp(small_model)
+        generals = text.split("Generals")[1]
+        assert "y_1_" in generals
+
+    def test_name_collisions_resolved(self):
+        m = Model()
+        a = m.add_continuous("x[1]")
+        b = m.add_continuous("x(1)")  # sanitizes to the same base
+        text = write_lp(m)
+        assert text.count("x_1__1") == 1 or "x_1__1" in text
+
+    def test_minimize_default(self):
+        m = Model()
+        x = m.add_continuous("x", 0, 1)
+        m.set_objective(x)
+        assert write_lp(m).startswith("Minimize")
+
+    def test_empty_objective(self):
+        m = Model()
+        m.add_continuous("x", 0, 1)
+        assert " obj: 0" in write_lp(m)
+
+    def test_save_to_disk(self, small_model, tmp_path):
+        path = tmp_path / "model.lp"
+        save_lp(small_model, path)
+        assert path.read_text() == write_lp(small_model)
+
+
+class TestTtwModelExport:
+    def test_full_ttw_ilp_exports(self, simple_mode, tight_config):
+        """The actual scheduling ILP serializes without error and
+        mentions its key variable families."""
+        from repro.core.ilp_builder import build_ilp
+
+        handles = build_ilp(simple_mode, 1, tight_config)
+        text = write_lp(handles.model)
+        assert "o_simple_s_" in text
+        assert "B_0_simple_m_" in text
+        assert "Generals" in text

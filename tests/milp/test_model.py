@@ -1,0 +1,116 @@
+"""Unit tests for the MILP model container."""
+
+import pytest
+
+from repro.milp import Model, ObjectiveSense, SolveStatus, VarType, quicksum
+
+
+class TestModelConstruction:
+    def test_add_var_assigns_indices(self):
+        m = Model()
+        x = m.add_continuous("x")
+        y = m.add_integer("y", 0, 5)
+        assert x.index == 0
+        assert y.index == 1
+        assert m.num_vars == 2
+
+    def test_duplicate_name_rejected(self):
+        m = Model()
+        m.add_continuous("x")
+        with pytest.raises(ValueError, match="duplicate"):
+            m.add_continuous("x")
+
+    def test_var_by_name(self):
+        m = Model()
+        x = m.add_binary("flag")
+        assert m.var_by_name("flag") is x
+
+    def test_add_constr_requires_constraint(self):
+        m = Model()
+        with pytest.raises(TypeError):
+            m.add_constr(True)  # e.g. accidental `x <= y` on numbers
+
+    def test_add_constr_names(self):
+        m = Model()
+        x = m.add_continuous("x")
+        constr = m.add_constr(x <= 3, name="cap")
+        assert constr.name == "cap"
+        assert m.num_constraints == 1
+
+    def test_num_integer_vars(self):
+        m = Model()
+        m.add_continuous("x")
+        m.add_integer("y")
+        m.add_binary("z")
+        assert m.num_integer_vars == 2
+
+    def test_repr(self):
+        m = Model("demo")
+        m.add_binary("b")
+        assert "demo" in repr(m)
+
+    def test_unknown_backend(self):
+        m = Model()
+        m.add_continuous("x", 0, 1)
+        with pytest.raises(ValueError, match="unknown backend"):
+            m.solve(backend="cplex")
+
+
+class TestCheckSolution:
+    def test_detects_bound_violation(self):
+        m = Model()
+        x = m.add_continuous("x", 0, 1)
+        from repro.milp import Solution
+
+        bad = Solution(SolveStatus.OPTIMAL, values={x: 2.0})
+        problems = m.check_solution(bad)
+        assert any("outside" in p for p in problems)
+
+    def test_detects_integrality_violation(self):
+        m = Model()
+        x = m.add_integer("x", 0, 10)
+        from repro.milp import Solution
+
+        bad = Solution(SolveStatus.OPTIMAL, values={x: 1.5})
+        assert any("not integral" in p for p in m.check_solution(bad))
+
+    def test_detects_missing_value(self):
+        m = Model()
+        m.add_continuous("x")
+        from repro.milp import Solution
+
+        assert m.check_solution(Solution(SolveStatus.OPTIMAL, values={}))
+
+    def test_detects_constraint_violation(self):
+        m = Model()
+        x = m.add_continuous("x", 0, 10)
+        m.add_constr(x >= 5, name="floor")
+        from repro.milp import Solution
+
+        bad = Solution(SolveStatus.OPTIMAL, values={x: 1.0})
+        assert any("floor" in p for p in m.check_solution(bad))
+
+    def test_accepts_valid_solution(self):
+        m = Model()
+        x = m.add_continuous("x", 0, 10)
+        m.add_constr(x >= 5)
+        from repro.milp import Solution
+
+        good = Solution(SolveStatus.OPTIMAL, values={x: 6.0})
+        assert m.check_solution(good) == []
+
+
+class TestEmptyModels:
+    @pytest.mark.parametrize("backend", ["highs", "bnb"])
+    def test_no_vars_feasible(self, backend):
+        m = Model()
+        solution = m.solve(backend=backend)
+        assert solution.status is SolveStatus.OPTIMAL
+
+    @pytest.mark.parametrize("backend", ["highs", "bnb"])
+    def test_no_vars_infeasible_constant_constraint(self, backend):
+        m = Model()
+        from repro.milp import LinExpr
+
+        m.add_constr(LinExpr(constant=1.0) <= 0)
+        assert m.solve(backend=backend).status is SolveStatus.INFEASIBLE

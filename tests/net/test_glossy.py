@@ -1,0 +1,137 @@
+"""Tests of the Glossy flood simulator against the published properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import GlossySimulator, diameter_line, grid, line, star
+from repro.timing import DEFAULT_CONSTANTS, GlossyConstants, flood_time, hop_time
+
+
+class TestIdealFloods:
+    def test_reaches_every_node_line(self):
+        topo = line(6)
+        sim = GlossySimulator(topo)
+        result = sim.flood("n0", payload_bytes=10)
+        assert result.delivered_to_all(topo.nodes)
+        assert result.coverage == 1.0
+
+    def test_reaches_every_node_grid(self):
+        topo = grid(3, 3)
+        sim = GlossySimulator(topo)
+        result = sim.flood(topo.host, payload_bytes=10)
+        assert result.delivered_to_all(topo.nodes)
+
+    def test_any_initiator_works(self):
+        """Glossy creates a virtual single-hop network: every node can
+        initiate and reach everyone (the basis of LWB's shared bus)."""
+        topo = grid(2, 4)
+        sim = GlossySimulator(topo)
+        for node in topo.nodes:
+            assert sim.flood(node, 10).delivered_to_all(topo.nodes)
+
+    def test_first_rx_matches_hop_distance(self):
+        topo = line(5)
+        sim = GlossySimulator(topo)
+        result = sim.flood("n0", 10)
+        for node, step in result.first_rx_step.items():
+            assert step == topo.hop_distance("n0", node)
+
+    def test_tx_counts_capped_at_n(self):
+        constants = GlossyConstants(n_tx=2)
+        topo = line(4)
+        sim = GlossySimulator(topo, constants=constants)
+        result = sim.flood("n0", 10)
+        assert all(c <= 2 for c in result.tx_counts.values())
+        assert result.tx_counts["n0"] >= 1
+
+    def test_num_steps_matches_eq14(self):
+        """Flood lasts H + 2N - 1 hop steps (paper eq. 14)."""
+        for h in (1, 3, 5):
+            topo = diameter_line(h)
+            sim = GlossySimulator(topo)
+            result = sim.flood(topo.host, 10)
+            assert result.num_steps == h + 2 * DEFAULT_CONSTANTS.n_tx - 1
+
+    def test_duration_matches_timing_model(self):
+        topo = diameter_line(4)
+        sim = GlossySimulator(topo)
+        result = sim.flood(topo.host, payload_bytes=16)
+        assert result.duration == pytest.approx(flood_time(16, 4))
+
+    def test_initiator_always_receives(self):
+        sim = GlossySimulator(star(4), link_success=0.5, seed=1)
+        result = sim.flood("host", 10)
+        assert "host" in result.received
+        assert result.first_rx_step["host"] == 0
+
+
+class TestLossyFloods:
+    def test_seeded_reproducibility(self):
+        topo = grid(3, 3)
+        r1 = GlossySimulator(topo, link_success=0.7, seed=11).flood("n0_0", 10)
+        r2 = GlossySimulator(topo, link_success=0.7, seed=11).flood("n0_0", 10)
+        assert r1.received == r2.received
+
+    def test_reliability_above_99_percent_with_n2(self):
+        """Paper: Glossy achieves > 99.9% reception with N = 2 on good
+        links; we check > 99% at 0.9 link success on a small mesh."""
+        topo = grid(2, 3)
+        sim = GlossySimulator(topo, link_success=0.9, seed=5)
+        reliability = sim.flood_reliability("n0_0", 10, trials=300)
+        assert reliability > 0.99
+
+    def test_higher_n_improves_reliability(self):
+        topo = line(5)
+        low = GlossySimulator(
+            topo, link_success=0.6, constants=GlossyConstants(n_tx=1), seed=9
+        ).flood_reliability("n0", 10, trials=300)
+        high = GlossySimulator(
+            topo, link_success=0.6, constants=GlossyConstants(n_tx=3), seed=9
+        ).flood_reliability("n0", 10, trials=300)
+        assert high > low
+
+    def test_invalid_link_success(self):
+        with pytest.raises(ValueError):
+            GlossySimulator(line(3), link_success=0.0)
+        with pytest.raises(ValueError):
+            GlossySimulator(line(3), link_success=1.5)
+
+    def test_unknown_initiator(self):
+        sim = GlossySimulator(line(3))
+        with pytest.raises(ValueError):
+            sim.flood("ghost", 10)
+
+    def test_trials_must_be_positive(self):
+        sim = GlossySimulator(line(3))
+        with pytest.raises(ValueError):
+            sim.flood_reliability("n0", 10, trials=0)
+
+
+class TestFloodProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        num_nodes=st.integers(2, 8),
+        payload=st.integers(0, 64),
+        seed=st.integers(0, 100),
+    )
+    def test_received_set_is_connected_superset_of_initiator(
+        self, num_nodes, payload, seed
+    ):
+        topo = line(num_nodes)
+        sim = GlossySimulator(topo, link_success=0.8, seed=seed)
+        result = sim.flood("n0", payload)
+        assert "n0" in result.received
+        # On a line, the received set must be a prefix (loss cuts the
+        # flood; it cannot jump over a node).
+        indices = sorted(int(n[1:]) for n in result.received)
+        assert indices == list(range(len(indices)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(payload=st.integers(0, 128))
+    def test_duration_grows_with_payload(self, payload):
+        topo = line(4)
+        sim = GlossySimulator(topo)
+        small = sim.flood("n0", payload).duration
+        bigger = sim.flood("n0", payload + 8).duration
+        assert bigger > small

@@ -1,0 +1,125 @@
+"""Tests of topology construction and graph queries."""
+
+import pytest
+
+from repro.net import (
+    Topology,
+    TopologyError,
+    diameter_line,
+    grid,
+    line,
+    random_geometric,
+    ring,
+    star,
+)
+
+
+class TestLine:
+    def test_diameter(self):
+        assert line(5).diameter == 4
+
+    def test_single_node(self):
+        topo = line(1)
+        assert topo.num_nodes == 1
+        assert topo.diameter == 0
+
+    def test_host_selection(self):
+        topo = line(4, host_index=2)
+        assert topo.host == "n2"
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            line(0)
+
+    def test_hop_distance(self):
+        topo = line(5)
+        assert topo.hop_distance("n0", "n4") == 4
+        assert topo.hop_distance("n2", "n2") == 0
+
+    def test_hops_from(self):
+        hops = line(4).hops_from("n0")
+        assert hops == {"n0": 0, "n1": 1, "n2": 2, "n3": 3}
+
+
+class TestStar:
+    def test_diameter_two(self):
+        assert star(5).diameter == 2
+
+    def test_single_leaf(self):
+        assert star(1).diameter == 1
+
+    def test_host_is_hub(self):
+        topo = star(3)
+        assert topo.host == "host"
+        assert len(topo.neighbors("host")) == 3
+
+
+class TestGrid:
+    def test_dimensions(self):
+        topo = grid(3, 4)
+        assert topo.num_nodes == 12
+        assert topo.diameter == (3 - 1) + (4 - 1)
+
+    def test_corner_host(self):
+        assert grid(2, 2).host == "n0_0"
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            grid(0, 3)
+
+
+class TestRing:
+    def test_diameter(self):
+        assert ring(6).diameter == 3
+        assert ring(7).diameter == 3
+
+    def test_min_size(self):
+        with pytest.raises(TopologyError):
+            ring(2)
+
+
+class TestRandomGeometric:
+    def test_connected_and_seeded(self):
+        t1 = random_geometric(15, radius=0.4, seed=3)
+        t2 = random_geometric(15, radius=0.4, seed=3)
+        assert t1.num_nodes == 15
+        assert sorted(t1.graph.edges) == sorted(t2.graph.edges)
+
+    def test_impossible_radius_raises(self):
+        with pytest.raises(TopologyError):
+            random_geometric(30, radius=0.01, max_attempts=3)
+
+
+class TestDiameterLine:
+    @pytest.mark.parametrize("h", [1, 2, 4, 8])
+    def test_exact_diameter(self, h):
+        assert diameter_line(h).diameter == h
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            diameter_line(0)
+
+
+class TestValidation:
+    def test_host_must_exist(self):
+        import networkx as nx
+
+        graph = nx.path_graph(3)
+        graph = nx.relabel_nodes(graph, {i: f"n{i}" for i in range(3)})
+        with pytest.raises(TopologyError):
+            Topology(graph=graph, host="ghost")
+
+    def test_disconnected_rejected(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_edge("a", "b")
+        graph.add_node("c")
+        with pytest.raises(TopologyError, match="connected"):
+            Topology(graph=graph, host="a")
+
+    def test_validate_mapping(self):
+        topo = line(3)
+        topo.validate_mapping(["n0", "n2"])
+        with pytest.raises(TopologyError, match="ghost"):
+            topo.validate_mapping(["n0", "ghost"])

@@ -1,0 +1,35 @@
+"""Tests of beacon content and encoding size."""
+
+import pytest
+
+from repro.runtime import Beacon, encoded_size
+
+
+class TestBeacon:
+    def test_fields(self):
+        b = Beacon(round_id=7, mode_id=2, trigger=True)
+        assert (b.round_id, b.mode_id, b.trigger) == (7, 2, True)
+
+    def test_default_trigger_false(self):
+        assert Beacon(round_id=0, mode_id=0).trigger is False
+
+    def test_frozen(self):
+        b = Beacon(round_id=1, mode_id=0)
+        with pytest.raises(AttributeError):
+            b.round_id = 2
+
+    def test_round_id_range(self):
+        Beacon(round_id=(1 << 12) - 1, mode_id=0)
+        with pytest.raises(ValueError):
+            Beacon(round_id=1 << 12, mode_id=0)
+        with pytest.raises(ValueError):
+            Beacon(round_id=-1, mode_id=0)
+
+    def test_mode_id_range(self):
+        Beacon(round_id=0, mode_id=255)
+        with pytest.raises(ValueError):
+            Beacon(round_id=0, mode_id=256)
+
+    def test_encoded_size_fits_paper_budget(self):
+        """The paper uses L_beacon = 3 bytes; our fields must fit."""
+        assert encoded_size() <= 3

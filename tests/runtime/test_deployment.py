@@ -1,0 +1,80 @@
+"""Tests of deployment-table compilation from schedules."""
+
+import pytest
+
+from repro.core import Mode, synthesize
+from repro.runtime import build_deployment
+from repro.workloads import fig3_control_app
+
+
+@pytest.fixture
+def fig3_mode():
+    app = fig3_control_app(period=20, deadline=20, sense_wcet=1,
+                           control_wcet=2, act_wcet=1)
+    return Mode("m", [app], mode_id=3)
+
+
+@pytest.fixture
+def deployment(fig3_mode, unit_config):
+    sched = synthesize(fig3_mode, unit_config)
+    return build_deployment(fig3_mode, sched)
+
+
+class TestBuildDeployment:
+    def test_mode_id_defaults_to_mode(self, deployment):
+        assert deployment.mode_id == 3
+
+    def test_explicit_mode_id_wins(self, fig3_mode, unit_config):
+        sched = synthesize(fig3_mode, unit_config)
+        d = build_deployment(fig3_mode, sched, mode_id=9)
+        assert d.mode_id == 9
+
+    def test_wrong_mode_rejected(self, fig3_mode, simple_mode, unit_config):
+        sched = synthesize(simple_mode, unit_config)
+        with pytest.raises(ValueError, match="mode"):
+            build_deployment(fig3_mode, sched)
+
+    def test_round_tables_match_schedule(self, fig3_mode, unit_config):
+        sched = synthesize(fig3_mode, unit_config)
+        d = build_deployment(fig3_mode, sched)
+        assert d.num_rounds == sched.num_rounds
+        for starts, rnd in zip(d.round_starts, sched.rounds):
+            assert starts == rnd.start
+        assert d.num_allocated == [r.num_allocated for r in sched.rounds]
+
+    def test_senders_are_producer_nodes(self, deployment):
+        assert deployment.message_senders["ctrl_m1"] == "sensor1"
+        assert deployment.message_senders["ctrl_m2"] == "sensor2"
+        assert deployment.message_senders["ctrl_m3"] == "controller"
+
+    def test_multicast_consumers(self, deployment):
+        assert deployment.message_consumers["ctrl_m3"] == [
+            "actuator1",
+            "actuator2",
+        ]
+
+    def test_node_tx_tables(self, deployment):
+        """Every allocated slot appears in exactly one node's TX table."""
+        for r_index, messages in enumerate(deployment.round_messages):
+            for slot_index, message in enumerate(messages):
+                sender = deployment.message_senders[message]
+                table = deployment.node_tables[sender]
+                assert (slot_index, message) in table.slot_for_round(r_index)
+                # No other node claims this slot.
+                for node, other in deployment.node_tables.items():
+                    if node == sender:
+                        continue
+                    assert (slot_index, message) not in other.slot_for_round(
+                        r_index
+                    )
+
+    def test_rx_tables_cover_consumers(self, deployment):
+        for r_index, messages in enumerate(deployment.round_messages):
+            for message in messages:
+                for consumer in deployment.message_consumers[message]:
+                    table = deployment.node_tables[consumer]
+                    assert message in table.rx_messages.get(r_index, [])
+
+    def test_task_offsets_distributed(self, deployment):
+        controller = deployment.node_tables["controller"]
+        assert "ctrl_control" in controller.task_offsets

@@ -1,0 +1,100 @@
+"""Tests of the Gilbert-Elliott bursty interference model."""
+
+import pytest
+
+from repro.runtime import GilbertElliottLoss
+
+NODES = {"a", "b", "c", "d"}
+
+
+class TestParameters:
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(p_good_to_bad=1.5)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(loss_bad=-0.1)
+
+    def test_degenerate_chain_rejected(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(p_good_to_bad=0.0, p_bad_to_good=0.0)
+
+    def test_average_loss_rate_formula(self):
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.1, p_bad_to_good=0.3,
+            loss_good=0.0, loss_bad=0.8,
+        )
+        # pi_bad = 0.1 / 0.4 = 0.25 -> average = 0.2.
+        assert model.average_loss_rate() == pytest.approx(0.2)
+
+
+class TestChannelBehaviour:
+    def test_host_and_sender_always_receive(self):
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.5, p_bad_to_good=0.1,
+            loss_good=0.5, loss_bad=0.99, seed=1,
+        )
+        for _ in range(30):
+            assert "a" in model.beacon_receivers("a", NODES)
+            assert "b" in model.data_receivers("b", NODES, 10)
+
+    def test_empirical_rate_matches_stationary(self):
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.1, p_bad_to_good=0.3,
+            loss_good=0.02, loss_bad=0.8, seed=42,
+        )
+        trials = 4000
+        missed = 0
+        for _ in range(trials):
+            received = model.beacon_receivers("a", NODES)
+            missed += len(NODES) - len(received)
+        rate = missed / (trials * (len(NODES) - 1))
+        assert rate == pytest.approx(model.average_loss_rate(), abs=0.03)
+
+    def test_burstiness(self):
+        """Losses cluster: the probability of a miss directly after a
+        miss is much higher than the unconditional rate."""
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.05, p_bad_to_good=0.2,
+            loss_good=0.01, loss_bad=0.9, seed=7,
+        )
+        outcomes = []
+        for _ in range(6000):
+            received = model.beacon_receivers("host", {"host", "n"})
+            outcomes.append("n" not in received)
+        misses = sum(outcomes)
+        repeats = sum(
+            1 for a, b in zip(outcomes, outcomes[1:]) if a and b
+        )
+        cond = repeats / max(1, misses)
+        uncond = misses / len(outcomes)
+        assert cond > 2 * uncond
+
+    def test_seeded_reproducibility(self):
+        kwargs = dict(p_good_to_bad=0.2, p_bad_to_good=0.2,
+                      loss_good=0.1, loss_bad=0.9, seed=3)
+        m1, m2 = GilbertElliottLoss(**kwargs), GilbertElliottLoss(**kwargs)
+        for _ in range(50):
+            assert m1.beacon_receivers("a", NODES) == m2.beacon_receivers(
+                "a", NODES
+            )
+
+
+class TestIntegrationWithRuntime:
+    def test_collision_free_under_bursty_interference(self, tight_config):
+        from repro.core import Mode, synthesize
+        from repro.runtime import RuntimeSimulator, build_deployment
+        from repro.workloads import closed_loop_pipeline
+
+        mode = Mode("m", [
+            closed_loop_pipeline("a", period=20, deadline=20, num_hops=1),
+        ], mode_id=0)
+        deployment = build_deployment(mode, synthesize(mode, tight_config), 0)
+        sim = RuntimeSimulator(
+            {0: mode},
+            {0: deployment},
+            initial_mode=0,
+            loss=GilbertElliottLoss(seed=5),
+        )
+        trace = sim.run(2000.0, host_node="a_node1")
+        assert trace.collision_free
+        assert 0.0 < trace.delivery_rate() <= 1.0

@@ -1,0 +1,89 @@
+"""Tests of the packet-loss models."""
+
+import pytest
+
+from repro.net import line
+from repro.runtime import BernoulliLoss, GlossyLoss, PerfectLinks
+from repro.runtime.loss import ScriptedBeaconLoss
+
+NODES = {"a", "b", "c", "d"}
+
+
+class TestPerfectLinks:
+    def test_everyone_receives(self):
+        model = PerfectLinks()
+        assert model.beacon_receivers("a", NODES) == NODES
+        assert model.data_receivers("b", NODES, 10) == NODES
+
+
+class TestBernoulliLoss:
+    def test_zero_loss(self):
+        model = BernoulliLoss(0.0, 0.0, seed=1)
+        assert model.beacon_receivers("a", NODES) == NODES
+        assert model.data_receivers("a", NODES, 10) == NODES
+
+    def test_sender_always_receives_own_flood(self):
+        model = BernoulliLoss(0.9, 0.9, seed=1)
+        for _ in range(50):
+            assert "a" in model.beacon_receivers("a", NODES)
+            assert "b" in model.data_receivers("b", NODES, 10)
+
+    def test_loss_rate_statistics(self):
+        model = BernoulliLoss(beacon_loss=0.3, seed=42)
+        misses = 0
+        trials = 2000
+        for _ in range(trials):
+            received = model.beacon_receivers("a", NODES)
+            misses += len(NODES) - len(received)
+        rate = misses / (trials * (len(NODES) - 1))
+        assert rate == pytest.approx(0.3, abs=0.03)
+
+    def test_seeded_reproducibility(self):
+        m1 = BernoulliLoss(0.5, 0.5, seed=7)
+        m2 = BernoulliLoss(0.5, 0.5, seed=7)
+        for _ in range(20):
+            assert m1.beacon_receivers("a", NODES) == m2.beacon_receivers(
+                "a", NODES
+            )
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(beacon_loss=1.0)
+        with pytest.raises(ValueError):
+            BernoulliLoss(data_loss=-0.1)
+
+
+class TestScriptedBeaconLoss:
+    def test_drops_by_sequence_number(self):
+        model = ScriptedBeaconLoss({1: {"b", "c"}})
+        assert model.beacon_receivers("a", NODES) == NODES  # beacon 0
+        assert model.beacon_receivers("a", NODES) == {"a", "d"}  # beacon 1
+        assert model.beacon_receivers("a", NODES) == NODES  # beacon 2
+
+    def test_host_never_drops(self):
+        model = ScriptedBeaconLoss({0: {"a"}})
+        assert "a" in model.beacon_receivers("a", NODES)
+
+    def test_data_is_lossless(self):
+        model = ScriptedBeaconLoss({0: {"b"}})
+        assert model.data_receivers("b", NODES, 10) == NODES
+
+
+class TestGlossyLoss:
+    def test_ideal_links_reach_all(self):
+        topo = line(4)
+        model = GlossyLoss(topo, link_success=1.0, seed=1)
+        nodes = set(topo.nodes)
+        assert model.beacon_receivers("n0", nodes) == nodes
+        assert model.data_receivers("n2", nodes, 10) == nodes
+
+    def test_lossy_links_spatially_correlated(self):
+        """On a line, a missed node implies everything beyond it is
+        missed too (the flood cannot jump)."""
+        topo = line(6)
+        model = GlossyLoss(topo, link_success=0.6, seed=3)
+        nodes = set(topo.nodes)
+        for _ in range(30):
+            received = model.data_receivers("n0", nodes, 10)
+            indices = sorted(int(n[1:]) for n in received)
+            assert indices == list(range(len(indices)))

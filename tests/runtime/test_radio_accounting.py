@@ -1,0 +1,84 @@
+"""Exact radio-on accounting: the runtime's energy numbers must equal
+the closed-form timing model for a deterministic scenario."""
+
+import pytest
+
+from repro.core import Application, Mode, SchedulingConfig, synthesize
+from repro.runtime import RadioTiming, RuntimeSimulator, build_deployment
+from repro.timing import DEFAULT_CONSTANTS, slot_on_time
+
+
+@pytest.fixture
+def one_round_system(tight_config):
+    app = Application("a", period=20, deadline=20)
+    app.add_task("a_s", node="n1", wcet=1)
+    app.add_task("a_a", node="n2", wcet=1)
+    app.add_message("a_m")
+    app.connect("a_s", "a_m")
+    app.connect("a_m", "a_a")
+    mode = Mode("m", [app], mode_id=0)
+    sched = synthesize(mode, tight_config)
+    assert sched.num_rounds == 1
+    deployment = build_deployment(mode, sched, 0)
+    return mode, deployment
+
+
+class TestExactAccounting:
+    DIAMETER = 3
+    PAYLOAD = 10
+
+    def run(self, mode, deployment, duration):
+        sim = RuntimeSimulator(
+            {0: mode},
+            {0: deployment},
+            initial_mode=0,
+            radio=RadioTiming(payload_bytes=self.PAYLOAD, diameter=self.DIAMETER),
+        )
+        return sim.run(duration)
+
+    def test_per_node_on_time(self, one_round_system):
+        mode, deployment = one_round_system
+        trace = self.run(mode, deployment, 100.0)  # 5 rounds (HP 20)
+        beacon_on = 1e3 * slot_on_time(DEFAULT_CONSTANTS.l_beacon, self.DIAMETER)
+        data_on = 1e3 * slot_on_time(self.PAYLOAD, self.DIAMETER)
+        rounds = len(trace.rounds)
+        assert rounds == 5
+        expected_per_node = rounds * (beacon_on + data_on)
+        for node in ("n1", "n2"):
+            assert trace.radio_on[node] == pytest.approx(expected_per_node)
+
+    def test_totals_scale_with_duration(self, one_round_system):
+        mode, deployment = one_round_system
+        short = self.run(mode, deployment, 100.0).total_radio_on()
+        long = self.run(mode, deployment, 200.0).total_radio_on()
+        assert long == pytest.approx(2 * short)
+
+    def test_no_radio_config_means_zero(self, one_round_system):
+        mode, deployment = one_round_system
+        sim = RuntimeSimulator({0: mode}, {0: deployment}, initial_mode=0)
+        trace = sim.run(100.0)
+        assert trace.total_radio_on() == 0.0
+
+    def test_unallocated_slots_cost_nothing(self, tight_config):
+        """Rounds run only their allocated slots (paper footnote 3):
+        a 1-message round costs one data slot, not B of them."""
+        mode_dep = None
+        app = Application("a", period=20, deadline=20)
+        app.add_task("a_s", node="n1", wcet=1)
+        app.add_task("a_a", node="n2", wcet=1)
+        app.add_message("a_m")
+        app.connect("a_s", "a_m")
+        app.connect("a_m", "a_a")
+        mode = Mode("m", [app], mode_id=0)
+        sched = synthesize(mode, tight_config)  # B = 5, 1 allocated
+        deployment = build_deployment(mode, sched, 0)
+        trace = RuntimeSimulator(
+            {0: mode},
+            {0: deployment},
+            initial_mode=0,
+            radio=RadioTiming(payload_bytes=self.PAYLOAD, diameter=self.DIAMETER),
+        ).run(20.0)
+        beacon_on = 1e3 * slot_on_time(DEFAULT_CONSTANTS.l_beacon, self.DIAMETER)
+        data_on = 1e3 * slot_on_time(self.PAYLOAD, self.DIAMETER)
+        # One round, one beacon + exactly one data slot per node.
+        assert trace.radio_on["n1"] == pytest.approx(beacon_on + data_on)

@@ -1,0 +1,178 @@
+"""Tests of the runtime protocol simulator (steady-state behaviour)."""
+
+import pytest
+
+from repro.core import Application, Mode, SchedulingConfig, synthesize
+from repro.runtime import (
+    BernoulliLoss,
+    ModeRequest,
+    NodePolicy,
+    PerfectLinks,
+    RadioTiming,
+    RuntimeSimulator,
+    build_deployment,
+)
+
+
+def pipeline_app(name, src, dst, period=20.0):
+    app = Application(name, period=period, deadline=period)
+    app.add_task(f"{name}_s", node=src, wcet=1)
+    app.add_task(f"{name}_a", node=dst, wcet=1)
+    app.add_message(f"{name}_m")
+    app.connect(f"{name}_s", f"{name}_m")
+    app.connect(f"{name}_m", f"{name}_a")
+    return app
+
+
+@pytest.fixture
+def single_mode_sim(tight_config):
+    mode = Mode("m", [pipeline_app("a", "n1", "n2")], mode_id=0)
+    sched = synthesize(mode, tight_config)
+    deployment = build_deployment(mode, sched, mode_id=0)
+    return mode, RuntimeSimulator({0: mode}, {0: deployment}, initial_mode=0)
+
+
+class TestSteadyState:
+    def test_rounds_repeat_every_hyperperiod(self, single_mode_sim):
+        _, sim = single_mode_sim
+        trace = sim.run(100.0)
+        # hyperperiod 20 -> 5 occurrences of the single round.
+        assert len(trace.rounds) == 5
+        times = [r.time for r in trace.rounds]
+        diffs = [b - a for a, b in zip(times, times[1:])]
+        assert all(d == pytest.approx(20.0) for d in diffs)
+
+    def test_perfect_links_full_delivery(self, single_mode_sim):
+        _, sim = single_mode_sim
+        trace = sim.run(100.0)
+        assert trace.delivery_rate() == 1.0
+        assert trace.on_time_rate() == 1.0
+        assert trace.chain_success_rate() == 1.0
+        assert trace.collision_free
+
+    def test_measured_latency_matches_schedule(self, single_mode_sim, tight_config):
+        mode, sim = single_mode_sim
+        trace = sim.run(100.0)
+        latencies = trace.chain_latencies()
+        assert latencies
+        sched = synthesize(mode, tight_config)
+        expected = sched.app_latencies["a"]
+        assert all(l == pytest.approx(expected) for l in latencies)
+
+    def test_beacon_gating_skips_round_on_loss(self, tight_config):
+        mode = Mode("m", [pipeline_app("a", "n1", "n2")], mode_id=0)
+        sched = synthesize(mode, tight_config)
+        deployment = build_deployment(mode, sched, mode_id=0)
+        sim = RuntimeSimulator(
+            {0: mode},
+            {0: deployment},
+            initial_mode=0,
+            loss=BernoulliLoss(beacon_loss=0.5, seed=123),
+        )
+        # Make the receiver the host so the sender can miss beacons.
+        trace = sim.run(400.0, host_node="n2")
+        # Some rounds have no transmitter (the sender missed the beacon)
+        silent = [
+            s for r in trace.rounds for s in r.slots if s.silent
+        ]
+        assert silent, "expected some skipped slots at 50% beacon loss"
+        assert trace.collision_free
+        assert trace.delivery_rate() < 1.0
+
+    def test_data_loss_reduces_delivery_not_safety(self, tight_config):
+        mode = Mode("m", [pipeline_app("a", "n1", "n2")], mode_id=0)
+        sched = synthesize(mode, tight_config)
+        deployment = build_deployment(mode, sched, mode_id=0)
+        sim = RuntimeSimulator(
+            {0: mode},
+            {0: deployment},
+            initial_mode=0,
+            loss=BernoulliLoss(data_loss=0.3, seed=5),
+        )
+        trace = sim.run(400.0)
+        assert 0.5 < trace.delivery_rate() < 1.0
+        assert trace.collision_free
+
+    def test_radio_accounting(self, tight_config):
+        mode = Mode("m", [pipeline_app("a", "n1", "n2")], mode_id=0)
+        sched = synthesize(mode, tight_config)
+        deployment = build_deployment(mode, sched, mode_id=0)
+        sim = RuntimeSimulator(
+            {0: mode},
+            {0: deployment},
+            initial_mode=0,
+            radio=RadioTiming(payload_bytes=10, diameter=2),
+        )
+        trace = sim.run(100.0)
+        assert trace.total_radio_on() > 0
+        assert set(trace.radio_on) == {"n1", "n2"}
+
+    def test_unknown_initial_mode_rejected(self, tight_config):
+        mode = Mode("m", [pipeline_app("a", "n1", "n2")], mode_id=0)
+        sched = synthesize(mode, tight_config)
+        deployment = build_deployment(mode, sched, mode_id=0)
+        with pytest.raises(ValueError):
+            RuntimeSimulator({0: mode}, {0: deployment}, initial_mode=7)
+
+    def test_mismatched_ids_rejected(self, tight_config):
+        mode = Mode("m", [pipeline_app("a", "n1", "n2")], mode_id=0)
+        sched = synthesize(mode, tight_config)
+        deployment = build_deployment(mode, sched, mode_id=0)
+        with pytest.raises(ValueError):
+            RuntimeSimulator({0: mode, 1: mode}, {0: deployment}, initial_mode=0)
+
+    def test_unknown_mode_request_rejected(self, single_mode_sim):
+        _, sim = single_mode_sim
+        with pytest.raises(ValueError):
+            sim.run(50.0, mode_requests=[ModeRequest(10.0, 42)])
+
+    def test_zero_duration(self, single_mode_sim):
+        _, sim = single_mode_sim
+        trace = sim.run(0.0)
+        assert trace.rounds == []
+        assert trace.chains == []
+
+
+class TestMultiHopDelivery:
+    def test_two_hop_chain(self, tight_config):
+        app = Application("a", period=30, deadline=30)
+        app.add_task("a_s", node="n1", wcet=1)
+        app.add_task("a_p", node="n2", wcet=1)
+        app.add_task("a_a", node="n3", wcet=1)
+        app.add_message("a_m1")
+        app.add_message("a_m2")
+        app.connect("a_s", "a_m1")
+        app.connect("a_m1", "a_p")
+        app.connect("a_p", "a_m2")
+        app.connect("a_m2", "a_a")
+        mode = Mode("m", [app], mode_id=0)
+        sched = synthesize(mode, tight_config)
+        deployment = build_deployment(mode, sched, mode_id=0)
+        sim = RuntimeSimulator({0: mode}, {0: deployment}, initial_mode=0)
+        trace = sim.run(300.0)
+        assert trace.chain_success_rate() == 1.0
+        assert trace.collision_free
+
+    def test_multicast_delivery_requires_all_consumers(self, tight_config):
+        from repro.workloads import fig3_control_app
+
+        app = fig3_control_app(period=20, deadline=20, sense_wcet=1,
+                               control_wcet=2, act_wcet=1)
+        mode = Mode("m", [app], mode_id=0)
+        sched = synthesize(mode, tight_config)
+        deployment = build_deployment(mode, sched, mode_id=0)
+        sim = RuntimeSimulator(
+            {0: mode},
+            {0: deployment},
+            initial_mode=0,
+            loss=BernoulliLoss(data_loss=0.25, seed=9),
+        )
+        trace = sim.run(400.0)
+        multicast = [m for m in trace.messages if m.message == "ctrl_m3"]
+        assert multicast
+        # With 25% per-receiver loss, some multicast instances must
+        # reach one actuator but not the other -> not delivered.
+        partial = [
+            m for m in multicast if m.delivered_to and not m.delivered
+        ]
+        assert partial

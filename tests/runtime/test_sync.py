@@ -1,0 +1,97 @@
+"""Tests of the clock drift / guard-time analysis behind (C2.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    SyncAnalysis,
+    analyze_sync,
+    max_gap_for_guard,
+    required_guard_time,
+    worst_case_offset,
+)
+
+
+class TestWorstCaseOffset:
+    def test_linear_in_gap(self):
+        assert worst_case_offset(1000.0, drift_ppm=20) == pytest.approx(0.04)
+        assert worst_case_offset(2000.0, drift_ppm=20) == pytest.approx(0.08)
+
+    def test_two_sided_drift(self):
+        # 20 ppm tolerance -> 40 ppm relative divergence.
+        assert worst_case_offset(1e6, drift_ppm=20) == pytest.approx(40.0)
+
+    def test_zero_drift(self):
+        assert worst_case_offset(1000.0, drift_ppm=0) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            worst_case_offset(-1.0)
+        with pytest.raises(ValueError):
+            worst_case_offset(1.0, drift_ppm=-5)
+
+
+class TestRequiredGuardTime:
+    def test_no_misses(self):
+        assert required_guard_time(1000.0, drift_ppm=20) == pytest.approx(0.04)
+
+    def test_missed_beacons_extend_interval(self):
+        base = required_guard_time(1000.0, drift_ppm=20, missed_beacons=0)
+        one = required_guard_time(1000.0, drift_ppm=20, missed_beacons=1)
+        assert one == pytest.approx(2 * base)
+
+    def test_invalid_misses(self):
+        with pytest.raises(ValueError):
+            required_guard_time(1000.0, missed_beacons=-1)
+
+
+class TestAnalyzeSync:
+    def test_safe_configuration(self):
+        # T_max = 30 time units (ms), guard 0.75 ms (T_wake-up).
+        analysis = analyze_sync(30.0, guard_time_ms=0.75, drift_ppm=20)
+        assert analysis.safe
+        # 0.75 ms guard / (30 ms * 40 ppm) -> hundreds of missed beacons.
+        assert analysis.missed_beacons_tolerated > 100
+
+    def test_unsafe_configuration(self):
+        analysis = analyze_sync(1e6, guard_time_ms=0.01, drift_ppm=20)
+        assert not analysis.safe
+        assert analysis.missed_beacons_tolerated == 0
+
+    def test_invalid_guard(self):
+        with pytest.raises(ValueError):
+            analyze_sync(30.0, guard_time_ms=0.0)
+
+    def test_zero_drift_unbounded_tolerance(self):
+        analysis = analyze_sync(30.0, guard_time_ms=0.1, drift_ppm=0.0)
+        assert analysis.safe
+        assert analysis.missed_beacons_tolerated > 10**5
+
+
+class TestMaxGapForGuard:
+    def test_inverse_of_offset(self):
+        gap = max_gap_for_guard(0.04, drift_ppm=20)
+        assert worst_case_offset(gap, drift_ppm=20) == pytest.approx(0.04)
+
+    def test_zero_drift_infinite(self):
+        assert max_gap_for_guard(1.0, drift_ppm=0) == float("inf")
+
+    def test_invalid_guard(self):
+        with pytest.raises(ValueError):
+            max_gap_for_guard(0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        guard=st.floats(0.001, 10.0),
+        drift=st.floats(1.0, 100.0),
+    )
+    def test_round_trip_consistency(self, guard, drift):
+        gap = max_gap_for_guard(guard, drift_ppm=drift)
+        # Back off a hair from the exact boundary (float rounding).
+        analysis = analyze_sync(gap * 0.999, guard_time_ms=guard,
+                                drift_ppm=drift)
+        assert analysis.safe
+        # A clearly larger gap must be unsafe.
+        bigger = analyze_sync(gap * 1.01, guard_time_ms=guard, drift_ppm=drift)
+        assert not bigger.safe

@@ -1,0 +1,150 @@
+"""Unit tests of the trace record types and aggregate queries."""
+
+import pytest
+
+from repro.runtime import (
+    ChainInstanceRecord,
+    MessageInstanceRecord,
+    ModeSwitchRecord,
+    RoundRecord,
+    SlotRecord,
+    Trace,
+)
+
+
+def make_slot(transmitters, receivers=()):
+    return SlotRecord(
+        slot_index=0,
+        message="m",
+        transmitters=list(transmitters),
+        receivers=set(receivers),
+    )
+
+
+class TestSlotRecord:
+    def test_collided(self):
+        assert make_slot(["a", "b"]).collided
+        assert not make_slot(["a"]).collided
+
+    def test_silent(self):
+        assert make_slot([]).silent
+        assert not make_slot(["a"]).silent
+
+
+class TestMessageInstanceRecord:
+    def test_delivered_requires_all_consumers(self):
+        rec = MessageInstanceRecord(
+            message="m", instance=0, release_time=0.0, abs_deadline=5.0,
+            served_round_time=1.0,
+            delivered_to={"a"}, consumers={"a", "b"},
+        )
+        assert not rec.delivered
+        rec.delivered_to.add("b")
+        assert rec.delivered
+
+    def test_no_consumers_means_undelivered(self):
+        rec = MessageInstanceRecord(
+            message="m", instance=0, release_time=0.0, abs_deadline=5.0,
+            consumers=set(),
+        )
+        assert not rec.delivered
+
+    def test_on_time_requires_round_before_deadline(self):
+        rec = MessageInstanceRecord(
+            message="m", instance=0, release_time=0.0, abs_deadline=5.0,
+            served_round_time=6.0,
+            delivered_to={"a"}, consumers={"a"},
+        )
+        assert rec.delivered
+        assert not rec.on_time
+        rec.served_round_time = 4.0
+        assert rec.on_time
+
+
+class TestChainInstanceRecord:
+    def test_latency(self):
+        rec = ChainInstanceRecord(
+            app="a", chain=("t1", "m", "t2"), instance=0,
+            release_time=10.0, completion_time=16.0, complete=True,
+        )
+        assert rec.latency == pytest.approx(6.0)
+
+    def test_incomplete_has_no_latency(self):
+        rec = ChainInstanceRecord(
+            app="a", chain=("t1",), instance=0, release_time=10.0,
+        )
+        assert rec.latency is None
+
+
+class TestModeSwitchRecord:
+    def test_switch_delay(self):
+        rec = ModeSwitchRecord(
+            requested_at=10.0, announced_at=12.0, trigger_round_time=30.0,
+            new_mode_start=31.0, from_mode=0, to_mode=1,
+        )
+        assert rec.switch_delay == pytest.approx(21.0)
+
+
+class TestTraceAggregates:
+    def make_trace(self):
+        trace = Trace(duration=100.0)
+        good = RoundRecord(time=1.0, mode_id=0, round_id=0,
+                           beacon_mode_id=0, trigger=False,
+                           beacon_receivers={"a", "b"})
+        good.slots.append(make_slot(["a"], receivers={"a", "b"}))
+        bad = RoundRecord(time=2.0, mode_id=0, round_id=1,
+                          beacon_mode_id=0, trigger=False,
+                          beacon_receivers={"a"})
+        bad.slots.append(make_slot(["a", "b"]))
+        trace.rounds = [good, bad]
+        trace.messages = [
+            MessageInstanceRecord(
+                message="m", instance=0, release_time=0.0, abs_deadline=5.0,
+                served_round_time=1.0, delivered_to={"x"}, consumers={"x"},
+            ),
+            MessageInstanceRecord(
+                message="m", instance=1, release_time=10.0, abs_deadline=15.0,
+                served_round_time=None, consumers={"x"},
+            ),
+        ]
+        trace.chains = [
+            ChainInstanceRecord(app="a", chain=("t",), instance=0,
+                                release_time=0.0, completion_time=3.0,
+                                complete=True),
+            ChainInstanceRecord(app="a", chain=("t",), instance=1,
+                                release_time=10.0, complete=False),
+        ]
+        trace.radio_on = {"a": 2.0, "b": 3.0}
+        return trace
+
+    def test_collisions_found(self):
+        trace = self.make_trace()
+        collisions = trace.collisions()
+        assert len(collisions) == 1
+        assert not trace.collision_free
+
+    def test_delivery_rates(self):
+        trace = self.make_trace()
+        assert trace.delivery_rate() == pytest.approx(0.5)
+        assert trace.on_time_rate() == pytest.approx(0.5)
+
+    def test_chain_stats(self):
+        trace = self.make_trace()
+        assert trace.chain_success_rate() == pytest.approx(0.5)
+        assert trace.chain_latencies() == [3.0]
+
+    def test_radio_total(self):
+        assert self.make_trace().total_radio_on() == pytest.approx(5.0)
+
+    def test_beacon_reception_rate(self):
+        trace = self.make_trace()
+        # Rounds heard by 2 and 1 nodes out of a universe of 2.
+        assert trace.beacon_reception_rate() == pytest.approx(0.75)
+
+    def test_empty_trace_defaults(self):
+        trace = Trace()
+        assert trace.delivery_rate() == 1.0
+        assert trace.on_time_rate() == 1.0
+        assert trace.chain_success_rate() == 1.0
+        assert trace.beacon_reception_rate() == 1.0
+        assert trace.collision_free

@@ -1,0 +1,114 @@
+"""Tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import Mode, SchedulingConfig, synthesize
+from repro.io import mode_to_dict
+from repro.system import TTWSystem
+from repro.workloads import closed_loop_pipeline
+
+
+@pytest.fixture
+def workload_file(tmp_path):
+    mode = Mode("normal", [
+        closed_loop_pipeline("a", period=20, deadline=20, num_hops=1),
+    ])
+    spec = {
+        "config": {"round_length": 1.0, "slots_per_round": 5,
+                   "max_round_gap": None},
+        "modes": [mode_to_dict(mode)],
+    }
+    path = tmp_path / "workload.json"
+    path.write_text(json.dumps(spec))
+    return path
+
+
+@pytest.fixture
+def system_file(tmp_path):
+    config = SchedulingConfig(round_length=1.0, slots_per_round=5,
+                              max_round_gap=None)
+    system = TTWSystem(config)
+    system.add_mode(Mode("normal", [
+        closed_loop_pipeline("a", period=20, deadline=20, num_hops=1),
+    ]))
+    system.synthesize_all()
+    path = tmp_path / "system.json"
+    system.save(path)
+    return path
+
+
+class TestSynth:
+    def test_synth_writes_system(self, workload_file, tmp_path, capsys):
+        out = tmp_path / "out.json"
+        code = main(["synth", str(workload_file), "-o", str(out)])
+        assert code == 0
+        assert out.exists()
+        captured = capsys.readouterr().out
+        assert "rounds" in captured
+
+    def test_synth_warm_start(self, workload_file, tmp_path):
+        out = tmp_path / "out.json"
+        assert main(["synth", str(workload_file), "-o", str(out),
+                     "--warm-start"]) == 0
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["synth", str(tmp_path / "nope.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestVerify:
+    def test_valid_system_passes(self, system_file, capsys):
+        assert main(["verify", str(system_file)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_corrupted_system_fails(self, system_file, capsys):
+        data = json.loads(system_file.read_text())
+        sched = data["schedules"]["normal"]
+        first_task = next(iter(sched["task_offsets"]))
+        sched["task_offsets"][first_task] = 999.0
+        system_file.write_text(json.dumps(data))
+        assert main(["verify", str(system_file)]) == 1
+        assert "violation" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_simulate_clean(self, system_file, capsys):
+        assert main(["simulate", str(system_file), "-d", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "collision-free:    True" in out
+        assert "delivery rate:     1.0000" in out
+
+    def test_simulate_with_loss(self, system_file, capsys):
+        assert main(["simulate", str(system_file), "-d", "500",
+                     "--loss", "0.2", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "collision-free:    True" in out
+
+
+class TestFigures:
+    def test_fig6(self, capsys):
+        assert main(["figures", "6"]) == 0
+        assert "Fig. 6" in capsys.readouterr().out
+
+    def test_fig7(self, capsys):
+        assert main(["figures", "7"]) == 0
+        assert "Fig. 7" in capsys.readouterr().out
+
+    def test_all(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out and "Fig. 7" in out
+
+
+class TestGantt:
+    def test_gantt_renders(self, system_file, capsys):
+        assert main(["gantt", str(system_file)]) == 0
+        out = capsys.readouterr().out
+        assert "net" in out
+        assert "R" in out
+
+    def test_unknown_mode(self, system_file, capsys):
+        assert main(["gantt", str(system_file), "-m", "ghost"]) == 1

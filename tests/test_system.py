@@ -1,0 +1,105 @@
+"""Tests of the TTWSystem facade."""
+
+import pytest
+
+from repro.core import Mode, SchedulingConfig
+from repro.runtime import BernoulliLoss
+from repro.system import SystemError_, TTWSystem
+from repro.workloads import closed_loop_pipeline
+
+
+@pytest.fixture
+def system():
+    config = SchedulingConfig(round_length=1.0, slots_per_round=5,
+                              max_round_gap=None)
+    sys_ = TTWSystem(config)
+    sys_.add_mode(Mode("normal", [
+        closed_loop_pipeline("a", period=20, deadline=20, num_hops=1),
+    ]))
+    sys_.add_mode(Mode("emergency", [
+        closed_loop_pipeline("b", period=10, deadline=10, num_hops=1),
+    ]))
+    sys_.allow_transition("normal", "emergency")
+    return sys_
+
+
+class TestConstruction:
+    def test_mode_ids_assigned(self, system):
+        assert system.mode_id("normal") == 0
+        assert system.mode_id("emergency") == 1
+
+    def test_simulate_before_synth_rejected(self, system):
+        with pytest.raises(SystemError_):
+            system.simulator()
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(SystemError_):
+            TTWSystem().synthesize_all()
+
+
+class TestSynthesis:
+    def test_synthesize_all(self, system):
+        schedules = system.synthesize_all()
+        assert set(schedules) == {"normal", "emergency"}
+        assert all(r.ok for r in system.verify_all().values())
+
+    def test_warm_start_variant(self):
+        config = SchedulingConfig(round_length=1.0, slots_per_round=2,
+                                  max_round_gap=None)
+        sys_ = TTWSystem(config, warm_start=True)
+        sys_.add_mode(Mode("m", [
+            closed_loop_pipeline(f"p{i}", period=20, deadline=20, num_hops=2)
+            for i in range(2)
+        ]))
+        schedules = sys_.synthesize_all()
+        assert schedules["m"].num_rounds >= 2
+
+
+class TestSimulation:
+    def test_steady_state(self, system):
+        system.synthesize_all()
+        trace = system.simulate(duration=200.0)
+        assert trace.collision_free
+        assert trace.delivery_rate() == 1.0
+
+    def test_mode_change_by_name(self, system):
+        system.synthesize_all()
+        trace = system.simulate(
+            duration=300.0,
+            mode_requests=[system.request(40.0, "emergency")],
+        )
+        assert len(trace.mode_switches) == 1
+        assert trace.mode_switches[0].to_mode == system.mode_id("emergency")
+
+    def test_with_loss(self, system):
+        system.synthesize_all()
+        trace = system.simulate(
+            duration=500.0,
+            loss=BernoulliLoss(beacon_loss=0.1, data_loss=0.1, seed=3),
+            host_node="a_node1",
+        )
+        assert trace.collision_free
+        assert trace.delivery_rate() < 1.0
+
+
+class TestPersistence:
+    def test_save_requires_synthesis(self, system, tmp_path):
+        with pytest.raises(SystemError_):
+            system.save(tmp_path / "sys.json")
+
+    def test_save_load_simulate(self, system, tmp_path):
+        system.synthesize_all()
+        path = tmp_path / "sys.json"
+        system.save(path)
+        reloaded = TTWSystem.load(path)
+        assert set(reloaded.schedules) == {"normal", "emergency"}
+        trace = reloaded.simulate(duration=200.0)
+        assert trace.collision_free
+        assert trace.delivery_rate() == 1.0
+
+    def test_loaded_schedules_verify(self, system, tmp_path):
+        system.synthesize_all()
+        path = tmp_path / "sys.json"
+        system.save(path)
+        reloaded = TTWSystem.load(path)
+        assert all(r.ok for r in reloaded.verify_all().values())

@@ -1,0 +1,81 @@
+"""Tests of the energy model against the paper's Fig. 7 claims."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timing import (
+    energy_saving,
+    energy_saving_limit,
+    no_rounds_on_time,
+    rounds_on_time,
+    slot_on_time,
+)
+
+
+class TestOnTimes:
+    def test_rounds_on_time_structure(self):
+        expected = slot_on_time(3, 4) + 5 * slot_on_time(10, 4)
+        assert rounds_on_time(10, 4, 5) == pytest.approx(expected)
+
+    def test_no_rounds_eq20(self):
+        per_msg = slot_on_time(3, 4) + slot_on_time(10, 4)
+        assert no_rounds_on_time(10, 4, 5) == pytest.approx(5 * per_msg)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            rounds_on_time(10, 4, 0)
+        with pytest.raises(ValueError):
+            no_rounds_on_time(10, 4, 0)
+
+
+class TestEnergySaving:
+    def test_paper_claim_33_percent_at_b5(self):
+        """Fig. 7: '5-slot rounds already induce 33% energy savings for
+        10 bytes of payload' (H=4, N=2)."""
+        assert energy_saving(10, 4, 5) == pytest.approx(0.33, abs=0.015)
+
+    def test_paper_claim_33_to_40_band(self):
+        """Abstract: 'energy consumption [reduced] by 33-40%'."""
+        for b in range(5, 31):
+            saving = energy_saving(10, 4, b)
+            assert 0.32 <= saving <= 0.40
+
+    def test_single_slot_no_saving(self):
+        # B=1: one beacon per message in both designs.
+        assert energy_saving(10, 4, 1) == pytest.approx(0.0)
+
+    def test_saving_grows_with_slots(self):
+        savings = [energy_saving(10, 4, b) for b in range(1, 20)]
+        assert savings == sorted(savings)
+
+    def test_saving_shrinks_with_payload(self):
+        """Fig. 7: 'savings become less significant as the payload size
+        increases'."""
+        by_payload = [energy_saving(l, 4, 10) for l in (8, 16, 32, 64, 128)]
+        assert by_payload == sorted(by_payload, reverse=True)
+
+    def test_limit_is_supremum(self):
+        limit = energy_saving_limit(10, 4)
+        assert energy_saving(10, 4, 200) < limit
+        assert energy_saving(10, 4, 200) == pytest.approx(limit, abs=0.01)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        payload=st.integers(1, 200),
+        diameter=st.integers(1, 8),
+        slots=st.integers(1, 50),
+    )
+    def test_saving_bounds(self, payload, diameter, slots):
+        saving = energy_saving(payload, diameter, slots)
+        assert 0.0 <= saving < 1.0
+        assert saving <= energy_saving_limit(payload, diameter) + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(payload=st.integers(1, 100), slots=st.integers(2, 40))
+    def test_saving_consistent_with_on_times(self, payload, slots):
+        with_rounds = rounds_on_time(payload, 4, slots)
+        without = no_rounds_on_time(payload, 4, slots)
+        assert energy_saving(payload, 4, slots) == pytest.approx(
+            (without - with_rounds) / without
+        )

@@ -1,0 +1,147 @@
+"""Tests of the slot/flood/round timing model against the paper's numbers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timing import (
+    DEFAULT_CONSTANTS,
+    GlossyConstants,
+    flood_time,
+    hop_time,
+    round_length,
+    round_length_ms,
+    round_timing,
+    slot_off_time,
+    slot_on_time,
+    slot_time,
+    transmission_time,
+)
+
+
+class TestTransmissionTime:
+    def test_eq16(self):
+        # 10 bytes at 250 kbps = 80 bits / 250000 bps = 0.32 ms.
+        assert transmission_time(10, 250e3) == pytest.approx(0.32e-3)
+
+    def test_zero_payload(self):
+        assert transmission_time(0, 250e3) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            transmission_time(-1, 250e3)
+
+
+class TestHopTime:
+    def test_eq15_composition(self):
+        c = DEFAULT_CONSTANTS
+        expected = c.t_d + 8 * (c.l_cal + c.l_header + 10) / c.bitrate
+        assert hop_time(10) == pytest.approx(expected)
+
+    def test_monotone_in_payload(self):
+        assert hop_time(20) > hop_time(10)
+
+
+class TestFloodTime:
+    def test_eq14_step_count(self):
+        # H=4, N=2 -> 7 steps.
+        assert flood_time(10, 4) == pytest.approx(7 * hop_time(10))
+
+    def test_diameter_one(self):
+        # H=1, N=2 -> 4 steps.
+        assert flood_time(10, 1) == pytest.approx(4 * hop_time(10))
+
+    def test_invalid_diameter(self):
+        with pytest.raises(ValueError):
+            flood_time(10, 0)
+
+    def test_custom_n(self):
+        c = GlossyConstants(n_tx=3)
+        assert flood_time(10, 2, c) == pytest.approx(7 * hop_time(10, c))
+
+
+class TestSlotTimes:
+    def test_off_time_eq17(self):
+        c = DEFAULT_CONSTANTS
+        assert slot_off_time() == pytest.approx(c.t_wakeup + c.t_gap)
+
+    def test_on_time_eq18(self):
+        c = DEFAULT_CONSTANTS
+        expected = c.t_start + flood_time(10, 4)
+        assert slot_on_time(10, 4) == pytest.approx(expected)
+
+    def test_slot_is_on_plus_off(self):
+        assert slot_time(10, 4) == pytest.approx(
+            slot_on_time(10, 4) + slot_off_time()
+        )
+
+
+class TestRoundLength:
+    def test_eq19_structure(self):
+        c = DEFAULT_CONSTANTS
+        expected = slot_time(c.l_beacon, 4) + 5 * slot_time(10, 4)
+        assert round_length(10, 4, 5) == pytest.approx(expected)
+
+    def test_paper_spotlight_50ms(self):
+        """Fig. 6: 'a minimum message latency of 50 ms in a 4-hop
+        network using 5-slot rounds' (l = 10 B, N = 2)."""
+        tr = round_length_ms(10, 4, 5)
+        assert tr == pytest.approx(50.0, rel=0.02)
+
+    def test_zero_slots_is_beacon_only(self):
+        assert round_length(10, 4, 0) == pytest.approx(
+            slot_time(DEFAULT_CONSTANTS.l_beacon, 4)
+        )
+
+    def test_negative_slots_rejected(self):
+        with pytest.raises(ValueError):
+            round_length(10, 4, -1)
+
+    def test_round_timing_breakdown(self):
+        timing = round_timing(10, 4, 5)
+        assert timing.total == pytest.approx(
+            timing.beacon_slot + 5 * timing.data_slot
+        )
+        assert timing.radio_on + timing.radio_off == pytest.approx(timing.total)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        payload=st.integers(0, 128),
+        diameter=st.integers(1, 10),
+        slots=st.integers(0, 20),
+    )
+    def test_monotonicity(self, payload, diameter, slots):
+        base = round_length(payload, diameter, slots)
+        assert round_length(payload + 1, diameter, slots) >= base
+        assert round_length(payload, diameter + 1, slots) > base
+        assert round_length(payload, diameter, slots + 1) > base
+
+
+class TestConstantsValidation:
+    def test_defaults_match_table1(self):
+        c = DEFAULT_CONSTANTS
+        assert c.t_wakeup == pytest.approx(750e-6)
+        assert c.t_start == pytest.approx(164e-6)
+        assert c.t_d == pytest.approx(68e-6)
+        assert c.l_cal == 3
+        assert c.l_header == 6
+        assert c.t_gap == pytest.approx(3e-3)
+        assert c.bitrate == pytest.approx(250e3)
+        assert c.l_beacon == 3
+        assert c.n_tx == 2
+
+    def test_invalid_bitrate(self):
+        with pytest.raises(ValueError):
+            GlossyConstants(bitrate=0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            GlossyConstants(n_tx=0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            GlossyConstants(t_gap=-1e-3)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            GlossyConstants(l_header=-1)

@@ -1,0 +1,95 @@
+"""Tests of the random workload generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import GeneratorConfig, WorkloadGenerator
+
+
+class TestGeneratorConfig:
+    def test_defaults_valid(self):
+        GeneratorConfig()
+
+    def test_invalid_tasks(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(num_tasks=0)
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(num_nodes=0)
+
+    def test_invalid_deadline_factor(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(deadline_factor=0.0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(deadline_factor=1.5)
+
+
+class TestGeneratedApplications:
+    def test_reproducible(self):
+        a1 = WorkloadGenerator(seed=5).application("a")
+        a2 = WorkloadGenerator(seed=5).application("a")
+        assert [t.node for t in a1.tasks.values()] == [
+            t.node for t in a2.tasks.values()
+        ]
+        assert set(a1.messages) == set(a2.messages)
+
+    def test_different_seeds_differ(self):
+        apps = [
+            WorkloadGenerator(seed=s).application("a") for s in range(8)
+        ]
+        signatures = {
+            tuple(sorted((t.name, t.node) for t in a.tasks.values()))
+            for a in apps
+        }
+        assert len(signatures) > 1
+
+    def test_requested_task_count(self):
+        config = GeneratorConfig(num_tasks=7)
+        app = WorkloadGenerator(config, seed=1).application("a")
+        assert len(app.tasks) == 7
+
+    def test_all_layers_connected(self):
+        """Every non-source task has at least one preceding message."""
+        config = GeneratorConfig(num_tasks=8, layers=3)
+        app = WorkloadGenerator(config, seed=3).application("a")
+        sources = set(app.source_tasks())
+        for t in app.tasks:
+            if t not in sources:
+                assert app.task_preds[t]
+
+    def test_deadline_factor_applied(self):
+        config = GeneratorConfig(deadline_factor=0.5, period_choices=(40.0,))
+        app = WorkloadGenerator(config, seed=1).application("a")
+        assert app.deadline == pytest.approx(20.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        num_tasks=st.integers(1, 10),
+        layers=st.integers(1, 5),
+        fanout=st.integers(1, 4),
+    )
+    def test_always_valid(self, seed, num_tasks, layers, fanout):
+        config = GeneratorConfig(
+            num_tasks=num_tasks, layers=layers, fanout=fanout, num_nodes=6
+        )
+        app = WorkloadGenerator(config, seed=seed).application("a")
+        app.validate()  # raises on any structural problem
+        assert app.chains()
+
+
+class TestGeneratedModes:
+    def test_mode_size(self):
+        mode = WorkloadGenerator(seed=2).mode("m", 3)
+        assert len(mode.applications) == 3
+        mode.validate()
+
+    def test_unique_names_across_apps(self):
+        mode = WorkloadGenerator(seed=2).mode("m", 3)
+        names = []
+        for app in mode.applications:
+            names.extend(app.tasks)
+            names.extend(app.messages)
+        assert len(names) == len(set(names))

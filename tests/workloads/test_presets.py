@@ -1,0 +1,78 @@
+"""Tests of the workload presets."""
+
+import pytest
+
+from repro.core import Mode, SchedulingConfig, synthesize, verify_schedule
+from repro.workloads import (
+    closed_loop_pipeline,
+    emergency_mode,
+    fig3_control_app,
+    industrial_mode,
+)
+
+
+class TestFig3App:
+    def test_structure_matches_paper(self):
+        app = fig3_control_app()
+        app.validate()
+        assert len(app.tasks) == 5
+        assert len(app.messages) == 3
+        assert set(app.source_tasks()) == {"ctrl_sense1", "ctrl_sense2"}
+        assert set(app.sink_tasks()) == {"ctrl_act1", "ctrl_act2"}
+        # m3 is multicast to both actuators.
+        assert len(app.msg_consumers["ctrl_m3"]) == 2
+
+    def test_custom_nodes(self):
+        app = fig3_control_app(nodes=("a", "b", "c", "d", "e"))
+        assert app.tasks["ctrl_control"].node == "c"
+
+    def test_wrong_node_count(self):
+        with pytest.raises(ValueError):
+            fig3_control_app(nodes=("a", "b"))
+
+    def test_schedulable(self, unit_config):
+        app = fig3_control_app(period=30, deadline=30, sense_wcet=1,
+                               control_wcet=2, act_wcet=1)
+        mode = Mode("m", [app])
+        sched = synthesize(mode, unit_config)
+        assert verify_schedule(mode, sched).ok
+
+
+class TestClosedLoopPipeline:
+    @pytest.mark.parametrize("hops", [1, 2, 4])
+    def test_hop_count(self, hops):
+        app = closed_loop_pipeline(num_hops=hops)
+        chains = app.chains()
+        assert len(chains) == 1
+        assert len(chains[0].messages) == hops
+
+    def test_distinct_nodes(self):
+        app = closed_loop_pipeline("x", num_hops=3)
+        nodes = [t.node for t in app.tasks.values()]
+        assert len(set(nodes)) == len(nodes)
+
+
+class TestModes:
+    def test_industrial_mode_harmonic(self):
+        mode = industrial_mode(num_loops=3, base_period=100.0)
+        periods = sorted(a.period for a in mode.applications)
+        assert periods == [100.0, 200.0, 400.0]
+        assert mode.hyperperiod == 400.0
+        mode.validate()
+
+    def test_industrial_mode_disjoint_nodes(self):
+        mode = industrial_mode(num_loops=2)
+        nodes = [set(a.nodes()) for a in mode.applications]
+        assert nodes[0] & nodes[1] == set()
+
+    def test_emergency_mode(self):
+        mode = emergency_mode(period=40.0)
+        assert mode.hyperperiod == 40.0
+        mode.validate()
+
+    def test_industrial_mode_schedulable(self):
+        mode = industrial_mode(num_loops=2, base_period=50.0)
+        config = SchedulingConfig(round_length=2.0, slots_per_round=5,
+                                  max_round_gap=None)
+        sched = synthesize(mode, config)
+        assert verify_schedule(mode, sched).ok
