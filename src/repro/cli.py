@@ -4,11 +4,18 @@ Commands:
 
 * ``synth``    — synthesize schedules for a workload JSON file and
   write the system image (modes + schedules) back to disk;
+* ``batch``    — synthesize many workload files over one shared
+  process pool and schedule cache;
 * ``verify``   — re-verify every schedule in a system file;
 * ``simulate`` — execute a system file for a given duration and print
   trace statistics;
 * ``figures``  — print the paper's Fig. 6 / Fig. 7 data;
 * ``gantt``    — render a mode's schedule as an ASCII chart.
+
+``synth`` and ``batch`` accept ``--jobs N`` (speculative parallel
+Algorithm 1 over N worker processes) and ``--cache-dir DIR`` (persistent
+content-addressed schedule cache; a re-run on unchanged inputs never
+invokes the solver).
 
 The workload JSON for ``synth`` is a list of mode records (see
 :func:`repro.io.serialize.mode_from_dict`) plus a ``config`` record::
@@ -35,18 +42,19 @@ from .analysis import (
     format_table,
     render_gantt,
 )
-from .io.serialize import (
-    SerializationError,
-    config_from_dict,
-    mode_from_dict,
-)
+from .io.serialize import SerializationError, config_from_dict, mode_from_dict
 from .system import TTWSystem
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
     spec = json.loads(Path(args.workload).read_text())
     config = config_from_dict(spec["config"])
-    system = TTWSystem(config, warm_start=args.warm_start)
+    system = TTWSystem(
+        config,
+        warm_start=args.warm_start,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
     for record in spec["modes"]:
         system.add_mode(mode_from_dict(record))
     schedules = system.synthesize_all()
@@ -55,9 +63,94 @@ def _cmd_synth(args: argparse.Namespace) -> int:
             f"mode {name!r}: {schedule.num_rounds} rounds, "
             f"total latency {schedule.total_latency:.3f}"
         )
+    if system.engine_stats is not None and args.cache_dir is not None:
+        print(f"engine: {system.engine_stats}")
     system.save(args.output)
     print(f"wrote {args.output}")
     return 0
+
+
+def _batch_output_paths(workloads: List[str], output_dir: Path) -> List[Path]:
+    """One output path per workload file, disambiguating equal stems."""
+    paths: List[Path] = []
+    used: dict = {}
+    for workload in workloads:
+        stem = Path(workload).stem
+        count = used.get(stem, 0)
+        used[stem] = count + 1
+        suffix = f"-{count + 1}" if count else ""
+        paths.append(output_dir / f"{stem}{suffix}.system.json")
+    return paths
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .core import verify_schedule
+    from .engine import EngineStats, ScheduleCache, run_cached_batch
+    from .io.serialize import save_system
+
+    cache = ScheduleCache(args.cache_dir) if args.cache_dir else None
+    output_dir = Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    outputs = _batch_output_paths(args.workloads, output_dir)
+
+    # Parse every file up front so one pool serves the whole batch.
+    files = []  # (workload, output, modes)
+    problems = []  # (mode, config) across all files
+    for workload, out in zip(args.workloads, outputs):
+        spec = json.loads(Path(workload).read_text())
+        config = config_from_dict(spec["config"])
+        modes = [mode_from_dict(record) for record in spec["modes"]]
+        names = [mode.name for mode in modes]
+        if len(set(names)) != len(names):
+            raise SerializationError(
+                f"{workload}: duplicate mode names {names}"
+            )
+        problems.extend((mode, config) for mode in modes)
+        files.append((workload, out, modes))
+
+    stats = EngineStats()
+    schedules = run_cached_batch(
+        problems,
+        jobs=args.jobs,
+        cache=cache,
+        warm_start=not args.no_warm_start,
+        stats=stats,
+    )
+
+    cursor = 0
+    failures = 0
+    for workload, out, modes in files:
+        by_name = {}
+        file_failures = 0
+        for mode in modes:
+            schedule = schedules[cursor]
+            cursor += 1
+            report = verify_schedule(mode, schedule)
+            if not report.ok:
+                for violation in report.violations:
+                    print(
+                        f"{Path(workload).name} :: mode {mode.name!r}: "
+                        f"VIOLATION {violation}",
+                        file=sys.stderr,
+                    )
+                file_failures += 1
+                continue
+            by_name[mode.name] = schedule
+            print(
+                f"{Path(workload).name} :: mode {mode.name!r}: "
+                f"{schedule.num_rounds} rounds, "
+                f"total latency {schedule.total_latency:.3f}"
+            )
+        if file_failures:
+            failures += file_failures
+            continue  # don't write a partial/unverified system file
+        save_system(out, modes, by_name)
+        print(f"wrote {out}")
+    print(
+        f"batch done: {len(problems)} mode(s) from {len(args.workloads)} "
+        f"workload file(s), engine: {stats}"
+    )
+    return 1 if failures else 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -121,6 +214,13 @@ def _cmd_gantt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -131,8 +231,30 @@ def build_parser() -> argparse.ArgumentParser:
     synth = sub.add_parser("synth", help="synthesize schedules")
     synth.add_argument("workload", help="workload spec JSON")
     synth.add_argument("-o", "--output", default="system.json")
-    synth.add_argument("--warm-start", action="store_true")
+    synth.add_argument("--warm-start", action="store_true",
+                       help="start Algorithm 1 at the demand lower bound "
+                            "(default: off — the paper's exact loop)")
+    synth.add_argument("-j", "--jobs", type=_positive_int, default=1,
+                       help="parallel solver processes (default: 1)")
+    synth.add_argument("--cache-dir", default=None,
+                       help="persistent schedule cache directory")
     synth.set_defaults(func=_cmd_synth)
+
+    batch = sub.add_parser(
+        "batch", help="synthesize many workload files over one pool/cache"
+    )
+    batch.add_argument("workloads", nargs="+", help="workload spec JSON files")
+    batch.add_argument("-O", "--output-dir", default=".",
+                       help="directory for <stem>.system.json outputs")
+    batch.add_argument("-j", "--jobs", type=_positive_int, default=1,
+                       help="parallel solver processes (default: 1)")
+    batch.add_argument("--cache-dir", default=None,
+                       help="persistent schedule cache directory")
+    batch.add_argument("--no-warm-start", action="store_true",
+                       help="disable the demand-bound warm start "
+                            "(batch defaults to warm starts ON, unlike "
+                            "synth; schedules are identical either way)")
+    batch.set_defaults(func=_cmd_batch)
 
     verify = sub.add_parser("verify", help="verify a system file")
     verify.add_argument("system")
@@ -164,7 +286,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (SerializationError, FileNotFoundError, KeyError) as exc:
+    except (
+        SerializationError,
+        json.JSONDecodeError,
+        FileNotFoundError,
+        KeyError,
+    ) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

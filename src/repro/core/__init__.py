@@ -29,7 +29,9 @@ from .schedule import (
 from .synthesis import (
     InfeasibleError,
     demand_round_bound,
+    extract_schedule,
     max_rounds,
+    solve_fixed_rounds,
     synthesize,
 )
 from .verify import VerificationReport, verify_schedule
@@ -60,6 +62,7 @@ __all__ = [
     "demand_round_bound",
     "drp_latency_bound",
     "early_sleep_saving",
+    "extract_schedule",
     "latency_lower_bound",
     "lcm_times",
     "leftover_instances",
@@ -67,6 +70,7 @@ __all__ = [
     "max_rounds",
     "schedule_latencies",
     "slot_tables_per_node",
+    "solve_fixed_rounds",
     "synthesize",
     "ttw_vs_drp_speedup",
     "verify_schedule",

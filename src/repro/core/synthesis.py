@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..milp import SolveStatus
 from .ilp_builder import IlpHandles, build_ilp
@@ -58,6 +58,40 @@ def demand_round_bound(mode: Mode, config: SchedulingConfig) -> int:
     return math.ceil(total / config.slots_per_round)
 
 
+def solve_fixed_rounds(
+    mode: Mode, config: SchedulingConfig, num_rounds: int
+) -> Tuple[IterationStats, IlpHandles, "object"]:
+    """One iteration of Algorithm 1: build and solve the ILP for a fixed
+    round count ``R_M = num_rounds``.
+
+    This is the unit of work shared by the sequential loop below and by
+    the parallel workers in :mod:`repro.engine`, which run several round
+    counts speculatively.
+
+    Returns:
+        ``(stats, handles, solution)`` — the iteration record, the model
+        handles, and the raw solver solution (meaningful only when
+        ``stats.feasible``).
+    """
+    handles = build_ilp(mode, num_rounds, config)
+    solve_start = time.monotonic()
+    solution = handles.model.solve(
+        backend=config.backend, time_limit=config.time_limit
+    )
+    solve_time = time.monotonic() - solve_start
+    feasible = solution.status is SolveStatus.OPTIMAL
+    stats = IterationStats(
+        num_rounds=num_rounds,
+        feasible=feasible,
+        solve_time=solve_time,
+        num_vars=handles.model.num_vars,
+        num_constraints=handles.model.num_constraints,
+        objective=solution.objective if feasible else None,
+        nodes=solution.nodes,
+    )
+    return stats, handles, solution
+
+
 def synthesize(
     mode: Mode,
     config: Optional[SchedulingConfig] = None,
@@ -93,33 +127,17 @@ def synthesize(
     started = time.monotonic()
 
     for num_rounds in range(min_rounds, r_max + 1):
-        handles = build_ilp(mode, num_rounds, config)
-        solve_start = time.monotonic()
-        solution = handles.model.solve(
-            backend=config.backend, time_limit=config.time_limit
-        )
-        solve_time = time.monotonic() - solve_start
-        feasible = solution.status is SolveStatus.OPTIMAL
-        stats.iterations.append(
-            IterationStats(
-                num_rounds=num_rounds,
-                feasible=feasible,
-                solve_time=solve_time,
-                num_vars=handles.model.num_vars,
-                num_constraints=handles.model.num_constraints,
-                objective=solution.objective if feasible else None,
-                nodes=solution.nodes,
-            )
-        )
-        if feasible:
+        iteration, handles, solution = solve_fixed_rounds(mode, config, num_rounds)
+        stats.iterations.append(iteration)
+        if iteration.feasible:
             stats.total_time = time.monotonic() - started
-            return _extract_schedule(mode, config, handles, solution, stats)
+            return extract_schedule(mode, config, handles, solution, stats)
 
     stats.total_time = time.monotonic() - started
     raise InfeasibleError(mode, stats)
 
 
-def _extract_schedule(
+def extract_schedule(
     mode: Mode,
     config: SchedulingConfig,
     handles: IlpHandles,

@@ -1,0 +1,29 @@
+"""Synthesis engine: parallel speculative Algorithm 1 + schedule cache.
+
+This package scales the paper's offline synthesis to sweep-sized
+workloads without changing its results:
+
+* :func:`synthesize_parallel` — speculative parallel iteration over the
+  candidate round counts of one mode;
+* :func:`synthesize_many` / :func:`synthesize_batch` — batch synthesis
+  of whole mode sets (or heterogeneous ``(mode, config)`` problems)
+  over a shared process pool with shared warm-start bounds;
+* :class:`ScheduleCache` — persistent, content-addressed memoization of
+  ``(Mode, SchedulingConfig) -> ModeSchedule``;
+* :class:`SynthesisEngine` — the facade composing cache and pool.
+"""
+
+from .api import EngineStats, SynthesisEngine, run_cached_batch
+from .cache import CacheStats, ScheduleCache
+from .parallel import synthesize_batch, synthesize_many, synthesize_parallel
+
+__all__ = [
+    "CacheStats",
+    "EngineStats",
+    "ScheduleCache",
+    "SynthesisEngine",
+    "run_cached_batch",
+    "synthesize_batch",
+    "synthesize_many",
+    "synthesize_parallel",
+]

@@ -1,0 +1,187 @@
+"""The synthesis engine facade: cache in front, pool behind.
+
+:class:`SynthesisEngine` is the one-stop entry point for schedule
+synthesis at scale.  It composes the two throughput mechanisms of this
+package around the paper's Algorithm 1:
+
+1. every request first consults the persistent
+   :class:`~repro.engine.cache.ScheduleCache` (when configured) — a hit
+   skips the solver entirely;
+2. misses are solved with speculative parallel iteration
+   (:mod:`repro.engine.parallel`) over a process pool, batching whole
+   mode sets onto shared workers.
+
+The engine never changes *what* is synthesized — results are equal to
+the sequential :func:`repro.core.synthesis.synthesize` — only how fast
+the answer arrives and whether it must be recomputed at all.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..core.modes import Mode
+from ..core.schedule import ModeSchedule, SchedulingConfig
+from ..io.serialize import synthesis_fingerprint
+from .cache import ScheduleCache
+from .parallel import synthesize_batch, synthesize_parallel
+
+
+@dataclass
+class EngineStats:
+    """What one engine did: cache traffic and solver work."""
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    modes_synthesized: int = 0
+    solver_runs: int = 0
+    total_time: float = 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"cache: {self.cache_hits} hit(s), {self.cache_misses} miss(es); "
+            f"solver runs: {self.solver_runs}; "
+            f"synthesized {self.modes_synthesized} mode(s) "
+            f"in {self.total_time:.3f}s"
+        )
+
+
+def run_cached_batch(
+    problems: Sequence[tuple],
+    jobs: int = 1,
+    cache: Optional[ScheduleCache] = None,
+    warm_start: bool = True,
+    stats: Optional[EngineStats] = None,
+) -> List[ModeSchedule]:
+    """Cache-aware batch synthesis of ``(mode, config)`` problems.
+
+    The full engine pipeline as one function: consult the cache, dedupe
+    identical problems (by content fingerprint) so each distinct ILP
+    sequence is solved once, solve the misses over one shared pool, and
+    store the results back.  Both :meth:`SynthesisEngine.synthesize_many`
+    and the CLI ``batch`` command are thin wrappers over this.
+
+    Args:
+        problems: ``(mode, config)`` pairs; configs may differ.
+        jobs: Worker processes for the miss pool.
+        cache: Optional persistent cache consulted/updated per problem.
+        warm_start: Seed searches at the demand lower bound.
+        stats: Counters to update in place (a fresh object by default).
+
+    Returns:
+        Schedules aligned with ``problems``.  Duplicate problems share
+        one schedule object.
+    """
+    stats = stats if stats is not None else EngineStats()
+    started = time.monotonic()
+    results: List[Optional[ModeSchedule]] = [None] * len(problems)
+    occurrences: Dict[str, List[int]] = {}
+    to_solve: List[tuple] = []  # (fingerprint, mode, config), first seen
+    for index, (mode, config) in enumerate(problems):
+        cached = cache.get(mode, config) if cache is not None else None
+        if cached is not None:
+            stats.cache_hits += 1
+            results[index] = cached
+            continue
+        if cache is not None:
+            stats.cache_misses += 1
+        key = synthesis_fingerprint(mode, config)
+        if key in occurrences:
+            occurrences[key].append(index)
+        else:
+            occurrences[key] = [index]
+            to_solve.append((key, mode, config))
+
+    solved = synthesize_batch(
+        [(mode, config) for _, mode, config in to_solve],
+        jobs=jobs,
+        warm_start=warm_start,
+    )
+    for (key, mode, config), schedule in zip(to_solve, solved):
+        stats.solver_runs += len(
+            schedule.solve_stats.iterations if schedule.solve_stats else ()
+        )
+        if cache is not None:
+            cache.put(mode, config, schedule)
+        for index in occurrences[key]:
+            results[index] = schedule
+
+    stats.modes_synthesized += len(to_solve)
+    stats.total_time += time.monotonic() - started
+    return results
+
+
+class SynthesisEngine:
+    """Cached, parallel schedule synthesis for modes and mode sets.
+
+    Args:
+        config: Scheduling parameters shared by all requests.
+        jobs: Worker processes for speculative/batch solving; ``1``
+            keeps everything in-process and sequential.
+        cache: An existing :class:`ScheduleCache` to share (e.g. across
+            engines with different configs in one sweep).
+        cache_dir: Convenience: build a :class:`ScheduleCache` at this
+            directory.  Ignored when ``cache`` is given; ``None`` (and
+            no ``cache``) disables caching.
+        warm_start: Seed each search at the demand lower bound
+            (preserves round-minimality; see
+            :func:`repro.core.synthesis.demand_round_bound`).
+    """
+
+    def __init__(
+        self,
+        config: Optional[SchedulingConfig] = None,
+        jobs: int = 1,
+        cache: Optional[ScheduleCache] = None,
+        cache_dir: Optional[str | Path] = None,
+        warm_start: bool = True,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.config = config or SchedulingConfig()
+        self.jobs = jobs
+        self.cache = cache if cache is not None else (
+            ScheduleCache(cache_dir) if cache_dir is not None else None
+        )
+        self.warm_start = warm_start
+        self.stats = EngineStats()
+
+    # -- single mode -----------------------------------------------------
+    def synthesize(self, mode: Mode) -> ModeSchedule:
+        """Round-minimal schedule for one mode (cache, then solve)."""
+        return self.synthesize_many([mode])[mode.name]
+
+    # -- batches ---------------------------------------------------------
+    def synthesize_many(self, modes: Sequence[Mode]) -> Dict[str, ModeSchedule]:
+        """Schedule a whole mode set; cache hits never touch the pool.
+
+        Returns:
+            Mapping from mode name to schedule, covering every input
+            mode.
+
+        Raises:
+            repro.core.synthesis.InfeasibleError: if any uncached mode
+                is unschedulable.
+        """
+        names = [mode.name for mode in modes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate mode names in batch: {names}")
+        results = run_cached_batch(
+            [(mode, self.config) for mode in modes],
+            jobs=self.jobs,
+            cache=self.cache,
+            warm_start=self.warm_start,
+            stats=self.stats,
+        )
+        return {mode.name: schedule for mode, schedule in zip(modes, results)}
+
+
+__all__ = [
+    "EngineStats",
+    "SynthesisEngine",
+    "run_cached_batch",
+    "synthesize_parallel",
+]

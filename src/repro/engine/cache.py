@@ -1,0 +1,125 @@
+"""Persistent schedule cache keyed by problem content.
+
+Synthesizing a schedule means solving a sequence of ILPs — seconds to
+minutes of solver time — yet the result is a pure function of the
+``(Mode, SchedulingConfig)`` pair.  :class:`ScheduleCache` memoizes that
+function on disk: entries are addressed by the canonical content hash
+from :func:`repro.io.serialize.synthesis_fingerprint`, so repeated
+syntheses across parameter sweeps, mode graphs, and CLI invocations cost
+one JSON read instead of a solver run.
+
+Any change to the problem inputs — an application's period, a WCET, the
+round length, the backend — changes the fingerprint and therefore misses
+the cache; stale entries are never returned.  Corrupt or
+version-incompatible files are treated as misses and removed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from ..core.modes import Mode
+from ..core.schedule import ModeSchedule, SchedulingConfig
+from ..io.serialize import (
+    SCHEMA_VERSION,
+    SerializationError,
+    schedule_from_dict,
+    schedule_to_dict,
+    synthesis_fingerprint,
+)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one :class:`ScheduleCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.hits} hit(s), {self.misses} miss(es), {self.stores} store(s)"
+
+
+class ScheduleCache:
+    """Content-addressed store of synthesized schedules.
+
+    Args:
+        cache_dir: Directory holding one ``<fingerprint>.json`` file per
+            cached schedule; created on first use.
+
+    Entries round-trip through :func:`repro.io.serialize.schedule_to_dict`,
+    so a cached schedule verifies exactly like a freshly synthesized one.
+    Per-run solver statistics (``solve_stats``) are not part of the
+    schedule image and are absent on cached copies.
+    """
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.stats = CacheStats()
+
+    def key(self, mode: Mode, config: SchedulingConfig) -> str:
+        """The content hash addressing ``(mode, config)``."""
+        return synthesis_fingerprint(mode, config)
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    def get(self, mode: Mode, config: SchedulingConfig) -> Optional[ModeSchedule]:
+        """Return the cached schedule, or ``None`` on a miss."""
+        path = self._path(self.key(mode, config))
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != SCHEMA_VERSION:
+                raise SerializationError(f"schema {payload.get('schema')!r}")
+            schedule = schedule_from_dict(payload["schedule"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (SerializationError, json.JSONDecodeError, KeyError, TypeError):
+            # Unreadable entry: drop it and treat as a miss.
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return schedule
+
+    def put(
+        self, mode: Mode, config: SchedulingConfig, schedule: ModeSchedule
+    ) -> str:
+        """Store ``schedule`` for ``(mode, config)``; returns the key."""
+        key = self.key(mode, config)
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "fingerprint": key,
+            "mode_name": mode.name,
+            "schedule": schedule_to_dict(schedule),
+        }
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        # Write-then-rename so concurrent readers never see a torn file.
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        tmp.replace(path)
+        self.stats.stores += 1
+        return key
+
+    def clear(self) -> int:
+        """Delete all entries; returns how many were removed."""
+        removed = 0
+        if self.cache_dir.is_dir():
+            for entry in self.cache_dir.glob("*.json"):
+                entry.unlink()
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*.json"))
+
+    def __repr__(self) -> str:
+        return f"ScheduleCache({str(self.cache_dir)!r}, {self.stats})"

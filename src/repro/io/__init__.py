@@ -6,6 +6,7 @@ from .serialize import (
     SerializationError,
     application_from_dict,
     application_to_dict,
+    canonical_dumps,
     config_from_dict,
     config_to_dict,
     load_system,
@@ -14,6 +15,7 @@ from .serialize import (
     save_system,
     schedule_from_dict,
     schedule_to_dict,
+    synthesis_fingerprint,
 )
 
 __all__ = [
@@ -21,6 +23,7 @@ __all__ = [
     "SerializationError",
     "application_from_dict",
     "application_to_dict",
+    "canonical_dumps",
     "config_from_dict",
     "config_to_dict",
     "load_system",
@@ -29,4 +32,5 @@ __all__ = [
     "save_system",
     "schedule_from_dict",
     "schedule_to_dict",
+    "synthesis_fingerprint",
 ]

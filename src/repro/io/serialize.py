@@ -15,6 +15,7 @@ All dictionaries are plain JSON-compatible types.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Dict, List, Tuple
@@ -104,6 +105,7 @@ def config_to_dict(config: SchedulingConfig) -> dict:
         "mm": config.mm,
         "big_m": config.big_m,
         "backend": config.backend,
+        "time_limit": config.time_limit,
         "minimize_latency": config.minimize_latency,
     }
 
@@ -116,6 +118,7 @@ def config_from_dict(data: dict) -> SchedulingConfig:
         mm=data.get("mm", 1e-4),
         big_m=data.get("big_m"),
         backend=data.get("backend", "highs"),
+        time_limit=data.get("time_limit"),
         minimize_latency=data.get("minimize_latency", True),
     )
 
@@ -166,6 +169,47 @@ def schedule_from_dict(data: dict) -> ModeSchedule:
         raise SerializationError(f"malformed schedule record: {exc}") from exc
     schedule.total_latency = sum(schedule.app_latencies.values())
     return schedule
+
+
+# -- canonical hashing ---------------------------------------------------------
+
+
+def canonical_dumps(data: dict) -> str:
+    """Serialize ``data`` to a canonical JSON string.
+
+    Key order and whitespace are normalized so equal inputs always
+    produce byte-identical text — the property the schedule cache needs
+    for stable content addressing.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def synthesis_fingerprint(mode: Mode, config: SchedulingConfig) -> str:
+    """Stable content hash of a synthesis problem ``(mode, config)``.
+
+    Hashes agree whenever the problem inputs agree, independent of
+    object identity, process, platform, or construction order:
+    applications, tasks, and precedence edges are sorted before hashing,
+    and ``mode_id`` is excluded (it labels the mode inside a mode graph
+    but does not influence the synthesized schedule).  Note the solver
+    may break ties between equally-optimal schedules differently for
+    differently-ordered inputs; the cache still returns *a* verified
+    round-minimal schedule for the problem.
+    """
+    mode_data = mode_to_dict(mode)
+    mode_data.pop("mode_id", None)
+    mode_data["applications"] = sorted(
+        mode_data["applications"], key=lambda app: app["name"]
+    )
+    for app in mode_data["applications"]:
+        app["tasks"] = sorted(app["tasks"], key=lambda task: task["name"])
+        app["edges"] = sorted(tuple(edge) for edge in app["edges"])
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "mode": mode_data,
+        "config": config_to_dict(config),
+    }
+    return hashlib.sha256(canonical_dumps(payload).encode("utf-8")).hexdigest()
 
 
 # -- whole systems -------------------------------------------------------------

@@ -191,7 +191,6 @@ def solve_branch_and_bound(
         branch_var = _most_fractional(x, lp.integral)
         if branch_var is None:
             # Integral solution: new incumbent.
-            incumbent_x = np.round(np.where(lp.integral, np.round(x), x), 12)
             incumbent_x = np.where(lp.integral, np.round(x), x)
             incumbent_obj = value
             continue

@@ -25,7 +25,6 @@ from typing import Dict, List, Optional, Sequence
 
 from .core.modes import Mode, ModeGraph
 from .core.schedule import ModeSchedule, SchedulingConfig
-from .core.synthesis import synthesize
 from .core.verify import VerificationReport, verify_schedule
 from .runtime.deployment import ModeDeployment, build_deployment
 from .runtime.loss import LossModel
@@ -43,13 +42,24 @@ class TTWSystem:
     Args:
         config: Scheduling parameters shared by all modes.
         warm_start: Use the demand-bound warm start in Algorithm 1.
+        jobs: Worker processes for the synthesis engine; ``1`` (default)
+            synthesizes sequentially in-process, exactly like the paper.
+        cache_dir: Enable the persistent schedule cache at this
+            directory (see :class:`repro.engine.ScheduleCache`).
     """
 
     def __init__(
-        self, config: Optional[SchedulingConfig] = None, warm_start: bool = False
+        self,
+        config: Optional[SchedulingConfig] = None,
+        warm_start: bool = False,
+        jobs: int = 1,
+        cache_dir: Optional[str | Path] = None,
     ) -> None:
         self.config = config or SchedulingConfig()
         self.warm_start = warm_start
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+        self.engine_stats = None
         self.mode_graph = ModeGraph()
         self.schedules: Dict[str, ModeSchedule] = {}
         self.deployments: Dict[int, ModeDeployment] = {}
@@ -75,16 +85,32 @@ class TTWSystem:
     def synthesize_all(self, verify: bool = True) -> Dict[str, ModeSchedule]:
         """Run Algorithm 1 for every mode; optionally verify each result.
 
+        Synthesis goes through :class:`repro.engine.SynthesisEngine`, so
+        ``jobs > 1`` solves the mode set over a shared process pool and
+        ``cache_dir`` reuses previously synthesized schedules; the
+        defaults reproduce the paper's sequential loop.  Engine counters
+        (cache hits, solver runs) are left in :attr:`engine_stats`.
+
         Raises:
             repro.core.synthesis.InfeasibleError: if any mode is
                 unschedulable.
             SystemError_: if verification fails (indicates a bug —
                 synthesized schedules must always verify).
         """
+        from .engine import SynthesisEngine
+
         if not self.mode_graph.modes:
             raise SystemError_("no modes registered")
+        engine = SynthesisEngine(
+            self.config,
+            jobs=self.jobs,
+            cache_dir=self.cache_dir,
+            warm_start=self.warm_start,
+        )
+        schedules = engine.synthesize_many(self.modes)
+        self.engine_stats = engine.stats
         for mode in self.modes:
-            schedule = synthesize(mode, self.config, warm_start=self.warm_start)
+            schedule = schedules[mode.name]
             if verify:
                 report = verify_schedule(mode, schedule)
                 if not report.ok:

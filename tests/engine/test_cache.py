@@ -1,0 +1,178 @@
+"""Persistent schedule cache: hits, misses, and invalidation."""
+
+import json
+
+import pytest
+
+from repro.core import Mode, SchedulingConfig, synthesize, verify_schedule
+from repro.engine import ScheduleCache, SynthesisEngine
+from repro.io import mode_from_dict, mode_to_dict, synthesis_fingerprint
+from repro.workloads import closed_loop_pipeline
+
+
+@pytest.fixture
+def mode():
+    return Mode("cached", [
+        closed_loop_pipeline("a", period=20, deadline=20, num_hops=1),
+    ])
+
+
+@pytest.fixture
+def config():
+    return SchedulingConfig(round_length=1.0, slots_per_round=5, max_round_gap=None)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ScheduleCache(tmp_path / "cache")
+
+
+class TestFingerprint:
+    def test_stable_across_round_trip(self, mode, config):
+        rebuilt = mode_from_dict(mode_to_dict(mode))
+        assert synthesis_fingerprint(mode, config) == synthesis_fingerprint(
+            rebuilt, config
+        )
+
+    def test_ignores_mode_id(self, mode, config):
+        relabeled = Mode("cached", mode.applications, mode_id=7)
+        assert synthesis_fingerprint(mode, config) == synthesis_fingerprint(
+            relabeled, config
+        )
+
+    def test_ignores_construction_order(self, config):
+        from repro.core import Application
+
+        def build(reversed_tasks):
+            app = Application("o", period=20, deadline=20)
+            names = ["o_b", "o_a"] if reversed_tasks else ["o_a", "o_b"]
+            for name in names:
+                app.add_task(name, node=f"n{name[-1]}", wcet=1)
+            app.add_message("o_m")
+            app.connect("o_a", "o_m")
+            app.connect("o_m", "o_b")
+            return Mode("ordered", [app])
+
+        assert synthesis_fingerprint(build(False), config) == \
+            synthesis_fingerprint(build(True), config)
+
+    def test_config_changes_fingerprint(self, mode, config):
+        other = SchedulingConfig(round_length=2.0, slots_per_round=5,
+                                 max_round_gap=None)
+        assert synthesis_fingerprint(mode, config) != synthesis_fingerprint(
+            mode, other
+        )
+
+    def test_workload_changes_fingerprint(self, mode, config):
+        other = Mode("cached", [
+            closed_loop_pipeline("a", period=40, deadline=40, num_hops=1),
+        ])
+        assert synthesis_fingerprint(mode, config) != synthesis_fingerprint(
+            other, config
+        )
+
+
+class TestCacheBehavior:
+    def test_miss_then_hit(self, cache, mode, config):
+        assert cache.get(mode, config) is None
+        schedule = synthesize(mode, config)
+        cache.put(mode, config, schedule)
+        cached = cache.get(mode, config)
+        assert cached is not None
+        assert cached.num_rounds == schedule.num_rounds
+        assert cached.task_offsets == schedule.task_offsets
+        assert cached.total_latency == pytest.approx(schedule.total_latency)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert len(cache) == 1
+
+    def test_cached_schedule_verifies(self, cache, mode, config):
+        cache.put(mode, config, synthesize(mode, config))
+        assert verify_schedule(mode, cache.get(mode, config)).ok
+
+    def test_config_change_invalidates(self, cache, mode, config):
+        cache.put(mode, config, synthesize(mode, config))
+        other = SchedulingConfig(round_length=1.0, slots_per_round=3,
+                                 max_round_gap=None)
+        assert cache.get(mode, other) is None
+
+    def test_workload_change_invalidates(self, cache, mode, config):
+        cache.put(mode, config, synthesize(mode, config))
+        changed = Mode("cached", [
+            closed_loop_pipeline("a", period=20, deadline=10, num_hops=1),
+        ])
+        assert cache.get(changed, config) is None
+
+    def test_corrupt_entry_is_miss_and_removed(self, cache, mode, config):
+        cache.put(mode, config, synthesize(mode, config))
+        path = cache._path(cache.key(mode, config))
+        path.write_text("{not json")
+        assert cache.get(mode, config) is None
+        assert not path.exists()
+
+    def test_wrong_schema_is_miss(self, cache, mode, config):
+        cache.put(mode, config, synthesize(mode, config))
+        path = cache._path(cache.key(mode, config))
+        payload = json.loads(path.read_text())
+        payload["schema"] = 99
+        path.write_text(json.dumps(payload))
+        assert cache.get(mode, config) is None
+
+    def test_clear(self, cache, mode, config):
+        cache.put(mode, config, synthesize(mode, config))
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        assert cache.get(mode, config) is None
+
+
+class TestEngineCaching:
+    def test_second_engine_skips_solver(self, tmp_path, mode, config):
+        first = SynthesisEngine(config, cache_dir=tmp_path / "c")
+        schedules = first.synthesize_many([mode])
+        assert first.stats.cache_misses == 1
+        assert first.stats.solver_runs > 0
+
+        second = SynthesisEngine(config, cache_dir=tmp_path / "c")
+        again = second.synthesize_many([mode])
+        assert second.stats.cache_hits == 1
+        assert second.stats.solver_runs == 0
+        assert second.stats.modes_synthesized == 0
+        assert again[mode.name].num_rounds == schedules[mode.name].num_rounds
+        assert again[mode.name].total_latency == pytest.approx(
+            schedules[mode.name].total_latency
+        )
+
+    def test_run_cached_batch_dedupes_and_mixes_configs(self, tmp_path, mode):
+        from repro.engine import run_cached_batch, EngineStats
+
+        cache = ScheduleCache(tmp_path / "c")
+        config_a = SchedulingConfig(round_length=1.0, slots_per_round=5,
+                                    max_round_gap=None)
+        config_b = SchedulingConfig(round_length=2.0, slots_per_round=5,
+                                    max_round_gap=None)
+        stats = EngineStats()
+        # The (mode, config_a) problem appears twice: one solve, shared.
+        results = run_cached_batch(
+            [(mode, config_a), (mode, config_b), (mode, config_a)],
+            cache=cache, stats=stats,
+        )
+        assert stats.modes_synthesized == 2
+        assert results[0] is results[2]
+        assert results[0].config.round_length == 1.0
+        assert results[1].config.round_length == 2.0
+        assert verify_schedule(mode, results[1]).ok
+        assert len(cache) == 2
+
+    def test_shared_cache_across_engines(self, tmp_path, mode):
+        cache = ScheduleCache(tmp_path / "c")
+        config_a = SchedulingConfig(round_length=1.0, slots_per_round=5,
+                                    max_round_gap=None)
+        config_b = SchedulingConfig(round_length=2.0, slots_per_round=5,
+                                    max_round_gap=None)
+        SynthesisEngine(config_a, cache=cache).synthesize(mode)
+        SynthesisEngine(config_b, cache=cache).synthesize(mode)
+        assert len(cache) == 2  # different configs, different entries
+        hit_engine = SynthesisEngine(config_a, cache=cache)
+        hit_engine.synthesize(mode)
+        assert hit_engine.stats.cache_hits == 1

@@ -59,6 +59,101 @@ class TestSynth:
         assert "error" in capsys.readouterr().err
 
 
+class TestSynthCache:
+    def test_second_run_hits_cache(self, workload_file, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        out1, out2 = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["synth", str(workload_file), "-o", str(out1),
+                     "--cache-dir", str(cache_dir)]) == 0
+        first = capsys.readouterr().out
+        assert "1 miss(es)" in first
+
+        assert main(["synth", str(workload_file), "-o", str(out2),
+                     "--cache-dir", str(cache_dir)]) == 0
+        second = capsys.readouterr().out
+        assert "1 hit(s)" in second
+        assert "solver runs: 0" in second
+        assert json.loads(out1.read_text()) == json.loads(out2.read_text())
+
+
+class TestBatch:
+    def test_batch_two_workloads(self, workload_file, tmp_path, capsys):
+        other = Mode("other", [
+            closed_loop_pipeline("b", period=40, deadline=40, num_hops=1),
+        ])
+        spec = {
+            "config": {"round_length": 1.0, "slots_per_round": 5,
+                       "max_round_gap": None},
+            "modes": [mode_to_dict(other)],
+        }
+        second_file = tmp_path / "workload2.json"
+        second_file.write_text(json.dumps(spec))
+        out_dir = tmp_path / "out"
+        assert main(["batch", str(workload_file), str(second_file),
+                     "-O", str(out_dir), "-j", "2",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        captured = capsys.readouterr().out
+        assert "batch done: 2 mode(s)" in captured
+        assert (out_dir / "workload.system.json").exists()
+        assert (out_dir / "workload2.system.json").exists()
+        # Both outputs are loadable, verifiable system files.
+        for stem in ("workload", "workload2"):
+            system = TTWSystem.load(out_dir / f"{stem}.system.json")
+            assert all(r.ok for r in system.verify_all().values())
+
+    def test_batch_same_stem_does_not_overwrite(self, workload_file, tmp_path):
+        twin_dir = tmp_path / "twin"
+        twin_dir.mkdir()
+        other = Mode("other", [
+            closed_loop_pipeline("b", period=40, deadline=40, num_hops=1),
+        ])
+        spec = {
+            "config": {"round_length": 1.0, "slots_per_round": 5,
+                       "max_round_gap": None},
+            "modes": [mode_to_dict(other)],
+        }
+        twin = twin_dir / workload_file.name  # same basename, other dir
+        twin.write_text(json.dumps(spec))
+        out_dir = tmp_path / "out"
+        assert main(["batch", str(workload_file), str(twin),
+                     "-O", str(out_dir)]) == 0
+        first = TTWSystem.load(out_dir / "workload.system.json")
+        second = TTWSystem.load(out_dir / "workload-2.system.json")
+        assert set(first.schedules) == {"normal"}
+        assert set(second.schedules) == {"other"}
+
+    def test_batch_duplicate_mode_names_rejected(self, tmp_path, capsys):
+        mode = Mode("twice", [
+            closed_loop_pipeline("a", period=20, deadline=20, num_hops=1),
+        ])
+        spec = {
+            "config": {"round_length": 1.0, "slots_per_round": 5,
+                       "max_round_gap": None},
+            "modes": [mode_to_dict(mode), mode_to_dict(mode)],
+        }
+        path = tmp_path / "dup.json"
+        path.write_text(json.dumps(spec))
+        assert main(["batch", str(path), "-O", str(tmp_path / "out")]) == 2
+        assert "duplicate mode names" in capsys.readouterr().err
+
+    def test_batch_dedupes_identical_problems(self, workload_file, tmp_path,
+                                              capsys):
+        out_dir = tmp_path / "out"
+        assert main(["batch", str(workload_file), str(workload_file),
+                     "-O", str(out_dir)]) == 0
+        captured = capsys.readouterr().out
+        # Same file listed twice: both outputs exist, but the identical
+        # problem was synthesized only once.
+        assert (out_dir / "workload.system.json").exists()
+        assert (out_dir / "workload-2.system.json").exists()
+        assert "synthesized 1 mode(s)" in captured
+
+    def test_jobs_zero_rejected(self, workload_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["synth", str(workload_file), "--jobs", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+
+
 class TestVerify:
     def test_valid_system_passes(self, system_file, capsys):
         assert main(["verify", str(system_file)]) == 0
