@@ -1,15 +1,19 @@
 #!/usr/bin/env python3
-"""Full deployment workflow with the high-level :class:`TTWSystem` API.
+"""Full deployment workflow with the declarative ``repro.api`` surface.
 
 Covers the life cycle a real deployment would follow:
 
 1. dimension the round from the radio model and check the (C2.2) round
    spacing against the node's clock-drift guard time;
-2. register two modes and the allowed transition;
-3. synthesize all schedules (warm-started Algorithm 1), render them as
-   ASCII Gantt charts, and derive the per-round slot assignment;
-4. persist the system image to JSON (what nodes store at deployment);
-5. reload it and execute a lossy run with a mode change.
+2. describe the whole experiment — two modes, the allowed transition,
+   a lossy 20 s run with a runtime mode change — as one serializable
+   :class:`repro.api.Scenario`;
+3. run it (synthesize → verify → simulate) through
+   :func:`repro.api.run_scenario`, then inspect the schedules: ASCII
+   Gantt charts, per-round slot assignment, WCET sensitivity;
+4. persist both artifacts: the scenario (the experiment description)
+   and the system image (what nodes store at deployment);
+5. show the reloaded system image is simulated identically.
 
 Run:  python examples/full_deployment.py
 """
@@ -18,8 +22,9 @@ import tempfile
 from pathlib import Path
 
 from repro.analysis import render_gantt, render_round_table
+from repro.api import LossSpec, Scenario, SimulationSpec, run_scenario
 from repro.core import Mode, SchedulingConfig, analyze_sensitivity, assign_slots
-from repro.runtime import BernoulliLoss, analyze_sync
+from repro.runtime import analyze_sync
 from repro.system import TTWSystem
 from repro.timing import DEFAULT_CONSTANTS, round_length_ms
 from repro.workloads import closed_loop_pipeline, fig3_control_app
@@ -36,30 +41,41 @@ def main() -> None:
           f"({'OK' if sync.safe else 'UNSAFE'}, tolerates "
           f"{sync.missed_beacons_tolerated} missed beacons)")
 
-    # 2. Modes.
-    config = SchedulingConfig(round_length=tr, slots_per_round=5,
-                              max_round_gap=t_max)
-    system = TTWSystem(config, warm_start=True)
-    system.add_mode(Mode("normal", [
-        fig3_control_app(period=1000, deadline=800, sense_wcet=2,
-                         control_wcet=5, act_wcet=1),
-        closed_loop_pipeline("aux", period=2000, deadline=2000, num_hops=1),
-    ]))
-    system.add_mode(Mode("emergency", [
-        closed_loop_pipeline("stop", period=500, deadline=500, num_hops=1),
-    ]))
-    system.allow_transition("normal", "emergency")
+    # 2. The whole experiment as one declarative scenario.
+    scenario = Scenario(
+        name="deployment",
+        modes=[
+            Mode("normal", [
+                fig3_control_app(period=1000, deadline=800, sense_wcet=2,
+                                 control_wcet=5, act_wcet=1),
+                closed_loop_pipeline("aux", period=2000, deadline=2000,
+                                     num_hops=1),
+            ]),
+            Mode("emergency", [
+                closed_loop_pipeline("stop", period=500, deadline=500,
+                                     num_hops=1),
+            ]),
+        ],
+        config=SchedulingConfig(round_length=tr, slots_per_round=5,
+                                max_round_gap=t_max),
+        transitions=[("normal", "emergency")],
+        loss=LossSpec("bernoulli", {"beacon_loss": 0.03, "data_loss": 0.03,
+                                    "seed": 11}),
+        simulation=SimulationSpec(duration=20_000.0,
+                                  mode_requests=((6_000.0, "emergency"),)),
+    )
 
-    # 3. Synthesis + inspection.
-    schedules = system.synthesize_all()
-    for name, schedule in sorted(schedules.items()):
+    # 3. Synthesize + verify + simulate in one call (warm-started).
+    result = run_scenario(scenario, warm_start=True)
+    assert result.verified
+    for name, schedule in sorted(result.schedules.items()):
         print(f"\n--- mode {name!r}: {schedule.num_rounds} rounds, "
               f"latencies {{"
               + ", ".join(f"{a}: {l:.0f} ms"
                           for a, l in sorted(schedule.app_latencies.items()))
               + "} ---")
         print(render_round_table(schedule))
-        mode = system.mode_graph.modes[name]
+        mode = next(m for m in scenario.modes if m.name == name)
         print(render_gantt(mode, schedule, width=64))
         plans = assign_slots(mode, schedule)
         free = sum(p.free_slots for p in plans)
@@ -71,16 +87,23 @@ def main() -> None:
               f"+{sensitivity.task_wcet_slack[bottleneck]:.1f} ms WCET growth "
               f"without re-synthesis")
 
-    # 4/5. Persist, reload, execute.
+    # 4/5. Persist both artifacts, reload the image, execute.
     with tempfile.TemporaryDirectory() as tmp:
-        path = Path(tmp) / "deployment.json"
-        system.save(path)
-        print(f"\nsaved deployment image: {path.stat().st_size} bytes")
-        reloaded = TTWSystem.load(path)
+        scenario_path = Path(tmp) / "deployment.scenario.json"
+        scenario.save(scenario_path)
+        print(f"\nsaved scenario description: "
+              f"{scenario_path.stat().st_size} bytes "
+              f"(re-run with: python -m repro.cli scenario run "
+              f"{scenario_path.name})")
+
+        system_path = Path(tmp) / "deployment.json"
+        result.system().save(system_path)
+        print(f"saved deployment image: {system_path.stat().st_size} bytes")
+        reloaded = TTWSystem.load(system_path)
         trace = reloaded.simulate(
             duration=20_000.0,
             mode_requests=[reloaded.request(6_000.0, "emergency")],
-            loss=BernoulliLoss(beacon_loss=0.03, data_loss=0.03, seed=11),
+            loss=scenario.build_loss(),
         )
     print(f"\n20 s lossy run: {len(trace.rounds)} rounds, "
           f"delivery {trace.delivery_rate():.3f}, "

@@ -1,12 +1,16 @@
 #!/usr/bin/env python3
 """Industrial control scenario: several concurrent closed-loop
 applications with harmonic periods, executed over a lossy multi-hop
-network.
+network — written against the declarative ``repro.api`` surface.
 
-Demonstrates the workloads the paper's introduction motivates
-(10-500 ms distributed closed-loop control): three control loops with
-periods 100/200/400 ms are co-scheduled into shared rounds, deployed,
-and executed for 10 simulated seconds with 5 % beacon and data loss.
+The whole experiment is one :class:`repro.api.Scenario`: the workload
+(three control loops with periods 200/400/800 ms), the scheduling
+config, the loss model, and the 10 s simulation phase.  The scenario
+serializes to JSON, so the same experiment also runs from the command
+line:
+
+    python -m repro.cli scenario run industrial.scenario.json
+
 The run reports delivery statistics, end-to-end latencies, the
 collision-freedom safety property, and per-node radio-on time.
 
@@ -14,13 +18,8 @@ Run:  python examples/industrial_control.py
 """
 
 from repro.analysis import format_table
-from repro.core import Mode, SchedulingConfig, synthesize, verify_schedule
-from repro.runtime import (
-    BernoulliLoss,
-    RadioTiming,
-    RuntimeSimulator,
-    build_deployment,
-)
+from repro.api import LossSpec, RadioSpec, Scenario, SimulationSpec, run_scenario
+from repro.core import SchedulingConfig
 from repro.timing import round_length_ms
 from repro.workloads import industrial_mode
 
@@ -37,10 +36,20 @@ def main() -> None:
     print(f"Mode {mode.name!r}: {len(mode.applications)} loops, "
           f"hyperperiod {mode.hyperperiod:.0f} ms")
 
-    config = SchedulingConfig(round_length=tr, slots_per_round=5,
-                              max_round_gap=None)
-    schedule = synthesize(mode, config)
-    assert verify_schedule(mode, schedule).ok
+    # The full experiment, declaratively.
+    scenario = Scenario(
+        name="industrial",
+        modes=[mode],
+        config=SchedulingConfig(round_length=tr, slots_per_round=5,
+                                max_round_gap=None),
+        loss=LossSpec("bernoulli", {"beacon_loss": 0.05, "data_loss": 0.05,
+                                    "seed": 42}),
+        radio=RadioSpec(payload_bytes=16, diameter=3),
+        simulation=SimulationSpec(duration=10_000.0),
+    )
+    result = run_scenario(scenario)
+    schedule = result.schedules[mode.name]
+    assert result.verified
     print(f"Synthesized {schedule.num_rounds} rounds per hyperperiod")
 
     rows = [
@@ -50,17 +59,7 @@ def main() -> None:
     ]
     print(format_table(["loop", "period [ms]", "latency [ms]"], rows))
 
-    # Execute 10 s with 5% beacon/data loss.
-    deployment = build_deployment(mode, schedule, mode_id=0)
-    simulator = RuntimeSimulator(
-        {0: mode},
-        {0: deployment},
-        initial_mode=0,
-        loss=BernoulliLoss(beacon_loss=0.05, data_loss=0.05, seed=42),
-        radio=RadioTiming(payload_bytes=16, diameter=3),
-    )
-    trace = simulator.run(10_000.0)
-
+    trace = result.trace
     print(f"\nExecuted {len(trace.rounds)} rounds over 10 s with 5% loss:")
     print(f"  collision-free:        {trace.collision_free}")
     print(f"  message delivery rate: {trace.delivery_rate():.3f}")
@@ -73,6 +72,8 @@ def main() -> None:
     print(format_table(["node", "radio-on"], rows))
     duty = trace.total_radio_on() / (len(trace.radio_on) * 10_000.0)
     print(f"\nAverage radio duty cycle: {duty * 100:.2f}%")
+
+    print("\nResults row:", result.metrics)
 
 
 if __name__ == "__main__":

@@ -3,11 +3,16 @@ CPS" (Jacob et al., DATE 2018; extended version arXiv:1711.05581).
 
 Subpackages:
 
+* :mod:`repro.api` — the declarative public surface:
+  :class:`~repro.api.Scenario` (serializable experiment descriptions)
+  and :class:`~repro.api.Experiment` (batched synthesize → verify →
+  simulate → metrics);
 * :mod:`repro.core` — application model, co-scheduling ILP, Algorithm 1
   synthesis, schedule verification, latency analysis (the paper's
   primary contribution);
-* :mod:`repro.milp` — MILP modeling/solving substrate (Gurobi
-  replacement: scipy/HiGHS plus a from-scratch branch-and-bound);
+* :mod:`repro.milp` — MILP modeling/solving substrate with pluggable
+  solver backends (Gurobi replacement: scipy/HiGHS, a from-scratch
+  branch-and-bound, and a greedy first-fit heuristic);
 * :mod:`repro.timing` — slot/round/energy models (Sec. V, Table I);
 * :mod:`repro.net` — topologies and the Glossy flood simulator;
 * :mod:`repro.runtime` — beacon/mode-change protocol executor;
@@ -28,10 +33,11 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import analysis, baselines, core, io, milp, net, runtime, timing, workloads
+from . import analysis, api, baselines, core, io, milp, net, runtime, timing, workloads
 
 __all__ = [
     "analysis",
+    "api",
     "baselines",
     "core",
     "io",

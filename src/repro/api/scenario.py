@@ -1,0 +1,436 @@
+"""Declarative scenario descriptions — the input side of ``repro.api``.
+
+A :class:`Scenario` is a complete, serializable description of one TTW
+experiment: the workload (modes and their applications), the mode
+graph, the scheduling configuration and solver backend, and optionally
+the network (topology, loss model, radio timing) plus a simulation
+phase.  It carries **no results** — synthesis and execution live in
+:mod:`repro.api.experiment` — so a scenario file is a stable artifact
+that can be versioned, diffed, swept over, and replayed.
+
+The network/simulation parts are described by small *spec* dataclasses
+(:class:`TopologySpec`, :class:`LossSpec`, :class:`RadioSpec`,
+:class:`SimulationSpec`) that name a kind plus JSON-compatible
+parameters and know how to build the corresponding runtime object.
+
+Example::
+
+    from repro.api import Scenario, SimulationSpec, LossSpec, run_scenario
+    from repro.core import Mode, SchedulingConfig
+    from repro.workloads import closed_loop_pipeline
+
+    scenario = Scenario(
+        name="smoke",
+        modes=[Mode("normal", [closed_loop_pipeline("a", period=20,
+                                                    deadline=20,
+                                                    num_hops=1)])],
+        config=SchedulingConfig(round_length=1.0, max_round_gap=None),
+        backend="greedy",
+        loss=LossSpec("bernoulli", {"beacon_loss": 0.05,
+                                    "data_loss": 0.05, "seed": 7}),
+        simulation=SimulationSpec(duration=500.0),
+    )
+    scenario.save("smoke.scenario.json")
+    result = run_scenario(scenario)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.modes import Mode
+from ..core.schedule import SchedulingConfig
+from ..milp.backends import get_backend
+from ..net import topology as topologies
+from ..net.topology import Topology
+from ..runtime.loss import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    GlossyLoss,
+    LossModel,
+    PerfectLinks,
+    ScriptedBeaconLoss,
+)
+from ..runtime.simulator import NodePolicy, RadioTiming
+
+
+class ScenarioError(ValueError):
+    """Raised for inconsistent or unbuildable scenario descriptions."""
+
+
+def spec_to_dict(spec) -> Optional[dict]:
+    """Serialize any spec dataclass (or ``None``) to a JSON dict."""
+    if spec is None:
+        return None
+    return spec.to_dict()
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A named multi-hop network shape plus its parameters.
+
+    ``kind`` selects a builder from :mod:`repro.net.topology`:
+    ``line``, ``star``, ``grid``, ``ring``, ``random_geometric``, or
+    ``diameter_line``; ``params`` are its keyword arguments.
+    """
+
+    kind: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+    _BUILDERS = {
+        "line": topologies.line,
+        "star": topologies.star,
+        "grid": topologies.grid,
+        "ring": topologies.ring,
+        "random_geometric": topologies.random_geometric,
+        "diameter_line": topologies.diameter_line,
+    }
+
+    def build(self) -> Topology:
+        try:
+            builder = self._BUILDERS[self.kind]
+        except KeyError:
+            raise ScenarioError(
+                f"unknown topology kind {self.kind!r}; "
+                f"known: {', '.join(sorted(self._BUILDERS))}"
+            ) from None
+        return builder(**self.params)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Optional[dict]) -> Optional["TopologySpec"]:
+        if data is None:
+            return None
+        return cls(kind=data["kind"], params=dict(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class LossSpec:
+    """A named packet-loss model plus its parameters.
+
+    Kinds: ``perfect``, ``bernoulli``, ``gilbert_elliott``,
+    ``scripted_beacon``, and ``glossy`` (which needs the scenario to
+    carry a :class:`TopologySpec`).
+    """
+
+    kind: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def build(self, topology: Optional[Topology] = None) -> LossModel:
+        params = dict(self.params)
+        if self.kind == "perfect":
+            return PerfectLinks()
+        if self.kind == "bernoulli":
+            return BernoulliLoss(**params)
+        if self.kind == "gilbert_elliott":
+            return GilbertElliottLoss(**params)
+        if self.kind == "scripted_beacon":
+            return ScriptedBeaconLoss(drops=params.get("drops", {}))
+        if self.kind == "glossy":
+            if topology is None:
+                raise ScenarioError(
+                    "loss kind 'glossy' needs a topology in the scenario"
+                )
+            return GlossyLoss(topology, **params)
+        raise ScenarioError(
+            f"unknown loss kind {self.kind!r}; known: perfect, bernoulli, "
+            f"gilbert_elliott, scripted_beacon, glossy"
+        )
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Optional[dict]) -> Optional["LossSpec"]:
+        if data is None:
+            return None
+        return cls(kind=data["kind"], params=dict(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class RadioSpec:
+    """Radio-on accounting parameters for the simulator.
+
+    ``diameter`` may be omitted when the scenario carries a topology —
+    it is then taken from the built network.
+    """
+
+    payload_bytes: int
+    diameter: Optional[int] = None
+
+    def build(self, topology: Optional[Topology] = None) -> RadioTiming:
+        diameter = self.diameter
+        if diameter is None:
+            if topology is None:
+                raise ScenarioError(
+                    "RadioSpec without diameter needs a topology in the scenario"
+                )
+            diameter = topology.diameter
+        return RadioTiming(payload_bytes=self.payload_bytes, diameter=diameter)
+
+    def to_dict(self) -> dict:
+        return {"payload_bytes": self.payload_bytes, "diameter": self.diameter}
+
+    @classmethod
+    def from_dict(cls, data: Optional[dict]) -> Optional["RadioSpec"]:
+        if data is None:
+            return None
+        return cls(
+            payload_bytes=data["payload_bytes"], diameter=data.get("diameter")
+        )
+
+
+@dataclass(frozen=True)
+class SimulationSpec:
+    """The optional execution phase of a scenario.
+
+    Attributes:
+        duration: Simulated time to run.
+        initial_mode: Mode name to boot into (lowest id when ``None``).
+        policy: ``"beacon_gated"`` (TTW) or ``"local_belief"``
+            (the unsafe ablation).
+        host_node: Override the beacon host node.
+        mode_requests: ``(time, target_mode_name)`` runtime switch
+            requests.
+    """
+
+    duration: float
+    initial_mode: Optional[str] = None
+    policy: str = "beacon_gated"
+    host_node: Optional[str] = None
+    mode_requests: Tuple[Tuple[float, str], ...] = ()
+
+    def node_policy(self) -> NodePolicy:
+        try:
+            return NodePolicy(self.policy)
+        except ValueError:
+            raise ScenarioError(
+                f"unknown policy {self.policy!r}; known: "
+                f"{', '.join(p.value for p in NodePolicy)}"
+            ) from None
+
+    def to_dict(self) -> dict:
+        return {
+            "duration": self.duration,
+            "initial_mode": self.initial_mode,
+            "policy": self.policy,
+            "host_node": self.host_node,
+            "mode_requests": [[t, mode] for t, mode in self.mode_requests],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Optional[dict]) -> Optional["SimulationSpec"]:
+        if data is None:
+            return None
+        return cls(
+            duration=data["duration"],
+            initial_mode=data.get("initial_mode"),
+            policy=data.get("policy", "beacon_gated"),
+            host_node=data.get("host_node"),
+            mode_requests=tuple(
+                (float(t), mode) for t, mode in data.get("mode_requests", [])
+            ),
+        )
+
+
+@dataclass
+class Scenario:
+    """One declarative TTW experiment: workload, solver, network, run.
+
+    Attributes:
+        name: Scenario identifier (labels results tables and output
+            files).
+        modes: The workload — modes with their applications.
+        config: Scheduling parameters shared by all modes.
+        backend: Solver backend name overriding ``config.backend``
+            (``None`` keeps the config's choice); see
+            :func:`repro.milp.available_backends`.
+        transitions: Allowed runtime mode switches, by name.
+        topology: Optional multi-hop network description.
+        loss: Optional packet-loss model description.
+        radio: Optional radio-on accounting parameters.
+        simulation: Optional execution phase; ``None`` means
+            synthesize + verify only.
+    """
+
+    name: str
+    modes: List[Mode]
+    config: SchedulingConfig = field(default_factory=SchedulingConfig)
+    backend: Optional[str] = None
+    transitions: List[Tuple[str, str]] = field(default_factory=list)
+    topology: Optional[TopologySpec] = None
+    loss: Optional[LossSpec] = None
+    radio: Optional[RadioSpec] = None
+    simulation: Optional[SimulationSpec] = None
+
+    # -- derived ---------------------------------------------------------
+    @property
+    def effective_config(self) -> SchedulingConfig:
+        """``config`` with the scenario's backend override applied."""
+        if self.backend is not None and self.backend != self.config.backend:
+            return dataclasses.replace(self.config, backend=self.backend)
+        return self.config
+
+    def validate(self) -> None:
+        """Check internal consistency; raises :class:`ScenarioError`."""
+        if not self.modes:
+            raise ScenarioError(f"scenario {self.name!r} has no modes")
+        names = [mode.name for mode in self.modes]
+        if len(set(names)) != len(names):
+            raise ScenarioError(
+                f"scenario {self.name!r}: duplicate mode names {names}"
+            )
+        try:
+            get_backend(self.effective_config.backend)
+        except ValueError as exc:
+            # get_backend's message already lists the available backends.
+            raise ScenarioError(f"scenario {self.name!r}: {exc}") from None
+        time_limit = self.config.time_limit
+        if time_limit is not None and time_limit <= 0:
+            raise ScenarioError(
+                f"scenario {self.name!r}: time_limit must be > 0 seconds "
+                f"(or null for no limit), got {time_limit!r}"
+            )
+        known = set(names)
+        for source, target in self.transitions:
+            if source not in known or target not in known:
+                raise ScenarioError(
+                    f"scenario {self.name!r}: transition {source!r} -> "
+                    f"{target!r} references an unknown mode"
+                )
+        if self.simulation is not None:
+            self.simulation.node_policy()
+            if (
+                self.simulation.initial_mode is not None
+                and self.simulation.initial_mode not in known
+            ):
+                raise ScenarioError(
+                    f"scenario {self.name!r}: initial mode "
+                    f"{self.simulation.initial_mode!r} is not a scenario mode"
+                )
+            for _, target in self.simulation.mode_requests:
+                if target not in known:
+                    raise ScenarioError(
+                        f"scenario {self.name!r}: mode request targets "
+                        f"unknown mode {target!r}"
+                    )
+        if self.loss is not None and self.loss.kind == "glossy":
+            if self.topology is None:
+                raise ScenarioError(
+                    f"scenario {self.name!r}: loss kind 'glossy' needs a "
+                    f"topology"
+                )
+
+    # -- builders --------------------------------------------------------
+    def build_topology(self) -> Optional[Topology]:
+        return self.topology.build() if self.topology is not None else None
+
+    def build_loss(self, topology: Optional[Topology] = None) -> Optional[LossModel]:
+        if self.loss is None:
+            return None
+        return self.loss.build(topology)
+
+    def build_radio(self, topology: Optional[Topology] = None) -> Optional[RadioTiming]:
+        if self.radio is None:
+            return None
+        return self.radio.build(topology)
+
+    def to_system(
+        self,
+        jobs: int = 1,
+        cache_dir=None,
+        warm_start: bool = False,
+    ):
+        """An (unsynthesized) :class:`repro.system.TTWSystem` for this
+        scenario — modes registered, transitions allowed."""
+        from ..system import TTWSystem
+
+        self.validate()
+        system = TTWSystem(
+            self.effective_config,
+            warm_start=warm_start,
+            jobs=jobs,
+            cache_dir=cache_dir,
+        )
+        for mode in self.modes:
+            system.add_mode(mode)
+        for source, target in self.transitions:
+            system.allow_transition(source, target)
+        return system
+
+    @classmethod
+    def from_system(cls, system, name: str = "system") -> "Scenario":
+        """Describe an existing :class:`repro.system.TTWSystem` as a
+        scenario (workload, transitions, and config; no network/run)."""
+        transitions = [
+            (source, target)
+            for source, targets in system.mode_graph.transitions.items()
+            for target in targets
+        ]
+        return cls(
+            name=name,
+            modes=list(system.modes),
+            config=system.config,
+            transitions=transitions,
+        )
+
+    # -- persistence -----------------------------------------------------
+    def to_dict(self) -> dict:
+        from ..io.serialize import scenario_to_dict
+
+        return scenario_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        from ..io.serialize import scenario_from_dict
+
+        return scenario_from_dict(data)
+
+    def save(self, path: "str | Path") -> None:
+        from ..io.serialize import save_scenario
+
+        save_scenario(path, self)
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Scenario":
+        from ..io.serialize import load_scenario
+
+        return load_scenario(path)
+
+    # -- convenience -----------------------------------------------------
+    def run(self, **kwargs):
+        """Synthesize/verify/simulate this scenario; see
+        :func:`repro.api.run_scenario`."""
+        from .experiment import run_scenario
+
+        return run_scenario(self, **kwargs)
+
+
+def sweep(
+    base: Scenario,
+    **field_values: Sequence,
+) -> List[Scenario]:
+    """Derive scenario variants from ``base`` by varying one field.
+
+    Exactly one keyword argument is expected — a Scenario field name
+    mapped to a sequence of values; each value yields a copy of
+    ``base`` named ``<base.name>-<i>`` with that field replaced.
+
+    Example::
+
+        variants = sweep(base, backend=["highs", "bnb", "greedy"])
+    """
+    if len(field_values) != 1:
+        raise ScenarioError("sweep() varies exactly one field at a time")
+    (field_name, values), = field_values.items()
+    if field_name not in {f.name for f in dataclasses.fields(Scenario)}:
+        raise ScenarioError(f"unknown Scenario field {field_name!r}")
+    return [
+        dataclasses.replace(base, name=f"{base.name}-{i}", **{field_name: value})
+        for i, value in enumerate(values)
+    ]

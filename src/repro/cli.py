@@ -2,23 +2,28 @@
 
 Commands:
 
-* ``synth``    — synthesize schedules for a workload JSON file and
-  write the system image (modes + schedules) back to disk;
-* ``batch``    — synthesize many workload files over one shared
-  process pool and schedule cache;
+* ``scenario run``   — run one declarative scenario file end to end
+  (synthesize → verify → simulate → metrics) and optionally write the
+  system image;
+* ``scenario sweep`` — run many scenario files over one shared process
+  pool and schedule cache and print a results table;
 * ``verify``   — re-verify every schedule in a system file;
 * ``simulate`` — execute a system file for a given duration and print
   trace statistics;
 * ``figures``  — print the paper's Fig. 6 / Fig. 7 data;
-* ``gantt``    — render a mode's schedule as an ASCII chart.
+* ``gantt``    — render a mode's schedule as an ASCII chart;
+* ``synth`` / ``batch`` — deprecated shims over the scenario runner,
+  kept for the legacy workload-spec format (see below).
 
-``synth`` and ``batch`` accept ``--jobs N`` (speculative parallel
-Algorithm 1 over N worker processes) and ``--cache-dir DIR`` (persistent
-content-addressed schedule cache; a re-run on unchanged inputs never
-invokes the solver).
+``scenario run|sweep``, ``synth``, and ``batch`` accept ``--jobs N``
+(speculative parallel Algorithm 1 over N worker processes),
+``--cache-dir DIR`` (persistent content-addressed schedule cache), and
+``--backend NAME`` (solver backend: ``highs``, ``bnb``, ``greedy``, or
+any registered name; the backend is part of the cache key).
 
-The workload JSON for ``synth`` is a list of mode records (see
-:func:`repro.io.serialize.mode_from_dict`) plus a ``config`` record::
+A scenario file is the JSON image of :class:`repro.api.Scenario` (see
+``Scenario.save``); ``scenario run`` also accepts the legacy workload
+spec — a ``config`` record plus a ``modes`` list::
 
     {
       "config": {"round_length": 50.0, "slots_per_round": 5,
@@ -30,6 +35,7 @@ The workload JSON for ``synth`` is a list of mode records (see
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -42,30 +48,196 @@ from .analysis import (
     format_table,
     render_gantt,
 )
-from .io.serialize import SerializationError, config_from_dict, mode_from_dict
+from .api import Experiment, Scenario, ScenarioError
+from .io.serialize import (
+    SerializationError,
+    config_from_dict,
+    mode_from_dict,
+    save_system,
+    scenario_from_dict,
+)
+from .milp import available_backends
 from .system import TTWSystem
 
 
-def _cmd_synth(args: argparse.Namespace) -> int:
-    spec = json.loads(Path(args.workload).read_text())
-    config = config_from_dict(spec["config"])
-    system = TTWSystem(
-        config,
-        warm_start=args.warm_start,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
+def _deprecated(old: str, new: str) -> None:
+    print(
+        f"warning: `{old}` is deprecated; use `{new}` (see docs/API.md)",
+        file=sys.stderr,
     )
-    for record in spec["modes"]:
-        system.add_mode(mode_from_dict(record))
-    schedules = system.synthesize_all()
-    for name, schedule in sorted(schedules.items()):
+
+
+def _load_scenario_file(path: str) -> Scenario:
+    """Read a scenario file; legacy workload specs are adapted."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("kind") == "scenario":
+        return scenario_from_dict(payload)
+    if "config" in payload and "modes" in payload:
+        # Legacy workload spec: config + modes, no network/simulation.
+        return Scenario(
+            name=Path(path).stem,
+            modes=[mode_from_dict(record) for record in payload["modes"]],
+            config=config_from_dict(payload["config"]),
+        )
+    raise SerializationError(
+        f"{path}: neither a scenario file (kind='scenario') nor a legacy "
+        f"workload spec (config + modes)"
+    )
+
+
+def _apply_overrides(scenario: Scenario, args: argparse.Namespace) -> Scenario:
+    if getattr(args, "backend", None) is not None:
+        scenario = dataclasses.replace(scenario, backend=args.backend)
+    if getattr(args, "time_limit", None) is not None:
+        scenario = dataclasses.replace(
+            scenario,
+            config=dataclasses.replace(
+                scenario.config, time_limit=args.time_limit
+            ),
+        )
+    return scenario
+
+
+def _print_scenario_result(result, verbose_sim: bool = True) -> int:
+    """Shared result reporting; returns the exit code contribution."""
+    failures = 0
+    for name, schedule in sorted(result.schedules.items()):
         print(
             f"mode {name!r}: {schedule.num_rounds} rounds, "
             f"total latency {schedule.total_latency:.3f}"
         )
-    if system.engine_stats is not None and args.cache_dir is not None:
-        print(f"engine: {system.engine_stats}")
-    system.save(args.output)
+    for name, report in sorted(result.reports.items()):
+        for violation in report.violations:
+            print(
+                f"mode {name!r}: VIOLATION {violation}", file=sys.stderr
+            )
+            failures += 1
+    if result.trace is not None and verbose_sim:
+        trace = result.trace
+        print(
+            f"simulated {result.scenario.simulation.duration:g}: "
+            f"delivery {trace.delivery_rate():.4f}, "
+            f"on-time {trace.on_time_rate():.4f}, "
+            f"chains {trace.chain_success_rate():.4f}, "
+            f"collision-free {trace.collision_free}, "
+            f"switches {len(trace.mode_switches)}"
+        )
+        if not trace.collision_free:
+            failures += 1
+    return failures
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    scenario = _apply_overrides(_load_scenario_file(args.scenario), args)
+    experiment = Experiment(
+        [scenario],
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        warm_start=args.warm_start,
+    )
+    outcome = experiment.run(simulate=not args.no_simulate)
+    result = outcome.results[0]
+    print(
+        f"scenario {scenario.name!r}: {len(scenario.modes)} mode(s), "
+        f"backend {scenario.effective_config.backend!r}"
+    )
+    failures = _print_scenario_result(result)
+    if args.cache_dir is not None:
+        print(f"engine: {outcome.stats}")
+    if args.output is not None and not failures:
+        save_system(
+            args.output,
+            scenario.modes,
+            result.schedules,
+            transitions=scenario.transitions,
+        )
+        print(f"wrote {args.output}")
+    return 1 if failures else 0
+
+
+def _cmd_scenario_sweep(args: argparse.Namespace) -> int:
+    scenarios = []
+    seen: dict = {}
+    for path in args.scenarios:
+        scenario = _apply_overrides(_load_scenario_file(path), args)
+        # Disambiguate duplicate names across files (common for sweeps
+        # generated from one template).
+        count = seen.get(scenario.name, 0)
+        seen[scenario.name] = count + 1
+        if count:
+            scenario = dataclasses.replace(
+                scenario, name=f"{scenario.name}-{count + 1}"
+            )
+        scenarios.append(scenario)
+    experiment = Experiment(
+        scenarios,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        warm_start=not args.no_warm_start,
+    )
+    outcome = experiment.run(simulate=not args.no_simulate)
+    print(outcome.table())
+    print(f"engine: {outcome.stats}")
+    failures = 0
+    for result in outcome:
+        for name, report in sorted(result.reports.items()):
+            for violation in report.violations:
+                print(
+                    f"{result.scenario.name} :: mode {name!r}: "
+                    f"VIOLATION {violation}",
+                    file=sys.stderr,
+                )
+                failures += 1
+        if result.trace is not None and not result.trace.collision_free:
+            print(
+                f"{result.scenario.name} :: simulation detected collisions",
+                file=sys.stderr,
+            )
+            failures += 1
+    if args.output_dir is not None:
+        out_dir = Path(args.output_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for result in outcome:
+            if not result.verified or (
+                result.trace is not None and not result.trace.collision_free
+            ):
+                continue
+            out = out_dir / f"{result.scenario.name}.system.json"
+            save_system(
+                out,
+                result.scenario.modes,
+                result.schedules,
+                transitions=result.scenario.transitions,
+            )
+            print(f"wrote {out}")
+    return 1 if failures else 0
+
+
+# -- legacy shims ------------------------------------------------------------
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    _deprecated("synth", "scenario run")
+    scenario = _apply_overrides(_load_scenario_file(args.workload), args)
+    experiment = Experiment(
+        [scenario],
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        warm_start=args.warm_start,
+    )
+    outcome = experiment.run(simulate=False)
+    result = outcome.results[0]
+    failures = _print_scenario_result(result)
+    if failures:
+        return 1
+    if outcome.stats is not None and args.cache_dir is not None:
+        print(f"engine: {outcome.stats}")
+    save_system(
+        args.output,
+        scenario.modes,
+        result.schedules,
+        transitions=scenario.transitions,
+    )
     print(f"wrote {args.output}")
     return 0
 
@@ -84,48 +256,37 @@ def _batch_output_paths(workloads: List[str], output_dir: Path) -> List[Path]:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    from .core import verify_schedule
-    from .engine import EngineStats, ScheduleCache, run_cached_batch
-    from .io.serialize import save_system
-
-    cache = ScheduleCache(args.cache_dir) if args.cache_dir else None
+    _deprecated("batch", "scenario sweep")
     output_dir = Path(args.output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
     outputs = _batch_output_paths(args.workloads, output_dir)
 
-    # Parse every file up front so one pool serves the whole batch.
-    files = []  # (workload, output, modes)
-    problems = []  # (mode, config) across all files
+    # One scenario per workload file; the Experiment shares one pool and
+    # cache across all of them and dedupes identical problems.
+    scenarios = []
     for workload, out in zip(args.workloads, outputs):
-        spec = json.loads(Path(workload).read_text())
-        config = config_from_dict(spec["config"])
-        modes = [mode_from_dict(record) for record in spec["modes"]]
-        names = [mode.name for mode in modes]
-        if len(set(names)) != len(names):
-            raise SerializationError(
-                f"{workload}: duplicate mode names {names}"
-            )
-        problems.extend((mode, config) for mode in modes)
-        files.append((workload, out, modes))
+        scenario = _apply_overrides(_load_scenario_file(workload), args)
+        scenario = dataclasses.replace(
+            scenario, name=out.name[: -len(".system.json")]
+        )
+        scenario.validate()
+        scenarios.append(scenario)
 
-    stats = EngineStats()
-    schedules = run_cached_batch(
-        problems,
+    experiment = Experiment(
+        scenarios,
         jobs=args.jobs,
-        cache=cache,
+        cache_dir=args.cache_dir,
         warm_start=not args.no_warm_start,
-        stats=stats,
     )
+    outcome = experiment.run(simulate=False)
 
-    cursor = 0
     failures = 0
-    for workload, out, modes in files:
-        by_name = {}
+    total_modes = 0
+    for workload, out, result in zip(args.workloads, outputs, outcome):
+        total_modes += len(result.schedules)
         file_failures = 0
-        for mode in modes:
-            schedule = schedules[cursor]
-            cursor += 1
-            report = verify_schedule(mode, schedule)
+        for mode in result.scenario.modes:
+            report = result.reports[mode.name]
             if not report.ok:
                 for violation in report.violations:
                     print(
@@ -135,7 +296,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                     )
                 file_failures += 1
                 continue
-            by_name[mode.name] = schedule
+            schedule = result.schedules[mode.name]
             print(
                 f"{Path(workload).name} :: mode {mode.name!r}: "
                 f"{schedule.num_rounds} rounds, "
@@ -144,13 +305,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if file_failures:
             failures += file_failures
             continue  # don't write a partial/unverified system file
-        save_system(out, modes, by_name)
+        save_system(
+            out,
+            result.scenario.modes,
+            result.schedules,
+            transitions=result.scenario.transitions,
+        )
         print(f"wrote {out}")
     print(
-        f"batch done: {len(problems)} mode(s) from {len(args.workloads)} "
-        f"workload file(s), engine: {stats}"
+        f"batch done: {total_modes} mode(s) from {len(args.workloads)} "
+        f"workload file(s), engine: {outcome.stats}"
     )
     return 1 if failures else 0
+
+
+# -- inspection commands ------------------------------------------------------
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -214,11 +383,34 @@ def _cmd_gantt(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- parser ------------------------------------------------------------------
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-j", "--jobs", type=_positive_int, default=1,
+                        help="parallel solver processes (default: 1)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent schedule cache directory")
+    parser.add_argument("--backend", default=None,
+                        choices=list(available_backends()),
+                        help="solver backend override (cache keys include "
+                             "the backend, so backends never share entries)")
+    parser.add_argument("--time-limit", type=_positive_float, default=None,
+                        help="per-ILP wall-clock limit in seconds (> 0)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -228,32 +420,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    synth = sub.add_parser("synth", help="synthesize schedules")
+    scenario = sub.add_parser(
+        "scenario", help="declarative scenario workflows (repro.api)"
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command",
+                                           required=True)
+
+    run = scenario_sub.add_parser(
+        "run", help="synthesize + verify + simulate one scenario file"
+    )
+    run.add_argument("scenario", help="scenario JSON (or legacy workload spec)")
+    run.add_argument("-o", "--output", default=None,
+                     help="write the system image (modes + schedules + "
+                          "transitions) here")
+    run.add_argument("--warm-start", action="store_true",
+                     help="start Algorithm 1 at the demand lower bound "
+                          "(default: off — the paper's exact loop)")
+    run.add_argument("--no-simulate", action="store_true",
+                     help="skip the scenario's simulation phase")
+    _add_engine_flags(run)
+    run.set_defaults(func=_cmd_scenario_run)
+
+    sweep = scenario_sub.add_parser(
+        "sweep", help="run many scenario files over one pool/cache"
+    )
+    sweep.add_argument("scenarios", nargs="+",
+                       help="scenario JSON files (or legacy workload specs)")
+    sweep.add_argument("-O", "--output-dir", default=None,
+                       help="write <name>.system.json images here")
+    sweep.add_argument("--no-warm-start", action="store_true",
+                       help="disable the demand-bound warm start "
+                            "(sweeps default to warm starts ON; schedules "
+                            "are identical either way)")
+    sweep.add_argument("--no-simulate", action="store_true",
+                       help="skip all simulation phases")
+    _add_engine_flags(sweep)
+    sweep.set_defaults(func=_cmd_scenario_sweep)
+
+    synth = sub.add_parser(
+        "synth", help="[deprecated: use `scenario run`] synthesize schedules"
+    )
     synth.add_argument("workload", help="workload spec JSON")
     synth.add_argument("-o", "--output", default="system.json")
     synth.add_argument("--warm-start", action="store_true",
                        help="start Algorithm 1 at the demand lower bound "
                             "(default: off — the paper's exact loop)")
-    synth.add_argument("-j", "--jobs", type=_positive_int, default=1,
-                       help="parallel solver processes (default: 1)")
-    synth.add_argument("--cache-dir", default=None,
-                       help="persistent schedule cache directory")
+    _add_engine_flags(synth)
     synth.set_defaults(func=_cmd_synth)
 
     batch = sub.add_parser(
-        "batch", help="synthesize many workload files over one pool/cache"
+        "batch",
+        help="[deprecated: use `scenario sweep`] synthesize many workload "
+             "files over one pool/cache",
     )
     batch.add_argument("workloads", nargs="+", help="workload spec JSON files")
     batch.add_argument("-O", "--output-dir", default=".",
                        help="directory for <stem>.system.json outputs")
-    batch.add_argument("-j", "--jobs", type=_positive_int, default=1,
-                       help="parallel solver processes (default: 1)")
-    batch.add_argument("--cache-dir", default=None,
-                       help="persistent schedule cache directory")
     batch.add_argument("--no-warm-start", action="store_true",
                        help="disable the demand-bound warm start "
                             "(batch defaults to warm starts ON, unlike "
                             "synth; schedules are identical either way)")
+    _add_engine_flags(batch)
     batch.set_defaults(func=_cmd_batch)
 
     verify = sub.add_parser("verify", help="verify a system file")
@@ -287,6 +514,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return args.func(args)
     except (
+        ScenarioError,
         SerializationError,
         json.JSONDecodeError,
         FileNotFoundError,

@@ -10,11 +10,10 @@ round-minimal schedules.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import time
 from typing import Optional, Tuple
-
-from ..milp import SolveStatus
 from .ilp_builder import IlpHandles, build_ilp
 from .modes import Mode
 from .schedule import (
@@ -79,7 +78,9 @@ def solve_fixed_rounds(
         backend=config.backend, time_limit=config.time_limit
     )
     solve_time = time.monotonic() - solve_start
-    feasible = solution.status is SolveStatus.OPTIMAL
+    # Heuristic backends report FEASIBLE (a valid point without an
+    # optimality proof); Algorithm 1 only needs feasibility here.
+    feasible = solution.is_feasible
     stats = IterationStats(
         num_rounds=num_rounds,
         feasible=feasible,
@@ -97,6 +98,7 @@ def synthesize(
     config: Optional[SchedulingConfig] = None,
     min_rounds: int = 0,
     warm_start: bool = False,
+    backend: Optional[str] = None,
 ) -> ModeSchedule:
     """Run Algorithm 1 and return the round-minimal ``Sched(M)``.
 
@@ -110,6 +112,10 @@ def synthesize(
             (:func:`demand_round_bound`) — an optimization over the
             paper's Algorithm 1 that preserves round-minimality while
             skipping provably-infeasible iterations.
+        backend: Solver backend name overriding ``config.backend`` (see
+            :func:`repro.milp.available_backends`).  With a heuristic
+            backend the schedule is feasible and verified but may use
+            more rounds than the exact round-minimal one.
 
     Returns:
         The synthesized :class:`ModeSchedule`, including per-iteration
@@ -119,6 +125,8 @@ def synthesize(
         InfeasibleError: if no round count up to ``Rmax`` is feasible.
     """
     config = config or SchedulingConfig()
+    if backend is not None and backend != config.backend:
+        config = dataclasses.replace(config, backend=backend)
     mode.validate()
     if warm_start:
         min_rounds = max(min_rounds, demand_round_bound(mode, config))

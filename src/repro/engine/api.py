@@ -18,6 +18,7 @@ the answer arrives and whether it must be recomputed at all.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -55,6 +56,7 @@ def run_cached_batch(
     cache: Optional[ScheduleCache] = None,
     warm_start: bool = True,
     stats: Optional[EngineStats] = None,
+    backend: Optional[str] = None,
 ) -> List[ModeSchedule]:
     """Cache-aware batch synthesis of ``(mode, config)`` problems.
 
@@ -70,6 +72,10 @@ def run_cached_batch(
         cache: Optional persistent cache consulted/updated per problem.
         warm_start: Seed searches at the demand lower bound.
         stats: Counters to update in place (a fresh object by default).
+        backend: Solver backend name overriding every problem's
+            ``config.backend``.  The effective backend is part of every
+            cache fingerprint, so schedules from different backends
+            never share cache entries.
 
     Returns:
         Schedules aligned with ``problems``.  Duplicate problems share
@@ -77,6 +83,12 @@ def run_cached_batch(
     """
     stats = stats if stats is not None else EngineStats()
     started = time.monotonic()
+    if backend is not None:
+        problems = [
+            (mode, dataclasses.replace(config, backend=backend)
+             if config.backend != backend else config)
+            for mode, config in problems
+        ]
     results: List[Optional[ModeSchedule]] = [None] * len(problems)
     occurrences: Dict[str, List[int]] = {}
     to_solve: List[tuple] = []  # (fingerprint, mode, config), first seen
@@ -129,6 +141,8 @@ class SynthesisEngine:
         warm_start: Seed each search at the demand lower bound
             (preserves round-minimality; see
             :func:`repro.core.synthesis.demand_round_bound`).
+        backend: Solver backend name overriding ``config.backend`` for
+            every request (see :func:`repro.milp.available_backends`).
     """
 
     def __init__(
@@ -138,10 +152,13 @@ class SynthesisEngine:
         cache: Optional[ScheduleCache] = None,
         cache_dir: Optional[str | Path] = None,
         warm_start: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.config = config or SchedulingConfig()
+        if backend is not None and backend != self.config.backend:
+            self.config = dataclasses.replace(self.config, backend=backend)
         self.jobs = jobs
         self.cache = cache if cache is not None else (
             ScheduleCache(cache_dir) if cache_dir is not None else None

@@ -26,6 +26,7 @@ boundaries.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -231,6 +232,7 @@ def synthesize_parallel(
     jobs: int = 2,
     min_rounds: int = 0,
     warm_start: bool = True,
+    backend: Optional[str] = None,
 ) -> ModeSchedule:
     """Algorithm 1 with speculative parallel iterations for one mode.
 
@@ -245,11 +247,15 @@ def synthesize_parallel(
             falls back to the in-process sequential loop.
         min_rounds: Start the search here (0 = the paper's Algorithm 1).
         warm_start: Additionally start at the demand lower bound.
+        backend: Solver backend name overriding ``config.backend``; the
+            name travels to the workers inside the serialized config.
 
     Raises:
         InfeasibleError: if no round count up to ``Rmax`` is feasible.
     """
     config = config or SchedulingConfig()
+    if backend is not None and backend != config.backend:
+        config = dataclasses.replace(config, backend=backend)
     if jobs <= 1:
         from ..core.synthesis import synthesize
 
@@ -267,6 +273,7 @@ def synthesize_batch(
     problems: Sequence[Tuple[Mode, SchedulingConfig]],
     jobs: int = 2,
     warm_start: bool = True,
+    backend: Optional[str] = None,
 ) -> List[ModeSchedule]:
     """Schedule heterogeneous ``(mode, config)`` problems over one pool.
 
@@ -281,6 +288,8 @@ def synthesize_batch(
         jobs: Worker processes shared by the whole batch.  ``1`` runs
             the sequential loop per problem.
         warm_start: Seed each search at its demand lower bound.
+        backend: Solver backend name overriding every problem's
+            ``config.backend``.
 
     Returns:
         Round-minimal schedules, aligned with ``problems`` — equal to
@@ -291,6 +300,12 @@ def synthesize_batch(
     """
     if not problems:
         return []
+    if backend is not None:
+        problems = [
+            (mode, dataclasses.replace(config, backend=backend)
+             if config.backend != backend else config)
+            for mode, config in problems
+        ]
     if jobs <= 1:
         from ..core.synthesis import synthesize
 
@@ -311,6 +326,7 @@ def synthesize_many(
     config: Optional[SchedulingConfig] = None,
     jobs: int = 2,
     warm_start: bool = True,
+    backend: Optional[str] = None,
 ) -> Dict[str, ModeSchedule]:
     """Batch Algorithm 1: schedule a whole mode set over one pool.
 
@@ -339,6 +355,9 @@ def synthesize_many(
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate mode names in batch: {names}")
     schedules = synthesize_batch(
-        [(mode, config) for mode in modes], jobs=jobs, warm_start=warm_start
+        [(mode, config) for mode in modes],
+        jobs=jobs,
+        warm_start=warm_start,
+        backend=backend,
     )
     return {mode.name: schedule for mode, schedule in zip(modes, schedules)}

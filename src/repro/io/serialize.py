@@ -7,8 +7,12 @@ the problem inputs so workloads can be versioned next to the code:
 * :func:`application_to_dict` / :func:`application_from_dict`
 * :func:`mode_to_dict` / :func:`mode_from_dict`
 * :func:`schedule_to_dict` / :func:`schedule_from_dict`
-* :func:`save_system` / :func:`load_system` — a whole multi-mode
-  system (modes + synthesized schedules) in one file.
+* :func:`save_system` / :func:`load_system` /
+  :func:`load_system_image` — a whole multi-mode system (modes +
+  synthesized schedules + allowed transitions) in one file;
+* :func:`scenario_to_dict` / :func:`scenario_from_dict` and
+  :func:`save_scenario` / :func:`load_scenario` — the declarative
+  :class:`repro.api.Scenario` experiment description.
 
 All dictionaries are plain JSON-compatible types.
 """
@@ -17,12 +21,16 @@ from __future__ import annotations
 
 import hashlib
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from ..core.app_model import Application
 from ..core.modes import Mode
 from ..core.schedule import ModeSchedule, RoundSchedule, SchedulingConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.scenario import Scenario
 
 #: Schema version stamped into every file for forward compatibility.
 SCHEMA_VERSION = 1
@@ -215,10 +223,20 @@ def synthesis_fingerprint(mode: Mode, config: SchedulingConfig) -> str:
 # -- whole systems -------------------------------------------------------------
 
 
+@dataclass
+class SystemImage:
+    """Everything a system file stores: modes, schedules, transitions."""
+
+    modes: List[Mode] = field(default_factory=list)
+    schedules: Dict[str, ModeSchedule] = field(default_factory=dict)
+    transitions: List[Tuple[str, str]] = field(default_factory=list)
+
+
 def save_system(
     path: str | Path,
     modes: List[Mode],
     schedules: Dict[str, ModeSchedule],
+    transitions: List[Tuple[str, str]] = (),
 ) -> None:
     """Write modes and their synthesized schedules to one JSON file.
 
@@ -226,6 +244,8 @@ def save_system(
         path: Output file.
         modes: System modes.
         schedules: Schedule per mode name (all modes must be covered).
+        transitions: Allowed runtime mode switches as ``(source,
+            target)`` name pairs.
 
     Raises:
         SerializationError: if a mode has no schedule.
@@ -239,12 +259,12 @@ def save_system(
         "schedules": {
             name: schedule_to_dict(sched) for name, sched in schedules.items()
         },
+        "transitions": sorted([source, target] for source, target in transitions),
     }
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
 
 
-def load_system(path: str | Path) -> Tuple[List[Mode], Dict[str, ModeSchedule]]:
-    """Read a system file written by :func:`save_system`."""
+def _read_payload(path: str | Path) -> dict:
     try:
         payload = json.loads(Path(path).read_text())
     except json.JSONDecodeError as exc:
@@ -254,8 +274,107 @@ def load_system(path: str | Path) -> Tuple[List[Mode], Dict[str, ModeSchedule]]:
             f"unsupported schema {payload.get('schema')!r} "
             f"(expected {SCHEMA_VERSION})"
         )
-    modes = [mode_from_dict(m) for m in payload["modes"]]
-    schedules = {
-        name: schedule_from_dict(s) for name, s in payload["schedules"].items()
+    return payload
+
+
+def load_system_image(path: str | Path) -> SystemImage:
+    """Read a system file into a :class:`SystemImage`.
+
+    ``transitions`` is optional in the file (older images omit it).
+    """
+    payload = _read_payload(path)
+    return SystemImage(
+        modes=[mode_from_dict(m) for m in payload["modes"]],
+        schedules={
+            name: schedule_from_dict(s)
+            for name, s in payload["schedules"].items()
+        },
+        transitions=[
+            (source, target) for source, target in payload.get("transitions", [])
+        ],
+    )
+
+
+def load_system(path: str | Path) -> Tuple[List[Mode], Dict[str, ModeSchedule]]:
+    """Read a system file written by :func:`save_system`.
+
+    Returns only ``(modes, schedules)``; use :func:`load_system_image`
+    for the transitions as well.
+    """
+    image = load_system_image(path)
+    return image.modes, image.schedules
+
+
+# -- scenarios -----------------------------------------------------------------
+
+
+def scenario_to_dict(scenario: "Scenario") -> dict:
+    """Serialize a :class:`repro.api.Scenario` to plain JSON types."""
+    from ..api.scenario import spec_to_dict
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "scenario",
+        "name": scenario.name,
+        "config": config_to_dict(scenario.config),
+        "backend": scenario.backend,
+        "modes": [mode_to_dict(m) for m in scenario.modes],
+        "transitions": [list(pair) for pair in scenario.transitions],
+        "topology": spec_to_dict(scenario.topology),
+        "loss": spec_to_dict(scenario.loss),
+        "radio": spec_to_dict(scenario.radio),
+        "simulation": spec_to_dict(scenario.simulation),
     }
-    return modes, schedules
+
+
+def scenario_from_dict(data: dict) -> "Scenario":
+    """Rebuild a :class:`repro.api.Scenario`; validates structure."""
+    from ..api.scenario import (
+        LossSpec,
+        RadioSpec,
+        Scenario,
+        SimulationSpec,
+        TopologySpec,
+    )
+
+    if data.get("kind") != "scenario":
+        raise SerializationError(
+            f"not a scenario record (kind={data.get('kind')!r})"
+        )
+    schema = data.get("schema")
+    if schema is not None and schema != SCHEMA_VERSION:
+        raise SerializationError(
+            f"unsupported schema {schema!r} (expected {SCHEMA_VERSION})"
+        )
+    try:
+        return Scenario(
+            name=data["name"],
+            modes=[mode_from_dict(m) for m in data["modes"]],
+            config=config_from_dict(data["config"]),
+            backend=data.get("backend"),
+            transitions=[
+                (source, target) for source, target in data.get("transitions", [])
+            ],
+            topology=TopologySpec.from_dict(data.get("topology")),
+            loss=LossSpec.from_dict(data.get("loss")),
+            radio=RadioSpec.from_dict(data.get("radio")),
+            simulation=SimulationSpec.from_dict(data.get("simulation")),
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed scenario record: {exc}") from exc
+
+
+def save_scenario(path: str | Path, scenario: "Scenario") -> None:
+    """Write one scenario to a JSON file."""
+    Path(path).write_text(
+        json.dumps(scenario_to_dict(scenario), indent=2, sort_keys=True)
+    )
+
+
+def load_scenario(path: str | Path) -> "Scenario":
+    """Read a scenario file written by :func:`save_scenario`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"not valid JSON: {exc}") from exc
+    return scenario_from_dict(payload)

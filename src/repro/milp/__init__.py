@@ -6,8 +6,12 @@ the equivalent building blocks without external solvers:
 * :class:`~repro.milp.expr.Var`, :class:`~repro.milp.expr.LinExpr`,
   :func:`~repro.milp.expr.quicksum` — algebraic modeling;
 * :class:`~repro.milp.model.Model` — the program container;
-* two exact backends: HiGHS via scipy (default) and a from-scratch
-  branch-and-bound (:mod:`repro.milp.bnb`).
+* pluggable solver backends behind the
+  :class:`~repro.milp.backends.SolverBackend` protocol and a named
+  registry: two exact ones — HiGHS via scipy (default) and a
+  from-scratch branch-and-bound (:mod:`repro.milp.bnb`) — plus the
+  ``greedy`` first-fit heuristic (first-incumbent branch-and-cut,
+  :mod:`repro.milp.greedy`) for huge workloads.
 
 Example:
     >>> from repro.milp import Model, quicksum
@@ -23,6 +27,17 @@ Example:
     5.0
 """
 
+from .backends import (
+    BackendInfo,
+    BnbBackend,
+    GreedyBackend,
+    HighsBackend,
+    SolverBackend,
+    available_backends,
+    backend_registry,
+    get_backend,
+    register_backend,
+)
 from .expr import (
     Constraint,
     LinExpr,
@@ -39,14 +54,23 @@ from .model import (
 )
 
 __all__ = [
+    "BackendInfo",
+    "BnbBackend",
     "Constraint",
+    "GreedyBackend",
+    "HighsBackend",
     "LinExpr",
     "Model",
     "ObjectiveSense",
     "Sense",
     "Solution",
     "SolveStatus",
+    "SolverBackend",
     "Var",
     "VarType",
+    "available_backends",
+    "backend_registry",
+    "get_backend",
     "quicksum",
+    "register_backend",
 ]

@@ -1,0 +1,237 @@
+"""Pluggable solver backends: the contract and the registry.
+
+The paper solves every scheduling ILP with one fixed solver (Gurobi).
+This module turns the solver into a seam: a :class:`SolverBackend` is
+anything that can solve a :class:`~repro.milp.model.Model` and report a
+:class:`~repro.milp.model.Solution`, and backends are looked up by name
+in a process-wide registry.  Three backends ship with the repository:
+
+======== ======= ==========================================================
+name     exact   implementation
+======== ======= ==========================================================
+highs    yes     :func:`scipy.optimize.milp` (HiGHS branch-and-cut)
+bnb      yes     from-scratch best-bound branch-and-bound over LP
+                 relaxations (:mod:`repro.milp.bnb`)
+greedy   no      first-fit heuristic — the first incumbent of the
+                 branch-and-cut is kept, no optimality proof
+                 (:mod:`repro.milp.greedy`); trades latency optimality
+                 for speed on huge workloads
+======== ======= ==========================================================
+
+The contract every backend honors:
+
+* solve the fixed-rounds ILP handed to it (any :class:`Model`);
+* report status and objective through :class:`Solution`;
+* honor ``time_limit`` best-effort (``supports_time_limit``);
+* accept an optional ``warm_start`` assignment and use it when it can
+  (``supports_warm_start``); backends that cannot must ignore it rather
+  than fail.
+
+Downstream, the backend *name* travels inside
+:class:`~repro.core.schedule.SchedulingConfig` — it is serialized with
+every schedule and hashed into the persistent cache key, so schedules
+solved by different backends never alias each other.
+
+Registering a custom backend::
+
+    from repro.milp import BackendInfo, register_backend
+
+    class MySolver:
+        info = BackendInfo(name="mysolver", exact=True,
+                           supports_time_limit=False,
+                           supports_warm_start=False,
+                           description="...")
+
+        def solve(self, model, *, time_limit=None, node_limit=None,
+                  tol=1e-6, warm_start=None):
+            ...
+
+    register_backend(MySolver())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Protocol, Tuple, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .expr import Var
+    from .model import Model, Solution
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """Static description of a solver backend's capabilities.
+
+    Attributes:
+        name: Registry key; also the value stored in
+            :attr:`SchedulingConfig.backend` and hashed into cache keys.
+        exact: True when the backend proves optimality/infeasibility.
+            Heuristic backends may return ``FEASIBLE`` (a valid but
+            possibly suboptimal point) and may fail to find a solution
+            that exists.
+        supports_time_limit: ``time_limit`` is enforced (best effort).
+        supports_warm_start: a ``warm_start`` assignment is exploited;
+            other backends silently ignore it.
+        description: One-line human-readable summary.
+    """
+
+    name: str
+    exact: bool
+    supports_time_limit: bool
+    supports_warm_start: bool
+    description: str
+
+
+@runtime_checkable
+class SolverBackend(Protocol):
+    """The solver contract used by Algorithm 1 and the engine."""
+
+    info: BackendInfo
+
+    def solve(
+        self,
+        model: "Model",
+        *,
+        time_limit: Optional[float] = None,
+        node_limit: Optional[int] = None,
+        tol: float = 1e-6,
+        warm_start: Optional[Dict["Var", float]] = None,
+    ) -> "Solution":
+        """Solve ``model`` and return a :class:`Solution`."""
+        ...
+
+
+_REGISTRY: Dict[str, SolverBackend] = {}
+
+
+def register_backend(backend: SolverBackend, replace: bool = False) -> SolverBackend:
+    """Register ``backend`` under ``backend.info.name``.
+
+    Args:
+        backend: The backend instance (must carry a ``info`` attribute).
+        replace: Allow overwriting an existing registration.
+
+    Raises:
+        ValueError: if the name is taken and ``replace`` is False.
+    """
+    name = backend.info.name
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"backend {name!r} is already registered")
+    _REGISTRY[name] = backend
+    return backend
+
+
+def get_backend(name: str) -> SolverBackend:
+    """Look up a backend by name.
+
+    Raises:
+        ValueError: for unknown names, listing what is available.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Sorted names of all registered backends."""
+    return tuple(sorted(_REGISTRY))
+
+
+def backend_registry() -> Dict[str, SolverBackend]:
+    """A copy of the registry (name -> backend)."""
+    return dict(_REGISTRY)
+
+
+# -- bundled backends ----------------------------------------------------------
+
+
+class HighsBackend:
+    """scipy/HiGHS — the default exact solver (the paper's Gurobi role)."""
+
+    info = BackendInfo(
+        name="highs",
+        exact=True,
+        supports_time_limit=True,
+        supports_warm_start=False,
+        description="scipy.optimize.milp (HiGHS branch-and-cut), exact",
+    )
+
+    def solve(
+        self,
+        model: "Model",
+        *,
+        time_limit: Optional[float] = None,
+        node_limit: Optional[int] = None,
+        tol: float = 1e-6,
+        warm_start: Optional[Dict["Var", float]] = None,
+    ) -> "Solution":
+        from .scipy_backend import solve_highs
+
+        return solve_highs(model, time_limit=time_limit)
+
+
+class BnbBackend:
+    """From-scratch branch-and-bound; warm starts seed the incumbent."""
+
+    info = BackendInfo(
+        name="bnb",
+        exact=True,
+        supports_time_limit=True,
+        supports_warm_start=True,
+        description="pure-python best-bound branch-and-bound, exact",
+    )
+
+    def solve(
+        self,
+        model: "Model",
+        *,
+        time_limit: Optional[float] = None,
+        node_limit: Optional[int] = None,
+        tol: float = 1e-6,
+        warm_start: Optional[Dict["Var", float]] = None,
+    ) -> "Solution":
+        from .bnb import solve_branch_and_bound
+
+        return solve_branch_and_bound(
+            model,
+            time_limit=time_limit,
+            node_limit=node_limit,
+            tol=tol,
+            incumbent=warm_start,
+        )
+
+
+class GreedyBackend:
+    """First-fit heuristic: stop at the first incumbent, skip the proof."""
+
+    info = BackendInfo(
+        name="greedy",
+        exact=False,
+        supports_time_limit=True,
+        supports_warm_start=True,
+        description="first-fit: first incumbent accepted, heuristic (fast, suboptimal)",
+    )
+
+    def solve(
+        self,
+        model: "Model",
+        *,
+        time_limit: Optional[float] = None,
+        node_limit: Optional[int] = None,
+        tol: float = 1e-6,
+        warm_start: Optional[Dict["Var", float]] = None,
+    ) -> "Solution":
+        from .greedy import solve_first_fit
+
+        return solve_first_fit(
+            model, time_limit=time_limit, warm_start=warm_start
+        )
+
+
+register_backend(HighsBackend())
+register_backend(BnbBackend())
+register_backend(GreedyBackend())

@@ -130,6 +130,7 @@ def solve_branch_and_bound(
     time_limit: Optional[float] = None,
     node_limit: Optional[int] = None,
     tol: float = INT_TOL,
+    incumbent: Optional[dict] = None,
 ) -> Solution:
     """Solve ``model`` by best-bound branch-and-bound.
 
@@ -139,6 +140,10 @@ def solve_branch_and_bound(
             (status ``TIME_LIMIT``) when exceeded.
         node_limit: Maximum number of explored nodes.
         tol: Integrality tolerance.
+        incumbent: Optional warm-start assignment (``Var -> value``).
+            When it is a feasible point it becomes the initial
+            incumbent, pruning the tree from node one; otherwise it is
+            ignored.
 
     Returns:
         A :class:`repro.milp.model.Solution`; ``nodes`` reports the
@@ -169,6 +174,22 @@ def solve_branch_and_bound(
 
     incumbent_x: Optional[np.ndarray] = None
     incumbent_obj = math.inf
+    if incumbent and all(v in incumbent for v in model.variables):
+        candidate = Solution(SolveStatus.FEASIBLE, values=dict(incumbent))
+        if not model.check_solution(candidate, tol=max(tol, 1e-6)):
+            warm_x = np.empty(model.num_vars)
+            for var in model.variables:
+                warm_x[var.index] = incumbent[var]
+            warm_x = np.where(lp.integral, np.round(warm_x), warm_x)
+            obj_sign = 1.0 if model.sense is ObjectiveSense.MINIMIZE else -1.0
+            incumbent_x = warm_x
+            # Node bounds (result.fun) exclude the objective's constant
+            # term, so the incumbent bound must too — otherwise it
+            # over-prunes and certifies suboptimal points as optimal.
+            warm_value = model.objective.value(
+                {v: float(warm_x[v.index]) for v in model.variables}
+            )
+            incumbent_obj = obj_sign * (warm_value - model.objective.constant)
     nodes = 0
     limit_hit: Optional[SolveStatus] = None
 

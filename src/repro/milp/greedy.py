@@ -1,0 +1,90 @@
+"""Greedy first-fit backend: keep the first feasible point found.
+
+The exact backends pay for optimality proofs; on huge workloads the
+engine often only needs *a* feasible schedule quickly (Algorithm 1 then
+guarantees schedulability, not latency-optimality).  This backend runs
+the HiGHS branch-and-cut with the relative MIP gap opened all the way
+(``mip_rel_gap = 1.0``), so the search stops at the **first incumbent**
+— the first integral point its diving heuristics reach — instead of
+closing the tree.  On the repository's scheduling ILPs this is roughly
+an order of magnitude faster than the exact solve, at the cost of a
+possibly suboptimal objective.
+
+Semantics relied on elsewhere:
+
+* infeasibility verdicts stay **exact** (the solver proves them before
+  any incumbent exists), which Algorithm 1's round-minimality argument
+  needs — a round count is only skipped when it is truly infeasible;
+* a found point is reported as ``FEASIBLE`` rather than ``OPTIMAL``:
+  it satisfies every constraint (so the schedule verifies) but the
+  latency objective may be worse than the exact backends';
+* results are deterministic for a given model, which the
+  content-addressed schedule cache relies on.
+
+A ``warm_start`` assignment serves as a fallback: when it is itself a
+complete feasible point and the solve fails or times out, it is
+returned unchanged.
+
+Plain LP-based heuristics (diving with backtracking, a feasibility
+pump) were evaluated for this seam and do not converge on the paper's
+big-M-heavy scheduling ILPs: the ``ka``/``kd`` window-pinning
+constraints tie each general integer to a width-<1 interval implied by
+the continuous offsets, which rounding-based schemes cannot satisfy by
+local moves.  First-incumbent branch-and-cut handles them natively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .expr import Var
+from .model import Model, Solution, SolveStatus
+
+
+def _feasible_warm_start(
+    model: Model, warm_start: Optional[Dict[Var, float]]
+) -> Optional[Solution]:
+    """The warm start as a Solution, if it is a complete feasible point."""
+    if not warm_start or any(v not in warm_start for v in model.variables):
+        return None
+    solution = Solution(
+        SolveStatus.FEASIBLE,
+        objective=model.objective.value(warm_start),
+        values=dict(warm_start),
+    )
+    if model.check_solution(solution):
+        return None
+    return solution
+
+
+def solve_first_fit(
+    model: Model,
+    time_limit: Optional[float] = None,
+    warm_start: Optional[Dict[Var, float]] = None,
+) -> Solution:
+    """Return the first feasible point of ``model`` (greedy first fit).
+
+    Args:
+        model: The MILP to solve.
+        time_limit: Wall-clock cap in seconds (best effort).
+        warm_start: Optional assignment; returned as the result when it
+            is itself feasible and the search fails or times out.
+
+    Returns:
+        A :class:`Solution` with status ``FEASIBLE`` (valid point, no
+        optimality proof), ``INFEASIBLE`` (exact verdict), or a limit
+        status.
+    """
+    from .scipy_backend import solve_highs
+
+    solution = solve_highs(model, time_limit=time_limit, mip_rel_gap=1.0)
+    if solution.status is SolveStatus.OPTIMAL:
+        # The gap criterion stopped the search at an incumbent; whether
+        # it happens to be optimal is unproven — report it honestly.
+        solution.status = SolveStatus.FEASIBLE
+        return solution
+    if not solution.is_feasible:
+        fallback = _feasible_warm_start(model, warm_start)
+        if fallback is not None:
+            return fallback
+    return solution

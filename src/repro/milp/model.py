@@ -35,6 +35,9 @@ class SolveStatus(enum.Enum):
     """Outcome of a solve call."""
 
     OPTIMAL = "optimal"
+    #: A valid integral point without an optimality proof — produced by
+    #: heuristic backends (e.g. ``greedy``).
+    FEASIBLE = "feasible"
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     ERROR = "error"
@@ -64,6 +67,16 @@ class Solution:
     @property
     def is_optimal(self) -> bool:
         return self.status is SolveStatus.OPTIMAL
+
+    @property
+    def is_feasible(self) -> bool:
+        """True when ``values`` holds a valid integral point.
+
+        ``OPTIMAL`` implies feasible; ``FEASIBLE`` is the weaker verdict
+        heuristic backends return when they found a point but cannot
+        prove optimality.
+        """
+        return self.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
 
     def __getitem__(self, var: Var) -> float:
         return self.values[var]
@@ -145,31 +158,36 @@ class Model:
     # -- solving ----------------------------------------------------------
     def solve(
         self,
-        backend: str = "highs",
+        backend: "str | object" = "highs",
         time_limit: Optional[float] = None,
         node_limit: Optional[int] = None,
         tol: float = 1e-6,
+        warm_start: Optional[Dict[Var, float]] = None,
     ) -> Solution:
-        """Solve the model and return a :class:`Solution`.
+        """Solve the model via a registered solver backend.
 
         Args:
-            backend: ``"highs"`` (scipy/HiGHS) or ``"bnb"`` (own
-                branch-and-bound).
+            backend: A registered backend name (``"highs"``, ``"bnb"``,
+                ``"greedy"``, or anything added through
+                :func:`repro.milp.register_backend`) or a
+                :class:`~repro.milp.backends.SolverBackend` instance.
             time_limit: Wall-clock limit in seconds (best effort).
-            node_limit: Node cap for the ``bnb`` backend.
+            node_limit: Node cap for backends that search a tree.
             tol: Integrality/feasibility tolerance.
+            warm_start: Optional assignment hint; exploited by backends
+                whose ``info.supports_warm_start`` is True, ignored by
+                the rest.
         """
-        if backend == "highs":
-            from .scipy_backend import solve_highs
+        from .backends import get_backend
 
-            return solve_highs(self, time_limit=time_limit)
-        if backend == "bnb":
-            from .bnb import solve_branch_and_bound
-
-            return solve_branch_and_bound(
-                self, time_limit=time_limit, node_limit=node_limit, tol=tol
-            )
-        raise ValueError(f"unknown backend {backend!r}")
+        solver = get_backend(backend) if isinstance(backend, str) else backend
+        return solver.solve(
+            self,
+            time_limit=time_limit,
+            node_limit=node_limit,
+            tol=tol,
+            warm_start=warm_start,
+        )
 
     # -- verification -----------------------------------------------------
     def check_solution(self, solution: Solution, tol: float = 1e-5) -> List[str]:

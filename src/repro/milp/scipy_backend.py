@@ -28,8 +28,20 @@ _STATUS_MAP = {
 }
 
 
-def solve_highs(model: Model, time_limit: Optional[float] = None) -> Solution:
-    """Solve ``model`` with scipy's HiGHS MILP solver."""
+def solve_highs(
+    model: Model,
+    time_limit: Optional[float] = None,
+    mip_rel_gap: Optional[float] = None,
+) -> Solution:
+    """Solve ``model`` with scipy's HiGHS MILP solver.
+
+    Args:
+        model: The MILP to solve.
+        time_limit: Wall-clock limit in seconds.
+        mip_rel_gap: Relative optimality gap at which the search stops;
+            ``1.0`` accepts the first incumbent (the ``greedy``
+            backend's first-fit mode), ``None`` proves optimality.
+    """
     n = model.num_vars
     if n == 0:
         # Degenerate but legal: a model with no variables is feasible iff
@@ -75,6 +87,8 @@ def solve_highs(model: Model, time_limit: Optional[float] = None) -> Solution:
     options = {}
     if time_limit is not None:
         options["time_limit"] = time_limit
+    if mip_rel_gap is not None:
+        options["mip_rel_gap"] = mip_rel_gap
 
     result = milp(
         c=c,

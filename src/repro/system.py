@@ -20,6 +20,8 @@ would:
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -32,8 +34,21 @@ from .runtime.simulator import ModeRequest, NodePolicy, RadioTiming, RuntimeSimu
 from .runtime.trace import Trace
 
 
-class SystemError_(RuntimeError):
+class SystemStateError(RuntimeError):
     """Raised on inconsistent system usage (e.g. simulate before synth)."""
+
+
+def __getattr__(name: str):
+    # Deprecated alias kept for one release: the old trailing-underscore
+    # name leaked into user tracebacks.
+    if name == "SystemError_":
+        warnings.warn(
+            "SystemError_ is deprecated; use SystemStateError",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return SystemStateError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class TTWSystem:
@@ -46,6 +61,13 @@ class TTWSystem:
             synthesizes sequentially in-process, exactly like the paper.
         cache_dir: Enable the persistent schedule cache at this
             directory (see :class:`repro.engine.ScheduleCache`).
+        backend: Solver backend name overriding ``config.backend`` (see
+            :func:`repro.milp.available_backends`).
+
+    Raises:
+        ValueError: on invalid ``jobs``, a non-positive
+            ``config.time_limit``, or an unknown backend — caught here,
+            at the API boundary, instead of deep inside an executor.
     """
 
     def __init__(
@@ -54,8 +76,30 @@ class TTWSystem:
         warm_start: bool = False,
         jobs: int = 1,
         cache_dir: Optional[str | Path] = None,
+        backend: Optional[str] = None,
     ) -> None:
-        self.config = config or SchedulingConfig()
+        config = config or SchedulingConfig()
+        if backend is not None and backend != config.backend:
+            config = dataclasses.replace(config, backend=backend)
+        if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+            raise ValueError(
+                f"jobs must be an integer >= 1 (worker processes), got {jobs!r}"
+            )
+        if config.time_limit is not None and config.time_limit <= 0:
+            raise ValueError(
+                f"time_limit must be > 0 seconds (or None for no limit), "
+                f"got {config.time_limit!r}"
+            )
+        if backend is not None:
+            # Fail fast on an explicit override.  A backend name arriving
+            # inside `config` is only checked when the solver is about to
+            # run (synthesize_all) — solver-free uses like loading a
+            # system image for verify/simulate must not require the
+            # backend to be registered in this process.
+            from .milp.backends import get_backend
+
+            get_backend(config.backend)
+        self.config = config
         self.warm_start = warm_start
         self.jobs = jobs
         self.cache_dir = cache_dir
@@ -94,13 +138,15 @@ class TTWSystem:
         Raises:
             repro.core.synthesis.InfeasibleError: if any mode is
                 unschedulable.
-            SystemError_: if verification fails (indicates a bug —
+            SystemStateError: if verification fails (indicates a bug —
                 synthesized schedules must always verify).
         """
         from .engine import SynthesisEngine
+        from .milp.backends import get_backend
 
         if not self.mode_graph.modes:
-            raise SystemError_("no modes registered")
+            raise SystemStateError("no modes registered")
+        get_backend(self.config.backend)  # clear error before any executor
         engine = SynthesisEngine(
             self.config,
             jobs=self.jobs,
@@ -114,7 +160,7 @@ class TTWSystem:
             if verify:
                 report = verify_schedule(mode, schedule)
                 if not report.ok:
-                    raise SystemError_(
+                    raise SystemStateError(
                         f"schedule for {mode.name!r} failed verification: "
                         f"{report.violations}"
                     )
@@ -143,7 +189,7 @@ class TTWSystem:
     ) -> RuntimeSimulator:
         """Build a runtime simulator over the synthesized deployments."""
         if not self.deployments:
-            raise SystemError_("call synthesize_all() before simulating")
+            raise SystemStateError("call synthesize_all() before simulating")
         modes_by_id = {
             mode.mode_id: mode for mode in self.modes if mode.mode_id is not None
         }
@@ -183,34 +229,51 @@ class TTWSystem:
 
     # -- persistence ---------------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Write modes + schedules to a JSON system file."""
+        """Write modes + schedules + transitions to a JSON system file."""
         from .io.serialize import save_system
 
         if set(self.schedules) != set(self.mode_graph.modes):
-            raise SystemError_("synthesize_all() before saving")
-        save_system(path, self.modes, self.schedules)
+            raise SystemStateError("synthesize_all() before saving")
+        transitions = [
+            (source, target)
+            for source, targets in self.mode_graph.transitions.items()
+            for target in targets
+        ]
+        save_system(path, self.modes, self.schedules, transitions=transitions)
 
     @classmethod
     def load(
         cls, path: str | Path, config: Optional[SchedulingConfig] = None
     ) -> "TTWSystem":
-        """Rebuild a system (modes, schedules, deployments) from disk."""
-        from .io.serialize import load_system
+        """Rebuild a system (modes, schedules, transitions, deployments)
+        from disk."""
+        from .io.serialize import load_system_image
 
-        modes, schedules = load_system(path)
+        image = load_system_image(path)
         first_config = (
             config
             if config is not None
-            else next(iter(schedules.values())).config
+            else next(iter(image.schedules.values())).config
         )
         system = cls(first_config)
-        for mode in modes:
+        for mode in image.modes:
             system.mode_graph.add_mode(mode)
+        for source, target in image.transitions:
+            system.allow_transition(source, target)
         for mode in system.modes:
-            schedule = schedules[mode.name]
+            schedule = image.schedules[mode.name]
             system.schedules[mode.name] = schedule
             assert mode.mode_id is not None
             system.deployments[mode.mode_id] = build_deployment(
                 mode, schedule, mode.mode_id
             )
         return system
+
+    # -- migration ------------------------------------------------------------
+    def to_scenario(self, name: str = "system") -> "object":
+        """Describe this system as a :class:`repro.api.Scenario` — the
+        declarative API's equivalent of the add_mode/allow_transition
+        calls that built it."""
+        from .api.scenario import Scenario
+
+        return Scenario.from_system(self, name=name)

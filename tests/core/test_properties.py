@@ -71,7 +71,11 @@ def test_latency_never_beats_lower_bound(seed):
         return
     for app in mode.applications:
         bound = latency_lower_bound(app, config.round_length)
-        assert sched.app_latencies[app.name] >= bound - 1e-6
+        # Tolerance 1e-5, not 1e-6: an optimal schedule sits exactly on
+        # the bound, and HiGHS's primal feasibility slack (1e-7) is
+        # amplified by the big-M constraints to ~1e-6 on the recomputed
+        # latencies (hypothesis found seed=801 landing at bound - 1e-6).
+        assert sched.app_latencies[app.name] >= bound - 1e-5
 
 
 @settings(

@@ -207,3 +207,128 @@ class TestGantt:
 
     def test_unknown_mode(self, system_file, capsys):
         assert main(["gantt", str(system_file), "-m", "ghost"]) == 1
+
+
+@pytest.fixture
+def scenario_file(tmp_path):
+    from repro.api import LossSpec, Scenario, SimulationSpec
+
+    scenario = Scenario(
+        name="clitest",
+        modes=[
+            Mode("normal", [
+                closed_loop_pipeline("a", period=20, deadline=20, num_hops=1),
+            ]),
+            Mode("emergency", [
+                closed_loop_pipeline("b", period=10, deadline=10, num_hops=1),
+            ]),
+        ],
+        config=SchedulingConfig(round_length=1.0, slots_per_round=5,
+                                max_round_gap=None),
+        transitions=[("normal", "emergency")],
+        loss=LossSpec("bernoulli", {"beacon_loss": 0.05, "data_loss": 0.05,
+                                    "seed": 7}),
+        simulation=SimulationSpec(duration=300.0,
+                                  mode_requests=((40.0, "emergency"),)),
+    )
+    path = tmp_path / "clitest.scenario.json"
+    scenario.save(path)
+    return path
+
+
+class TestScenarioRun:
+    def test_run_scenario_file(self, scenario_file, tmp_path, capsys):
+        out = tmp_path / "sys.json"
+        assert main(["scenario", "run", str(scenario_file),
+                     "-o", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "scenario 'clitest'" in captured
+        assert "rounds" in captured
+        assert "collision-free True" in captured
+        assert out.exists()
+        # The image restores the mode graph, transitions included.
+        system = TTWSystem.load(out)
+        assert system.mode_graph.can_switch("normal", "emergency")
+
+    def test_run_accepts_legacy_workload(self, workload_file, capsys):
+        assert main(["scenario", "run", str(workload_file)]) == 0
+        assert "rounds" in capsys.readouterr().out
+
+    def test_run_backend_override(self, scenario_file, capsys):
+        assert main(["scenario", "run", str(scenario_file),
+                     "--backend", "greedy", "--no-simulate"]) == 0
+        assert "backend 'greedy'" in capsys.readouterr().out
+
+    def test_run_bit_identical_to_legacy_synthesize_all(
+        self, scenario_file, tmp_path, capsys
+    ):
+        """Acceptance: `scenario run` == TTWSystem.synthesize_all()."""
+        from repro.api import Scenario
+        from repro.io import schedule_to_dict
+
+        out = tmp_path / "cli.system.json"
+        assert main(["scenario", "run", str(scenario_file),
+                     "-o", str(out), "--no-simulate"]) == 0
+        capsys.readouterr()
+        cli_system = TTWSystem.load(out)
+
+        scenario = Scenario.load(scenario_file)
+        legacy = TTWSystem(scenario.config)
+        for mode in scenario.modes:
+            legacy.add_mode(mode)
+        schedules = legacy.synthesize_all()
+        for name, schedule in schedules.items():
+            assert schedule_to_dict(schedule) == schedule_to_dict(
+                cli_system.schedules[name]
+            )
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["scenario", "run", str(tmp_path / "nope.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_not_a_scenario(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"something": "else"}))
+        assert main(["scenario", "run", str(bad)]) == 2
+        assert "neither a scenario file" in capsys.readouterr().err
+
+
+class TestScenarioSweep:
+    def test_sweep_two_files_shares_cache(self, scenario_file, workload_file,
+                                          tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert main(["scenario", "sweep", str(scenario_file),
+                     str(workload_file), "-O", str(out_dir),
+                     "--cache-dir", str(tmp_path / "cache"), "-j", "2"]) == 0
+        captured = capsys.readouterr().out
+        assert "scenario" in captured and "total_latency" in captured
+        assert "engine:" in captured
+        assert (out_dir / "clitest.system.json").exists()
+        assert (out_dir / "workload.system.json").exists()
+
+    def test_sweep_disambiguates_duplicate_names(self, scenario_file,
+                                                 tmp_path, capsys):
+        assert main(["scenario", "sweep", str(scenario_file),
+                     str(scenario_file), "--no-simulate"]) == 0
+        captured = capsys.readouterr().out
+        assert "clitest-2" in captured
+
+
+class TestDeprecations:
+    def test_synth_warns(self, workload_file, tmp_path, capsys):
+        out = tmp_path / "out.json"
+        assert main(["synth", str(workload_file), "-o", str(out)]) == 0
+        assert "deprecated" in capsys.readouterr().err
+
+    def test_batch_warns(self, workload_file, tmp_path, capsys):
+        assert main(["batch", str(workload_file),
+                     "-O", str(tmp_path / "out")]) == 0
+        assert "deprecated" in capsys.readouterr().err
+
+    def test_batch_honors_backend_flag(self, workload_file, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert main(["batch", str(workload_file), "-O", str(out_dir),
+                     "--backend", "greedy"]) == 0
+        capsys.readouterr()
+        system = TTWSystem.load(out_dir / "workload.system.json")
+        assert system.schedules["normal"].config.backend == "greedy"
