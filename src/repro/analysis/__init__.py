@@ -14,6 +14,14 @@ from .figures import (
     fig7_energy_savings,
     latency_vs_drp,
 )
+from .campaign import (
+    campaign_rows,
+    campaign_series,
+    campaign_table,
+    flow_table,
+    format_rate,
+    format_tail,
+)
 from .format import format_series, format_table
 from .gantt import render_gantt, render_round_table
 from .tables import table1_rows, table2_rows
@@ -28,10 +36,16 @@ __all__ = [
     "Fig6Data",
     "Fig7Data",
     "LatencyComparison",
+    "campaign_rows",
+    "campaign_series",
+    "campaign_table",
     "fig6_round_length",
     "fig7_energy_savings",
+    "flow_table",
+    "format_rate",
     "format_series",
     "format_table",
+    "format_tail",
     "latency_vs_drp",
     "render_gantt",
     "render_round_table",

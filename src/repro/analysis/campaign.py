@@ -1,0 +1,99 @@
+"""Formatting of Monte-Carlo campaign statistics as tables and series.
+
+The campaign layer (:mod:`repro.mc`) produces numbers; this module
+renders them the way the rest of the evaluation output looks — the
+aligned ASCII tables of :mod:`repro.analysis.format` and the
+``label: (x, y) ...`` figure series the benchmarks print.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..mc.stats import CampaignStats, DistSummary, RateEstimate
+from .format import format_series, format_table
+
+
+def format_rate(estimate: RateEstimate, digits: int = 4) -> str:
+    """``rate [low, high]`` with the 95 % Wilson interval."""
+    low, high = estimate.ci
+    return (
+        f"{estimate.rate:.{digits}f} "
+        f"[{low:.{digits}f}, {high:.{digits}f}]"
+    )
+
+
+def format_tail(summary: Optional[DistSummary], digits: int = 2) -> str:
+    """``p50/p95/p99`` of a distribution summary (``-`` when absent)."""
+    if summary is None:
+        return "-"
+    return (
+        f"{summary.p50:.{digits}f}/{summary.p95:.{digits}f}"
+        f"/{summary.p99:.{digits}f}"
+    )
+
+
+def campaign_rows(result) -> List[Dict[str, object]]:
+    """One flat metrics dict per grid point of a campaign result."""
+    rows: List[Dict[str, object]] = []
+    for point in result.points:
+        row: Dict[str, object] = {"scenario": point.scenario}
+        for name, value in point.point.items():
+            row[name] = value
+        stats: CampaignStats = point.stats
+        row["trials"] = stats.n_trials
+        row["miss"] = format_rate(stats.miss)
+        row["delivery"] = format_rate(stats.delivery)
+        row["beacon"] = f"{stats.beacon.rate:.4f}"
+        row["radio p50/p95/p99"] = format_tail(stats.radio_on)
+        row["switch p50/p95/p99"] = format_tail(stats.switch_delay)
+        row["collisions"] = stats.collisions
+        rows.append(row)
+    return rows
+
+
+def campaign_table(result) -> str:
+    """Render a campaign result as an aligned ASCII table."""
+    rows = campaign_rows(result)
+    if not rows:
+        return "(no campaign points)"
+    headers: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+    body = [[row.get(header, "-") for header in headers] for row in rows]
+    return format_table(headers, body, float_fmt="{:.4f}")
+
+
+def flow_table(stats: CampaignStats) -> str:
+    """Per-flow deadline-miss table of one grid point."""
+    if not stats.flows:
+        return "(no flows)"
+    rows = [
+        [flow, estimate.total, format_rate(estimate)]
+        for flow, estimate in stats.flows.items()
+    ]
+    return format_table(["flow", "instances", "miss rate [95% CI]"], rows)
+
+
+def campaign_series(
+    result, x_param: str, metric: str = "miss", label: Optional[str] = None
+) -> str:
+    """One sweep axis as a printable figure series.
+
+    Args:
+        result: A :class:`repro.mc.CampaignResult`.
+        x_param: Sweep parameter to use as the x axis.
+        metric: ``miss``, ``delivery``, or ``beacon`` (the rate is
+            plotted; intervals belong in the table).
+        label: Series label (default ``metric vs x_param``).
+    """
+    xs: List[object] = []
+    ys: List[float] = []
+    for point in result.points:
+        if x_param not in point.point:
+            continue
+        xs.append(point.point[x_param])
+        ys.append(getattr(point.stats, metric).rate)
+    return format_series(label or f"{metric} vs {x_param}", xs, ys)

@@ -79,6 +79,72 @@ def _build_system(scenario: Scenario, schedules: Dict[str, ModeSchedule]):
     return system
 
 
+def synthesize_scenarios(
+    scenarios: Sequence[Scenario],
+    jobs: int = 1,
+    cache: Optional[ScheduleCache] = None,
+    warm_start: bool = True,
+    stats: Optional[EngineStats] = None,
+    verify: bool = True,
+) -> "tuple[Dict[str, Dict[str, ModeSchedule]], Dict[str, Dict[str, VerificationReport]], EngineStats]":
+    """The shared synthesis phase of every scenario runner.
+
+    Validates the scenarios, flattens every mode of every scenario into
+    **one** cached batch (so identical problems are solved once across
+    the whole set), and optionally verifies each schedule with the
+    independent oracle.  Both :meth:`Experiment.run` and the
+    Monte-Carlo campaign layer (:func:`repro.mc.run_campaigns`) sit on
+    top of this.
+
+    Returns:
+        ``(schedules, reports, stats)`` — schedule and verification
+        report per mode name, per scenario name (``reports`` is empty
+        per scenario when ``verify`` is false).
+
+    Raises:
+        ValueError: on duplicate scenario names.
+        ScenarioError: on inconsistent scenario descriptions.
+        repro.core.synthesis.InfeasibleError: if any mode is
+            unschedulable.
+    """
+    for scenario in scenarios:
+        scenario.validate()
+    names = [scenario.name for scenario in scenarios]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate scenario names: {names}")
+
+    problems = []
+    slices = []
+    for scenario in scenarios:
+        config = scenario.effective_config
+        start = len(problems)
+        problems.extend((mode, config) for mode in scenario.modes)
+        slices.append((start, len(problems)))
+
+    stats = stats if stats is not None else EngineStats()
+    solved = run_cached_batch(
+        problems, jobs=jobs, cache=cache, warm_start=warm_start, stats=stats
+    )
+
+    schedules: Dict[str, Dict[str, ModeSchedule]] = {}
+    reports: Dict[str, Dict[str, VerificationReport]] = {}
+    for scenario, (start, stop) in zip(scenarios, slices):
+        by_name = {
+            mode.name: schedule
+            for (mode, _), schedule in zip(problems[start:stop], solved[start:stop])
+        }
+        schedules[scenario.name] = by_name
+        reports[scenario.name] = (
+            {
+                mode.name: verify_schedule(mode, by_name[mode.name])
+                for mode in scenario.modes
+            }
+            if verify
+            else {}
+        )
+    return schedules, reports, stats
+
+
 @dataclass
 class ExperimentResult:
     """Results of one :meth:`Experiment.run`, scenario by scenario."""
@@ -183,49 +249,68 @@ class Experiment:
                 scenario is unschedulable.
             ScenarioError: on inconsistent scenario descriptions.
         """
-        for scenario in self.scenarios:
-            scenario.validate()
-        names = [scenario.name for scenario in self.scenarios]
-        if len(set(names)) != len(names):
-            raise ValueError(f"duplicate scenario names: {names}")
-
         # One flat problem list -> one pool/cache pass for everything.
-        problems = []
-        slices = []
-        for scenario in self.scenarios:
-            config = scenario.effective_config
-            start = len(problems)
-            problems.extend((mode, config) for mode in scenario.modes)
-            slices.append((start, len(problems)))
-
-        stats = EngineStats()
-        schedules = run_cached_batch(
-            problems,
+        schedules, reports, stats = synthesize_scenarios(
+            self.scenarios,
             jobs=self.jobs,
             cache=self.cache,
             warm_start=self.warm_start,
-            stats=stats,
+            verify=verify,
         )
 
         outcome = ExperimentResult(stats=stats)
-        for scenario, (start, stop) in zip(self.scenarios, slices):
-            by_name = {
-                mode.name: schedule
-                for (mode, _), schedule in zip(
-                    problems[start:stop], schedules[start:stop]
-                )
-            }
-            result = ScenarioResult(scenario=scenario, schedules=by_name)
-            if verify:
-                result.reports = {
-                    mode.name: verify_schedule(mode, by_name[mode.name])
-                    for mode in scenario.modes
-                }
+        for scenario in self.scenarios:
+            result = ScenarioResult(
+                scenario=scenario,
+                schedules=schedules[scenario.name],
+                reports=reports[scenario.name],
+            )
             if simulate and scenario.simulation is not None and result.verified:
-                result.trace = self._simulate(scenario, by_name)
+                result.trace = self._simulate(scenario, result.schedules)
             result.metrics = self._metrics(result)
             outcome.results.append(result)
         return outcome
+
+    def run_campaign(
+        self,
+        trials: Optional[int] = None,
+        seeds: Optional[Sequence[int]] = None,
+        sweep: Optional[Dict[str, Sequence]] = None,
+    ):
+        """Run a Monte-Carlo campaign over this experiment's scenarios.
+
+        Where :meth:`run` executes each scenario's simulation phase
+        exactly once, a campaign executes it ``trials`` times per
+        point of a loss-parameter ``sweep`` grid with deterministic
+        per-trial seeds, and aggregates the samples into
+        :class:`repro.mc.CampaignStats` — deadline-miss rates with
+        Wilson confidence intervals, radio-on distributions,
+        mode-change latency tails.  Synthesis still happens once per
+        distinct config (shared pool + cache), and trials drain
+        through the same worker pool.
+
+        Args:
+            trials: Trials per grid point (default: each scenario's
+                ``simulation.trials``).
+            seeds: Explicit per-trial seeds (reused at every grid
+                point — common random numbers); overrides ``trials``.
+            sweep: ``{loss_param: [values, ...]}`` grid evaluated per
+                scenario.
+
+        Returns:
+            A :class:`repro.mc.CampaignResult`.
+        """
+        from ..mc.campaign import run_campaigns
+
+        return run_campaigns(
+            self.scenarios,
+            trials=trials,
+            seeds=seeds,
+            sweep=sweep,
+            jobs=self.jobs,
+            cache=self.cache,
+            warm_start=self.warm_start,
+        )
 
     def _simulate(
         self, scenario: Scenario, schedules: Dict[str, ModeSchedule]

@@ -46,14 +46,7 @@ from ..core.schedule import SchedulingConfig
 from ..milp.backends import get_backend
 from ..net import topology as topologies
 from ..net.topology import Topology
-from ..runtime.loss import (
-    BernoulliLoss,
-    GilbertElliottLoss,
-    GlossyLoss,
-    LossModel,
-    PerfectLinks,
-    ScriptedBeaconLoss,
-)
+from ..runtime.loss import LossModel, build_loss
 from ..runtime.simulator import NodePolicy, RadioTiming
 
 
@@ -80,24 +73,11 @@ class TopologySpec:
     kind: str
     params: Dict[str, object] = field(default_factory=dict)
 
-    _BUILDERS = {
-        "line": topologies.line,
-        "star": topologies.star,
-        "grid": topologies.grid,
-        "ring": topologies.ring,
-        "random_geometric": topologies.random_geometric,
-        "diameter_line": topologies.diameter_line,
-    }
-
     def build(self) -> Topology:
         try:
-            builder = self._BUILDERS[self.kind]
-        except KeyError:
-            raise ScenarioError(
-                f"unknown topology kind {self.kind!r}; "
-                f"known: {', '.join(sorted(self._BUILDERS))}"
-            ) from None
-        return builder(**self.params)
+            return topologies.build_topology(self.kind, self.params)
+        except ValueError as exc:
+            raise ScenarioError(str(exc)) from None
 
     def to_dict(self) -> dict:
         return {"kind": self.kind, "params": dict(self.params)}
@@ -113,34 +93,23 @@ class TopologySpec:
 class LossSpec:
     """A named packet-loss model plus its parameters.
 
-    Kinds: ``perfect``, ``bernoulli``, ``gilbert_elliott``,
-    ``scripted_beacon``, and ``glossy`` (which needs the scenario to
-    carry a :class:`TopologySpec`).
+    Kinds (see :func:`repro.runtime.loss.build_loss`): ``perfect``,
+    ``bernoulli``, ``gilbert_elliott``, ``scripted_beacon``,
+    ``trace_replay``, and ``glossy`` (which needs the scenario to carry
+    a :class:`TopologySpec`).  ``params["seed"]`` accepts an integer, a
+    ``random.Random``, a ``numpy.random.Generator``, or ``None``
+    uniformly across all stochastic kinds; only integers and ``None``
+    survive JSON round-trips.
     """
 
     kind: str
     params: Dict[str, object] = field(default_factory=dict)
 
     def build(self, topology: Optional[Topology] = None) -> LossModel:
-        params = dict(self.params)
-        if self.kind == "perfect":
-            return PerfectLinks()
-        if self.kind == "bernoulli":
-            return BernoulliLoss(**params)
-        if self.kind == "gilbert_elliott":
-            return GilbertElliottLoss(**params)
-        if self.kind == "scripted_beacon":
-            return ScriptedBeaconLoss(drops=params.get("drops", {}))
-        if self.kind == "glossy":
-            if topology is None:
-                raise ScenarioError(
-                    "loss kind 'glossy' needs a topology in the scenario"
-                )
-            return GlossyLoss(topology, **params)
-        raise ScenarioError(
-            f"unknown loss kind {self.kind!r}; known: perfect, bernoulli, "
-            f"gilbert_elliott, scripted_beacon, glossy"
-        )
+        try:
+            return build_loss(self.kind, self.params, topology)
+        except ValueError as exc:
+            raise ScenarioError(str(exc)) from None
 
     def to_dict(self) -> dict:
         return {"kind": self.kind, "params": dict(self.params)}
@@ -197,6 +166,12 @@ class SimulationSpec:
         host_node: Override the beacon host node.
         mode_requests: ``(time, target_mode_name)`` runtime switch
             requests.
+        trials: Default trial count of a Monte-Carlo campaign over
+            this scenario (see :mod:`repro.mc`).  ``Experiment.run``
+            still executes exactly one trial; campaigns use this many
+            per grid point unless overridden.
+        seed: Campaign master seed — per-trial seeds are derived
+            deterministically from it (``None`` counts as 0).
     """
 
     duration: float
@@ -204,6 +179,8 @@ class SimulationSpec:
     policy: str = "beacon_gated"
     host_node: Optional[str] = None
     mode_requests: Tuple[Tuple[float, str], ...] = ()
+    trials: int = 1
+    seed: Optional[int] = None
 
     def node_policy(self) -> NodePolicy:
         try:
@@ -221,6 +198,8 @@ class SimulationSpec:
             "policy": self.policy,
             "host_node": self.host_node,
             "mode_requests": [[t, mode] for t, mode in self.mode_requests],
+            "trials": self.trials,
+            "seed": self.seed,
         }
 
     @classmethod
@@ -235,6 +214,8 @@ class SimulationSpec:
             mode_requests=tuple(
                 (float(t), mode) for t, mode in data.get("mode_requests", [])
             ),
+            trials=data.get("trials", 1),
+            seed=data.get("seed"),
         )
 
 
@@ -305,6 +286,21 @@ class Scenario:
                 )
         if self.simulation is not None:
             self.simulation.node_policy()
+            trials = self.simulation.trials
+            if not isinstance(trials, int) or isinstance(trials, bool) \
+                    or trials < 1:
+                raise ScenarioError(
+                    f"scenario {self.name!r}: simulation.trials must be an "
+                    f"integer >= 1, got {trials!r}"
+                )
+            seed = self.simulation.seed
+            if seed is not None and (
+                not isinstance(seed, int) or isinstance(seed, bool)
+            ):
+                raise ScenarioError(
+                    f"scenario {self.name!r}: simulation.seed must be an "
+                    f"integer or null, got {seed!r}"
+                )
             if (
                 self.simulation.initial_mode is not None
                 and self.simulation.initial_mode not in known

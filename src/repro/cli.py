@@ -7,6 +7,9 @@ Commands:
   system image;
 * ``scenario sweep`` — run many scenario files over one shared process
   pool and schedule cache and print a results table;
+* ``scenario mc``   — run a Monte-Carlo campaign over a scenario file
+  (``--trials/--seeds/--sweep``, see :mod:`repro.mc`) and print the
+  aggregated statistics table;
 * ``verify``   — re-verify every schedule in a system file;
 * ``simulate`` — execute a system file for a given duration and print
   trace statistics;
@@ -210,6 +213,101 @@ def _cmd_scenario_sweep(args: argparse.Namespace) -> int:
                 transitions=result.scenario.transitions,
             )
             print(f"wrote {out}")
+    return 1 if failures else 0
+
+
+def _sweep_item(item: str) -> tuple:
+    """argparse type for ``--sweep``: ``p=0,0.05`` -> ``("p", [0.0, 0.05])``."""
+    name, sep, values_text = item.partition("=")
+    if not sep or not name.strip() or not values_text.strip():
+        raise argparse.ArgumentTypeError(
+            f"expects PARAM=V1,V2,..., got {item!r}"
+        )
+    values = []
+    for text in values_text.split(","):
+        text = text.strip()
+        try:
+            values.append(json.loads(text))
+        except json.JSONDecodeError:
+            values.append(text)
+    return name.strip(), values
+
+
+def _seed_list(text: str) -> List[int]:
+    """argparse type for ``--seeds``: comma-separated integers."""
+    try:
+        seeds = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expects comma-separated integers, got {text!r}"
+        ) from None
+    if not seeds:
+        raise argparse.ArgumentTypeError("expects at least one seed")
+    return seeds
+
+
+def _cmd_scenario_mc(args: argparse.Namespace) -> int:
+    from .analysis import flow_table
+    from .mc import run_campaign
+
+    sweep = None
+    if args.sweep:
+        sweep = {}
+        for name, values in args.sweep:
+            if name in sweep:
+                print(
+                    f"error: --sweep parameter {name!r} given more than "
+                    f"once; list all its values in one flag",
+                    file=sys.stderr,
+                )
+                return 2
+            sweep[name] = values
+    scenario = _apply_overrides(_load_scenario_file(args.scenario), args)
+    try:
+        result = run_campaign(
+            scenario,
+            trials=args.trials,
+            seeds=args.seeds,
+            sweep=sweep,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            warm_start=not args.no_warm_start,
+        )
+    except ValueError as exc:  # ScenarioError is a ValueError
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"campaign {scenario.name!r}: {len(result.points)} grid point(s), "
+        f"backend {scenario.effective_config.backend!r}"
+    )
+    print(result.table())
+    print(f"engine: {result.stats}")
+    failures = 0
+    for name, by_mode in sorted(result.reports.items()):
+        for mode_name, report in sorted(by_mode.items()):
+            for violation in report.violations:
+                print(
+                    f"{name} :: mode {mode_name!r}: VIOLATION {violation}",
+                    file=sys.stderr,
+                )
+                failures += 1
+    for point in result.points:
+        if point.stats.collisions:
+            print(
+                f"{point.scenario} :: point {point.point}: "
+                f"{point.stats.collisions} collision(s)",
+                file=sys.stderr,
+            )
+            failures += 1
+    if args.flows:
+        for point in result.points:
+            print(f"\n-- flows @ {point.scenario} {point.point}")
+            print(flow_table(point.stats))
+    if args.json is not None:
+        Path(args.json).write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True)
+        )
+        print(f"wrote {args.json}")
     return 1 if failures else 0
 
 
@@ -456,6 +554,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip all simulation phases")
     _add_engine_flags(sweep)
     sweep.set_defaults(func=_cmd_scenario_sweep)
+
+    mc = scenario_sub.add_parser(
+        "mc",
+        help="Monte-Carlo campaign: trials x seeds x loss-parameter grid",
+    )
+    mc.add_argument("scenario", help="scenario JSON (or legacy workload spec)")
+    mc.add_argument("-t", "--trials", type=_positive_int, default=None,
+                    help="trials per grid point (default: the scenario's "
+                         "simulation.trials)")
+    mc.add_argument("--seeds", type=_seed_list, default=None,
+                    help="comma-separated explicit trial seeds (override "
+                         "--trials; reused at every grid point)")
+    mc.add_argument("--sweep", type=_sweep_item, action="append",
+                    default=None, metavar="PARAM=V1,V2,...",
+                    help="sweep a loss parameter over values (repeatable; "
+                         "the cartesian product is evaluated)")
+    mc.add_argument("--flows", action="store_true",
+                    help="also print the per-flow deadline-miss tables")
+    mc.add_argument("--json", default=None, metavar="FILE",
+                    help="write the aggregated statistics as JSON")
+    mc.add_argument("--no-warm-start", action="store_true",
+                    help="disable the demand-bound warm start (campaigns "
+                         "default to warm starts ON; schedules are "
+                         "identical either way)")
+    _add_engine_flags(mc)
+    mc.set_defaults(func=_cmd_scenario_mc)
 
     synth = sub.add_parser(
         "synth", help="[deprecated: use `scenario run`] synthesize schedules"

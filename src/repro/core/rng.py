@@ -1,0 +1,119 @@
+"""Uniform random-source handling for every stochastic component.
+
+Loss models, the Glossy flood simulator, and the workload generator all
+draw from a pseudo-random stream.  Historically each of them accepted
+only an integer ``seed`` and built a private :class:`random.Random`;
+:func:`make_rng` generalizes that contract so **one rule holds
+everywhere**:
+
+* ``None`` — a fresh, OS-seeded stream (non-reproducible; fine for
+  exploration, never used by the Monte-Carlo campaign layer);
+* ``int`` — a deterministic stream.  Equal seeds produce equal draws on
+  every platform and Python version (``random.Random`` guarantees
+  this), which is what makes traces replayable and campaigns
+  resumable;
+* :class:`random.Random` — used as-is, so several components can share
+  one stream when an experiment wants coupled randomness;
+* :class:`numpy.random.Generator` — wrapped in a thin adapter exposing
+  the ``random()`` method the consumers call, so numpy-centric
+  experiment code can hand its generator straight in.
+
+Anything else (floats, strings, bools) is rejected eagerly with the
+same validation style as the other API boundaries — name the
+parameter, show the offending value, list what is accepted — instead
+of failing later inside a simulation loop.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+try:  # numpy is a hard dependency of the solver, but keep this module
+    import numpy as _np  # importable in stripped-down environments.
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Everything :func:`make_rng` accepts (numpy Generators included).
+SeedLike = Union[None, int, random.Random, object]
+
+
+class _NumpyAdapter:
+    """Adapts :class:`numpy.random.Generator` to the ``random.Random``
+    duck type — exactly the methods the repository's stochastic
+    components call (loss models, Glossy floods, workload generation)."""
+
+    __slots__ = ("generator",)
+
+    def __init__(self, generator) -> None:
+        self.generator = generator
+
+    def random(self) -> float:
+        return float(self.generator.random())
+
+    def uniform(self, a: float, b: float) -> float:
+        return a + (b - a) * float(self.generator.random())
+
+    def randrange(self, n: int) -> int:
+        return int(self.generator.integers(n))
+
+    def randint(self, a: int, b: int) -> int:
+        return int(self.generator.integers(a, b + 1))
+
+    def choice(self, seq):
+        return seq[int(self.generator.integers(len(seq)))]
+
+    def sample(self, population, k: int):
+        indices = self.generator.choice(len(population), size=k, replace=False)
+        return [population[int(i)] for i in indices]
+
+
+def make_rng(seed: SeedLike, param: str = "seed") -> "random.Random | _NumpyAdapter":
+    """Coerce ``seed`` into an object with a ``random() -> float`` method.
+
+    Args:
+        seed: ``None``, an integer, a :class:`random.Random`, or a
+            :class:`numpy.random.Generator`.
+        param: Parameter name used in the error message.
+
+    Raises:
+        ValueError: for any other type, in the repository's boundary
+            style (parameter name, offending value, accepted options).
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    if isinstance(seed, int) and not isinstance(seed, bool):
+        return random.Random(seed)
+    if seed is None:
+        return random.Random()
+    if _np is not None and isinstance(seed, _np.random.Generator):
+        return _NumpyAdapter(seed)
+    raise ValueError(
+        f"{param} must be an integer, a random.Random, a "
+        f"numpy.random.Generator, or None, got {seed!r}"
+    )
+
+
+def derive_seed(master: Optional[int], *labels: object) -> int:
+    """Derive a stable child seed from ``master`` and a label path.
+
+    The Monte-Carlo campaign layer gives every trial its own
+    deterministic seed: ``derive_seed(campaign_seed, trial_index)``.
+    The derivation is a SHA-256 hash, so it is stable across platforms,
+    Python versions, and processes — unlike ``hash()`` — and children
+    with different labels are statistically independent.
+
+    Args:
+        master: The campaign-level seed (``None`` counts as 0).
+        labels: Any JSON-representable path components (trial index,
+            grid-point index, ...).
+
+    Returns:
+        A non-negative 63-bit integer seed.
+    """
+    import hashlib
+
+    text = ":".join([str(0 if master is None else master)]
+                    + [str(label) for label in labels])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1

@@ -1,0 +1,54 @@
+"""Shared helpers for boundary-style validation errors.
+
+The JSON boundaries (``build_loss``, ``build_topology``) construct
+objects from ``kind + params`` dicts; when the constructor rejects the
+keywords, the error shown to a scenario author must distinguish
+*unknown parameter names* (typos) from *invalid parameter values*
+(wrong types), and always list what is accepted.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Iterable
+
+
+def params_error(
+    label: str,
+    constructor: Callable,
+    params: dict,
+    cause: BaseException,
+    skip: Iterable[str] = ("self", "topology"),
+) -> ValueError:
+    """A clear :class:`ValueError` for a failed ``constructor(**params)``.
+
+    Args:
+        label: Boundary description, e.g. ``"loss kind 'bernoulli'"``.
+        constructor: The callable whose signature defines the known
+            parameter names.
+        params: The keyword arguments that were passed.
+        cause: The ``TypeError`` the call raised.
+        skip: Signature parameters that are not user-facing.
+
+    Returns:
+        ``"<label>: unknown parameter(s) ...; known: ..."`` when the
+        dict contains names the signature lacks, otherwise
+        ``"<label>: invalid parameter value (<cause>)"`` — a TypeError
+        raised *inside* the constructor must not be misreported as an
+        unknown name.
+    """
+    known = [
+        name
+        for name in inspect.signature(constructor).parameters
+        if name not in skip
+    ]
+    unknown = sorted(set(params) - set(known))
+    if unknown:
+        return ValueError(
+            f"{label}: unknown parameter(s) "
+            f"{', '.join(map(repr, unknown))}; known: {', '.join(known)}"
+        )
+    return ValueError(
+        f"{label}: invalid parameter value ({cause}); "
+        f"known parameters: {', '.join(known)}"
+    )

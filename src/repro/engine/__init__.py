@@ -10,18 +10,22 @@ workloads without changing its results:
   over a shared process pool with shared warm-start bounds;
 * :class:`ScheduleCache` — persistent, content-addressed memoization of
   ``(Mode, SchedulingConfig) -> ModeSchedule``;
-* :class:`SynthesisEngine` — the facade composing cache and pool.
+* :class:`SynthesisEngine` — the facade composing cache and pool;
+* :class:`TrialPool` — batched execution of context-sharing evaluation
+  tasks (Monte-Carlo trials) over the same process-pool machinery.
 """
 
 from .api import EngineStats, SynthesisEngine, run_cached_batch
 from .cache import CacheStats, ScheduleCache
 from .parallel import synthesize_batch, synthesize_many, synthesize_parallel
+from .trials import TrialPool
 
 __all__ = [
     "CacheStats",
     "EngineStats",
     "ScheduleCache",
     "SynthesisEngine",
+    "TrialPool",
     "run_cached_batch",
     "synthesize_batch",
     "synthesize_many",

@@ -1,0 +1,125 @@
+"""Batched task execution over the engine's process pool.
+
+The synthesis side of the engine parallelizes *ILP iterations*
+(:mod:`repro.engine.parallel`); this module is the equivalent for
+*evaluation work*: thousands of small, independent tasks (Monte-Carlo
+trials) that share a large, expensive context (deployments, schedules,
+topology).  Shipping the context with every task would drown the pool
+in serialization, so :class:`TrialPool` uses the executor's
+initializer protocol instead:
+
+* contexts are serialized **once** and rebuilt lazily inside each
+  worker on first use (`build_context`);
+* tasks are submitted in **chunks**, amortizing the per-future
+  overhead over many trials;
+* ``jobs=1`` bypasses the executor entirely and runs everything
+  in-process through the very same code path, which keeps single-
+  process and pooled results bit-identical and makes the pool easy to
+  reason about in tests.
+
+The pool is deliberately generic — it knows nothing about simulation.
+Callers hand it two module-level functions (picklable by reference):
+``build_context(context_data) -> context`` and ``run_task(context,
+task) -> result``.  :mod:`repro.mc.campaign` is the main customer.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+# Per-worker state, set by the pool initializer.  A worker process
+# serves exactly one TrialPool, so module globals are safe here (the
+# same pattern the stdlib pool initializer API is designed around).
+_BUILD_CONTEXT: Optional[Callable] = None
+_RUN_TASK: Optional[Callable] = None
+_CONTEXT_DATA: Dict[str, dict] = {}
+_CONTEXTS: Dict[str, object] = {}
+
+
+def _pool_initializer(build_context, run_task, context_data) -> None:
+    global _BUILD_CONTEXT, _RUN_TASK, _CONTEXT_DATA, _CONTEXTS
+    _BUILD_CONTEXT = build_context
+    _RUN_TASK = run_task
+    _CONTEXT_DATA = context_data
+    _CONTEXTS = {}
+
+
+def _context_for(key: str):
+    if key not in _CONTEXTS:
+        _CONTEXTS[key] = _BUILD_CONTEXT(_CONTEXT_DATA[key])
+    return _CONTEXTS[key]
+
+
+def _run_chunk(chunk: Sequence[Tuple[str, dict]]) -> List[dict]:
+    """Worker entry point: run one chunk of ``(context_key, task)``."""
+    return [_RUN_TASK(_context_for(key), task) for key, task in chunk]
+
+
+class TrialPool:
+    """Run many context-sharing tasks over one process pool.
+
+    Args:
+        build_context: Module-level function turning a JSON context
+            dict into the worker-side shared context.
+        run_task: Module-level function executing one task against a
+            context, returning a JSON-compatible result.
+        contexts: ``key -> context data`` for every context tasks may
+            reference.
+        jobs: Worker processes; ``1`` runs in-process (no executor).
+        chunk_size: Tasks per submitted future; defaults to an even
+            split that keeps every worker busy with a handful of
+            futures (8 per worker) so stragglers rebalance.
+    """
+
+    def __init__(
+        self,
+        build_context: Callable,
+        run_task: Callable,
+        contexts: Dict[str, dict],
+        jobs: int = 1,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+            raise ValueError(
+                f"jobs must be an integer >= 1, got {jobs!r}"
+            )
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size!r}")
+        self.build_context = build_context
+        self.run_task = run_task
+        self.contexts = dict(contexts)
+        self.jobs = jobs
+        self.chunk_size = chunk_size
+
+    def map(self, tasks: Sequence[Tuple[str, dict]]) -> List[dict]:
+        """Run every ``(context_key, task)``; results in input order."""
+        unknown = {key for key, _ in tasks} - set(self.contexts)
+        if unknown:
+            raise KeyError(f"tasks reference unknown context(s): {sorted(unknown)}")
+        if not tasks:
+            return []
+        if self.jobs == 1:
+            local: Dict[str, object] = {}
+            results = []
+            for key, task in tasks:
+                if key not in local:
+                    local[key] = self.build_context(self.contexts[key])
+                results.append(self.run_task(local[key], task))
+            return results
+
+        chunk_size = self.chunk_size or max(
+            1, math.ceil(len(tasks) / (self.jobs * 8))
+        )
+        chunks = [
+            list(tasks[i:i + chunk_size])
+            for i in range(0, len(tasks), chunk_size)
+        ]
+        with ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_pool_initializer,
+            initargs=(self.build_context, self.run_task, self.contexts),
+        ) as pool:
+            chunk_results = list(pool.map(_run_chunk, chunks))
+        return [result for chunk in chunk_results for result in chunk]

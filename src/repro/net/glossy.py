@@ -25,6 +25,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from ..core.rng import make_rng
 from ..timing import DEFAULT_CONSTANTS, GlossyConstants, hop_time
 from .topology import Topology
 
@@ -70,7 +71,9 @@ class GlossySimulator:
         link_success: Per-link, per-step reception probability in
             (0, 1]; 1.0 models ideal links.
         constants: Radio constants; ``constants.n_tx`` is Glossy's N.
-        seed: RNG seed for reproducible loss patterns.
+        seed: RNG seed for reproducible loss patterns — an integer, a
+            ``random.Random``, a ``numpy.random.Generator``, or ``None``
+            (see :func:`repro.core.rng.make_rng`).
     """
 
     def __init__(
@@ -78,14 +81,14 @@ class GlossySimulator:
         topology: Topology,
         link_success: float = 1.0,
         constants: GlossyConstants = DEFAULT_CONSTANTS,
-        seed: Optional[int] = None,
+        seed: "Optional[int | random.Random]" = None,
     ) -> None:
         if not 0.0 < link_success <= 1.0:
             raise ValueError("link_success must be in (0, 1]")
         self.topology = topology
         self.link_success = link_success
         self.constants = constants
-        self._rng = random.Random(seed)
+        self._rng = make_rng(seed)
 
     def flood(self, initiator: str, payload_bytes: int) -> FloodResult:
         """Run one flood and return the per-node outcome.
@@ -109,9 +112,12 @@ class GlossySimulator:
             if not transmitting:
                 break
             new_receivers: Set[str] = set()
-            for sender in transmitting:
+            # Sorted iteration keeps the RNG consumption order — and so
+            # the sampled flood — identical across processes and hash
+            # seeds; the Monte-Carlo layer depends on this determinism.
+            for sender in sorted(transmitting):
                 tx_counts[sender] += 1
-                for neighbor in self.topology.graph.neighbors(sender):
+                for neighbor in sorted(self.topology.graph.neighbors(sender)):
                     if neighbor in received or neighbor in new_receivers:
                         continue
                     if (

@@ -145,3 +145,47 @@ def diameter_line(diameter: int) -> Topology:
     if diameter < 1:
         raise TopologyError("diameter must be >= 1")
     return line(diameter + 1)
+
+
+# -- the Scenario JSON boundary -----------------------------------------------
+
+_BUILDERS = {
+    "line": line,
+    "star": star,
+    "grid": grid,
+    "ring": ring,
+    "random_geometric": random_geometric,
+    "diameter_line": diameter_line,
+}
+
+
+def available_topology_kinds() -> Tuple[str, ...]:
+    """The topology kind names :func:`build_topology` accepts."""
+    return tuple(sorted(_BUILDERS))
+
+
+def build_topology(kind: str, params: Optional[dict] = None) -> Topology:
+    """Build a topology from its JSON description (kind + params).
+
+    The single boundary every serialized scenario passes through — the
+    API layer's ``TopologySpec.build`` and the Monte-Carlo trial
+    workers both call it.
+
+    Raises:
+        ValueError: on an unknown kind or unknown parameter names.
+    """
+    params = dict(params or {})
+    try:
+        builder = _BUILDERS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology kind {kind!r}; known: "
+            f"{', '.join(available_topology_kinds())}"
+        ) from None
+    try:
+        return builder(**params)
+    except TypeError as exc:
+        from ..core.validation import params_error
+
+        raise params_error(f"topology kind {kind!r}", builder, params,
+                           exc) from None

@@ -4,14 +4,20 @@ discrete-event protocol simulator (paper Sec. II)."""
 from .beacon import Beacon, encoded_size
 from .deployment import ModeDeployment, NodeTable, SlotAssignment, build_deployment
 from .loss import (
+    SEEDABLE_KINDS,
     BernoulliLoss,
     GilbertElliottLoss,
     GlossyLoss,
     LossModel,
     PerfectLinks,
     ScriptedBeaconLoss,
+    TraceReplayLoss,
+    available_loss_kinds,
+    build_loss,
+    reseeded,
 )
 from .simulator import ModeRequest, NodePolicy, RadioTiming, RuntimeSimulator
+from .trial import TrialContext, TrialResult, run_trial, summarize_trace
 from .sync import (
     DEFAULT_DRIFT_PPM,
     SyncAnalysis,
@@ -47,13 +53,22 @@ __all__ = [
     "RadioTiming",
     "RoundRecord",
     "RuntimeSimulator",
+    "SEEDABLE_KINDS",
     "ScriptedBeaconLoss",
     "SlotAssignment",
     "SlotRecord",
     "SyncAnalysis",
-    "analyze_sync",
     "Trace",
+    "TraceReplayLoss",
+    "TrialContext",
+    "TrialResult",
+    "analyze_sync",
+    "available_loss_kinds",
     "build_deployment",
+    "build_loss",
+    "reseeded",
+    "run_trial",
+    "summarize_trace",
     "max_gap_for_guard",
     "required_guard_time",
     "worst_case_offset",

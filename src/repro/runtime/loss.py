@@ -1,21 +1,50 @@
 """Packet-loss models for the runtime simulator.
 
-Loss happens at flood granularity: a beacon flood either reaches a
+Loss happens at **flood granularity**: a beacon flood either reaches a
 given node or not, and a data flood either reaches a given consumer or
-not.  Two models are provided:
+not.  This matches how Glossy-based systems behave in practice — the
+flood's constructive interference either locks a receiver in or the
+whole flood is lost to that receiver — and it is the granularity at
+which the paper argues TTW's safety (beacon gating) and reliability.
 
-* :class:`BernoulliLoss` — independent per-(flood, receiver) losses
-  with fixed probabilities; fast, used for the safety experiments;
-* :class:`GlossyLoss` — samples an actual :class:`GlossySimulator`
-  flood over a topology per slot, so spatial correlation (a node far
-  from the initiator fails more often) is captured.
+Models (all satisfy the :class:`LossModel` protocol and are selectable
+by name through :func:`build_loss`, the Scenario JSON boundary):
+
+=================  =============================================================
+kind               behaviour
+=================  =============================================================
+``perfect``        no loss at all (:class:`PerfectLinks`)
+``bernoulli``      i.i.d. per-(flood, receiver) losses (:class:`BernoulliLoss`)
+``gilbert_elliott``  bursty two-state Markov channel per node
+                   (:class:`GilbertElliottLoss`)
+``scripted_beacon``  deterministic beacon drops by round index
+                   (:class:`ScriptedBeaconLoss`)
+``trace_replay``   replay a recorded reception sequence
+                   (:class:`TraceReplayLoss`)
+``glossy``         per-slot simulated Glossy flood over a topology
+                   (:class:`GlossyLoss`)
+=================  =============================================================
+
+Seeding and determinism
+-----------------------
+
+Every stochastic model accepts ``seed`` as an integer, a
+:class:`random.Random`, a :class:`numpy.random.Generator`, or ``None``
+(see :func:`repro.core.rng.make_rng`).  Given an integer seed, a model
+produces the **same reception sequence on every platform and in every
+process**: all node iteration happens in sorted name order, so the
+random stream is consumed identically regardless of Python's hash
+randomization.  This is the property the Monte-Carlo campaign layer
+(:mod:`repro.mc`) builds on — trial ``i`` is fully described by
+``(scenario, seed_i)`` and can be reproduced bit-identically from
+those two values alone.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Optional, Protocol, Set
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Set
 
+from ..core.rng import SeedLike, make_rng
 from ..net.glossy import GlossySimulator
 from ..net.topology import Topology
 
@@ -52,25 +81,27 @@ class BernoulliLoss:
     Args:
         beacon_loss: Probability a given node misses a beacon flood.
         data_loss: Probability a given node misses a data flood.
-        seed: RNG seed for reproducibility.
+        seed: Integer seed, ``random.Random``, ``numpy.random.Generator``,
+            or ``None`` (OS-seeded).
     """
 
     def __init__(
         self,
         beacon_loss: float = 0.0,
         data_loss: float = 0.0,
-        seed: Optional[int] = None,
+        seed: SeedLike = None,
     ) -> None:
         for name, p in (("beacon_loss", beacon_loss), ("data_loss", data_loss)):
-            if not 0.0 <= p < 1.0:
-                raise ValueError(f"{name} must be in [0, 1), got {p}")
+            if not isinstance(p, (int, float)) or isinstance(p, bool) \
+                    or not 0.0 <= p < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {p!r}")
         self.beacon_loss = beacon_loss
         self.data_loss = data_loss
-        self._rng = random.Random(seed)
+        self._rng = make_rng(seed)
 
     def _sample(self, nodes: Set[str], loss: float, always: str) -> Set[str]:
         received = {always} if always in nodes else set()
-        for node in nodes:
+        for node in sorted(nodes):
             if node == always:
                 continue
             if loss <= 0.0 or self._rng.random() >= loss:
@@ -92,11 +123,13 @@ class ScriptedBeaconLoss:
     The n-th beacon flood (0-based, counted across the run) is missed
     by exactly the nodes listed in ``drops[n]``.  Data floods are
     lossless.  Used to reproduce targeted failure scenarios, e.g. "node
-    X misses the trigger beacon of a mode change".
+    X misses the trigger beacon of a mode change".  ``drops=None`` (or
+    ``{}``) means no drops at all — scenario files may carry the kind
+    without parameters.
     """
 
-    def __init__(self, drops: dict) -> None:
-        self.drops = {int(k): set(v) for k, v in drops.items()}
+    def __init__(self, drops: Optional[dict] = None) -> None:
+        self.drops = {int(k): set(v) for k, v in (drops or {}).items()}
         self._beacon_counter = 0
 
     def beacon_receivers(self, host: str, nodes: Set[str]) -> Set[str]:
@@ -110,6 +143,89 @@ class ScriptedBeaconLoss:
         self, sender: str, nodes: Set[str], payload_bytes: int
     ) -> Set[str]:
         return set(nodes)
+
+
+class TraceReplayLoss:
+    """Replay a recorded reception sequence — losses from a real run.
+
+    Where :class:`BernoulliLoss` and :class:`GilbertElliottLoss` are
+    *parametric* channels, this model is *empirical*: it replays the
+    exact per-flood receiver sets of an earlier execution (or a
+    testbed log converted to the same shape).  Replaying the loss
+    realization of a recorded trace against a *different* schedule or
+    node policy answers "what would this exact interference have done
+    to that design?" — the paired-comparison experiment parametric
+    models can only approximate.
+
+    Args:
+        beacon: One receiver list per beacon flood, in round order.
+        data: One receiver list per data flood, in slot order.
+        cycle: When ``True`` (default) the sequences wrap around at the
+            end; when ``False`` floods past the end are received by
+            everyone (perfect links).
+
+    The replay is deterministic and ignores seeding entirely.  Use
+    :meth:`from_trace` to lift the events out of a recorded
+    :class:`~repro.runtime.trace.Trace`.
+    """
+
+    def __init__(
+        self,
+        beacon: Sequence[Iterable[str]] = (),
+        data: Sequence[Iterable[str]] = (),
+        cycle: bool = True,
+    ) -> None:
+        if not isinstance(cycle, bool):
+            raise ValueError(f"cycle must be a boolean, got {cycle!r}")
+        for name, events in (("beacon", beacon), ("data", data)):
+            if isinstance(events, (str, bytes)) or not hasattr(
+                events, "__iter__"
+            ):
+                raise ValueError(
+                    f"{name} must be a sequence of receiver lists, "
+                    f"got {events!r}"
+                )
+        self.beacon_events: List[Set[str]] = [set(event) for event in beacon]
+        self.data_events: List[Set[str]] = [set(event) for event in data]
+        self.cycle = cycle
+        self._beacon_cursor = 0
+        self._data_cursor = 0
+
+    @classmethod
+    def from_trace(cls, trace, cycle: bool = True) -> "TraceReplayLoss":
+        """Extract the reception events of a recorded simulation trace."""
+        beacon = [sorted(record.beacon_receivers) for record in trace.rounds]
+        data = [
+            sorted(slot.receivers)
+            for record in trace.rounds
+            for slot in record.slots
+        ]
+        return cls(beacon=beacon, data=data, cycle=cycle)
+
+    def _next(self, events: List[Set[str]], cursor: int) -> "tuple[Optional[Set[str]], int]":
+        if not events:
+            return None, cursor
+        if cursor >= len(events):
+            if not self.cycle:
+                return None, cursor
+            cursor = cursor % len(events)
+        return events[cursor], cursor + 1
+
+    def beacon_receivers(self, host: str, nodes: Set[str]) -> Set[str]:
+        event, self._beacon_cursor = self._next(
+            self.beacon_events, self._beacon_cursor
+        )
+        if event is None:
+            return set(nodes)
+        return (event & set(nodes)) | {host}
+
+    def data_receivers(
+        self, sender: str, nodes: Set[str], payload_bytes: int
+    ) -> Set[str]:
+        event, self._data_cursor = self._next(self.data_events, self._data_cursor)
+        if event is None:
+            return set(nodes)
+        return (event & set(nodes)) | {sender}
 
 
 class GilbertElliottLoss:
@@ -127,13 +243,16 @@ class GilbertElliottLoss:
         p_bad_to_good: Transition probability BAD -> GOOD per round.
         loss_good: Flood-miss probability while GOOD.
         loss_bad: Flood-miss probability while BAD.
-        seed: RNG seed.
+        seed: Integer seed, ``random.Random``, ``numpy.random.Generator``,
+            or ``None`` (OS-seeded).
 
     The stationary average loss rate is
     ``pi_bad * loss_bad + (1 - pi_bad) * loss_good`` with
     ``pi_bad = p_gb / (p_gb + p_bg)`` — exposed as
     :meth:`average_loss_rate` so experiments can compare bursty vs.
-    i.i.d. channels at equal average rates.
+    i.i.d. channels at equal average rates.  BAD-state sojourns are
+    geometric with mean ``1 / p_bad_to_good`` rounds (the burst
+    length).
     """
 
     def __init__(
@@ -142,7 +261,7 @@ class GilbertElliottLoss:
         p_bad_to_good: float = 0.3,
         loss_good: float = 0.01,
         loss_bad: float = 0.8,
-        seed: Optional[int] = None,
+        seed: SeedLike = None,
     ) -> None:
         for name, p in (
             ("p_good_to_bad", p_good_to_bad),
@@ -150,16 +269,17 @@ class GilbertElliottLoss:
             ("loss_good", loss_good),
             ("loss_bad", loss_bad),
         ):
-            if not 0.0 <= p <= 1.0:
-                raise ValueError(f"{name} must be in [0, 1], got {p}")
+            if not isinstance(p, (int, float)) or isinstance(p, bool) \
+                    or not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p!r}")
         if p_good_to_bad + p_bad_to_good == 0.0:
             raise ValueError("the chain must have at least one transition")
         self.p_good_to_bad = p_good_to_bad
         self.p_bad_to_good = p_bad_to_good
         self.loss_good = loss_good
         self.loss_bad = loss_bad
-        self._rng = random.Random(seed)
-        self._bad: dict = {}
+        self._rng = make_rng(seed)
+        self._bad: Dict[str, bool] = {}
 
     def average_loss_rate(self) -> float:
         """Stationary flood-miss probability of the channel."""
@@ -181,7 +301,7 @@ class GilbertElliottLoss:
     def beacon_receivers(self, host: str, nodes: Set[str]) -> Set[str]:
         # One channel step per round (the beacon starts the round).
         received = {host}
-        for node in nodes:
+        for node in sorted(nodes):
             self._advance(node)
             if node == host:
                 continue
@@ -193,7 +313,7 @@ class GilbertElliottLoss:
         self, sender: str, nodes: Set[str], payload_bytes: int
     ) -> Set[str]:
         received = {sender}
-        for node in nodes:
+        for node in sorted(nodes):
             if node == sender:
                 continue
             if self._rng.random() >= self._loss(node):
@@ -208,7 +328,8 @@ class GlossyLoss:
         topology: The multi-hop network.
         link_success: Per-link, per-hop reception probability.
         beacon_payload: Beacon size in bytes (timing only).
-        seed: RNG seed.
+        seed: Integer seed, ``random.Random``, ``numpy.random.Generator``,
+            or ``None`` (OS-seeded).
     """
 
     def __init__(
@@ -216,7 +337,7 @@ class GlossyLoss:
         topology: Topology,
         link_success: float = 0.9,
         beacon_payload: int = 3,
-        seed: Optional[int] = None,
+        seed: SeedLike = None,
     ) -> None:
         self.topology = topology
         self.beacon_payload = beacon_payload
@@ -233,3 +354,89 @@ class GlossyLoss:
     ) -> Set[str]:
         result = self.simulator.flood(sender, payload_bytes)
         return result.received & set(nodes)
+
+
+# -- the Scenario JSON boundary -----------------------------------------------
+
+#: Loss kinds whose realization is controlled by a ``seed`` parameter.
+#: The Monte-Carlo campaign layer re-seeds exactly these per trial;
+#: the others are deterministic and replay identically every trial.
+SEEDABLE_KINDS = frozenset({"bernoulli", "gilbert_elliott", "glossy"})
+
+#: kind -> (constructor, needs_topology)
+_LOSS_KINDS = {
+    "perfect": (PerfectLinks, False),
+    "bernoulli": (BernoulliLoss, False),
+    "gilbert_elliott": (GilbertElliottLoss, False),
+    "scripted_beacon": (ScriptedBeaconLoss, False),
+    "trace_replay": (TraceReplayLoss, False),
+    "glossy": (GlossyLoss, True),
+}
+
+
+def available_loss_kinds() -> "tuple[str, ...]":
+    """The loss-model kind names :func:`build_loss` accepts."""
+    return tuple(sorted(_LOSS_KINDS))
+
+
+def build_loss(
+    kind: str,
+    params: Optional[dict] = None,
+    topology: Optional[Topology] = None,
+) -> LossModel:
+    """Build a loss model from its JSON description (kind + params).
+
+    This is the single boundary every serialized scenario passes
+    through — the API layer's ``LossSpec.build`` and the Monte-Carlo
+    trial workers both call it — so validation lives here, in the
+    repository's boundary style: name the offending parameter, show
+    the value, list what is accepted.
+
+    Args:
+        kind: One of :func:`available_loss_kinds`.
+        params: Keyword arguments of the model's constructor.  ``seed``
+            accepts an integer, a ``random.Random``, a
+            ``numpy.random.Generator``, or ``None`` uniformly across
+            all stochastic kinds (only integers and ``None`` survive
+            JSON serialization, of course).
+        topology: Required by kinds flooding a real network
+            (``glossy``).
+
+    Raises:
+        ValueError: unknown kind, unknown parameter names, or invalid
+            parameter values.
+    """
+    params = dict(params or {})
+    try:
+        constructor, needs_topology = _LOSS_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown loss kind {kind!r}; known: "
+            f"{', '.join(available_loss_kinds())}"
+        ) from None
+    if needs_topology:
+        if topology is None:
+            raise ValueError(f"loss kind {kind!r} needs a topology")
+        args = (topology,)
+    else:
+        args = ()
+    try:
+        return constructor(*args, **params)
+    except TypeError as exc:
+        from ..core.validation import params_error
+
+        raise params_error(f"loss kind {kind!r}", constructor, params,
+                           exc) from None
+
+
+def reseeded(kind: str, params: Optional[dict], seed: int) -> dict:
+    """``params`` with ``seed`` replaced — a no-op for seedless kinds.
+
+    The campaign layer derives one seed per trial and pushes it through
+    here, so the *n*-th trial of a scenario is reproducible from the
+    scenario file plus the campaign seed alone.
+    """
+    params = dict(params or {})
+    if kind in SEEDABLE_KINDS:
+        params["seed"] = seed
+    return params

@@ -19,6 +19,21 @@ packet loss and reproduces the protocol behaviour the paper argues for:
   ``SB = 1`` in the first round after the drain deadline; the new mode
   starts directly after that round, and remaining old-mode rounds are
   not executed.
+
+Determinism: the simulator itself contains **no randomness** — all
+stochastic behaviour lives in the injected :class:`LossModel`, and all
+internal iteration over node sets happens in sorted order where it
+feeds the loss model's RNG.  Given a seeded loss model, a run is a
+pure function of its inputs, reproducible bit-for-bit in any process;
+this is what the Monte-Carlo campaign layer (:mod:`repro.mc`) builds
+on.  One simulation is a single sample — statistical evaluation over
+many seeds, with confidence intervals, is ``repro.mc``'s job
+(entry points: :mod:`repro.runtime.trial`,
+``python -m repro.cli scenario mc``).
+
+The full runtime model (rounds, beacons, node policies, loss models,
+drift/sync analysis, seeding rules) is documented in
+``docs/SIMULATION.md``.
 """
 
 from __future__ import annotations

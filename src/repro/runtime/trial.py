@@ -1,0 +1,269 @@
+"""Seedable single-trial execution — the Monte-Carlo worker entry point.
+
+One *trial* is one end-to-end run of the :class:`RuntimeSimulator`
+under one loss realization, reduced to the compact statistics the
+evaluation layer aggregates.  The module is deliberately shaped for
+process pools:
+
+* :func:`build_context` rebuilds everything that is **shared across
+  trials** (modes, deployments, radio timing, topology, the simulation
+  parameters) from one JSON dict — workers do this once, at pool
+  initialization, not per trial;
+* :func:`execute_trial` runs **one seeded trial** against a context and
+  returns a plain JSON dict, so results cross process boundaries in the
+  same stable representation the rest of the engine uses;
+* :func:`summarize_trace` is the trace -> statistics reduction, shared
+  with the in-process path so a pooled trial is *bit-identical* to the
+  same seed run through ``Experiment.run(simulate=True)``.
+
+Determinism contract: a trial is a pure function of ``(context,
+loss-kind, loss-params)``.  All randomness lives in the loss model,
+every loss model consumes its random stream in sorted-node order (see
+:mod:`repro.runtime.loss`), and schedules round-trip JSON exactly — so
+equal seeds give equal traces in any process on any platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.modes import Mode
+from ..net.topology import Topology, build_topology
+from .deployment import ModeDeployment, build_deployment
+from .loss import build_loss
+from .simulator import ModeRequest, NodePolicy, RadioTiming, RuntimeSimulator
+from .trace import Trace
+
+
+@dataclass
+class TrialResult:
+    """Compact statistics of one simulated trial.
+
+    Everything the campaign aggregator needs, nothing trace-sized: the
+    full :class:`~repro.runtime.trace.Trace` of a long run is orders of
+    magnitude larger and never crosses the process boundary.
+
+    Attributes:
+        rounds: Communication rounds executed.
+        collisions: Collided slots (must be 0 under beacon gating).
+        beacon_heard: ``(received, expected)`` beacon receptions summed
+            over all rounds and nodes.
+        messages: Per-flow ``(on_time, delivered, total)`` message
+            instance counts.
+        chains: Per-application ``(complete, total)`` end-to-end chain
+            instance counts.
+        radio_on: Radio-on time per node (ms).
+        switch_delays: Request-to-new-mode-start delay of every
+            completed mode change, in completion order (ms).
+        duration: Simulated horizon (ms).
+    """
+
+    rounds: int = 0
+    collisions: int = 0
+    beacon_heard: Tuple[int, int] = (0, 0)
+    messages: Dict[str, Tuple[int, int, int]] = field(default_factory=dict)
+    chains: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    radio_on: Dict[str, float] = field(default_factory=dict)
+    switch_delays: List[float] = field(default_factory=list)
+    duration: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "rounds": self.rounds,
+            "collisions": self.collisions,
+            "beacon_heard": list(self.beacon_heard),
+            "messages": {k: list(v) for k, v in self.messages.items()},
+            "chains": {k: list(v) for k, v in self.chains.items()},
+            "radio_on": dict(self.radio_on),
+            "switch_delays": list(self.switch_delays),
+            "duration": self.duration,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrialResult":
+        return cls(
+            rounds=data["rounds"],
+            collisions=data["collisions"],
+            beacon_heard=tuple(data["beacon_heard"]),
+            messages={k: tuple(v) for k, v in data["messages"].items()},
+            chains={k: tuple(v) for k, v in data["chains"].items()},
+            radio_on=dict(data["radio_on"]),
+            switch_delays=list(data["switch_delays"]),
+            duration=data["duration"],
+        )
+
+    # -- derived rates ---------------------------------------------------
+    def total_radio_on(self) -> float:
+        """Radio-on summed over nodes, in sorted-node order (stable)."""
+        return sum(self.radio_on[node] for node in sorted(self.radio_on))
+
+    def message_counts(self) -> Tuple[int, int, int]:
+        """``(on_time, delivered, total)`` summed over all flows."""
+        on_time = delivered = total = 0
+        for counts in self.messages.values():
+            on_time += counts[0]
+            delivered += counts[1]
+            total += counts[2]
+        return on_time, delivered, total
+
+
+def summarize_trace(trace: Trace) -> TrialResult:
+    """Reduce a simulation trace to its :class:`TrialResult`."""
+    result = TrialResult(duration=trace.duration)
+    result.rounds = len(trace.rounds)
+    # The simulator seeds radio_on with *every* node, so its size is the
+    # true per-round audience; falling back to the largest observed
+    # receiver set (for hand-built traces) would bias the rate high
+    # whenever every round loses at least one node.
+    universe = len(trace.radio_on) or max(
+        (len(r.beacon_receivers) for r in trace.rounds), default=0
+    )
+    heard = 0
+    for record in trace.rounds:
+        result.collisions += len(record.collisions)
+        heard += len(record.beacon_receivers)
+    result.beacon_heard = (heard, universe * len(trace.rounds))
+    for message in trace.messages:
+        on_time, delivered, total = result.messages.get(message.message, (0, 0, 0))
+        result.messages[message.message] = (
+            on_time + (1 if message.on_time else 0),
+            delivered + (1 if message.delivered else 0),
+            total + 1,
+        )
+    for chain in trace.chains:
+        complete, total = result.chains.get(chain.app, (0, 0))
+        result.chains[chain.app] = (
+            complete + (1 if chain.complete else 0),
+            total + 1,
+        )
+    result.radio_on = dict(trace.radio_on)
+    result.switch_delays = [s.switch_delay for s in trace.mode_switches]
+    return result
+
+
+@dataclass
+class TrialContext:
+    """Everything shared by the trials of one scenario."""
+
+    modes: Dict[int, Mode]
+    deployments: Dict[int, ModeDeployment]
+    initial_mode: int
+    policy: NodePolicy
+    duration: float
+    host_node: Optional[str] = None
+    mode_requests: List[ModeRequest] = field(default_factory=list)
+    radio: Optional[RadioTiming] = None
+    topology: Optional[Topology] = None
+
+
+def build_context(data: dict) -> TrialContext:
+    """Rebuild a :class:`TrialContext` from its JSON description.
+
+    ``data`` carries mode dicts (with their mode-graph ids), schedule
+    dicts, the simulation parameters, the resolved radio timing, and
+    the topology spec — see ``repro.mc.campaign`` for the producer.
+    """
+    from ..io.serialize import mode_from_dict, schedule_from_dict
+
+    modes = [mode_from_dict(record) for record in data["modes"]]
+    schedules = {
+        name: schedule_from_dict(record)
+        for name, record in data["schedules"].items()
+    }
+    by_id: Dict[int, Mode] = {}
+    deployments: Dict[int, ModeDeployment] = {}
+    id_of: Dict[str, int] = {}
+    for mode in modes:
+        if mode.mode_id is None:
+            raise ValueError(f"mode {mode.name!r} carries no mode_id")
+        by_id[mode.mode_id] = mode
+        id_of[mode.name] = mode.mode_id
+        deployments[mode.mode_id] = build_deployment(
+            mode, schedules[mode.name], mode.mode_id
+        )
+
+    sim = data["sim"]
+    initial_name = sim.get("initial_mode")
+    initial = id_of[initial_name] if initial_name else min(by_id)
+    requests = [
+        ModeRequest(float(time), id_of[target])
+        for time, target in sim.get("mode_requests", [])
+    ]
+    radio_data = data.get("radio")
+    radio = (
+        RadioTiming(
+            payload_bytes=radio_data["payload_bytes"],
+            diameter=radio_data["diameter"],
+        )
+        if radio_data is not None
+        else None
+    )
+    topology_data = data.get("topology")
+    topology = (
+        build_topology(topology_data["kind"], topology_data.get("params"))
+        if topology_data is not None
+        else None
+    )
+    return TrialContext(
+        modes=by_id,
+        deployments=deployments,
+        initial_mode=initial,
+        policy=NodePolicy(sim.get("policy", "beacon_gated")),
+        duration=float(sim["duration"]),
+        host_node=sim.get("host_node"),
+        mode_requests=requests,
+        radio=radio,
+        topology=topology,
+    )
+
+
+def run_trial(
+    context: TrialContext, loss_kind: Optional[str], loss_params: Optional[dict]
+) -> TrialResult:
+    """Run one trial in-process and summarize it.
+
+    A fresh loss model is built per trial (loss models are stateful:
+    RNG position, Markov channel state, replay cursors), so trials
+    never contaminate each other.
+    """
+    loss = (
+        build_loss(loss_kind, loss_params, context.topology)
+        if loss_kind is not None
+        else None
+    )
+    simulator = RuntimeSimulator(
+        context.modes,
+        dict(context.deployments),
+        initial_mode=context.initial_mode,
+        loss=loss,
+        policy=context.policy,
+        radio=context.radio,
+    )
+    trace = simulator.run(
+        context.duration,
+        mode_requests=context.mode_requests,
+        host_node=context.host_node,
+    )
+    return summarize_trace(trace)
+
+
+def execute_trial(context: TrialContext, task: dict) -> dict:
+    """Pool entry point: run the trial described by ``task``.
+
+    ``task`` carries ``loss`` (``{"kind", "params"}`` or ``None``) plus
+    opaque bookkeeping keys (``trial``, ``seed``, ``point``) that are
+    echoed into the result so the aggregator can group answers without
+    relying on completion order.
+    """
+    loss = task.get("loss")
+    result = run_trial(
+        context,
+        loss["kind"] if loss is not None else None,
+        loss.get("params") if loss is not None else None,
+    )
+    payload = result.to_dict()
+    for key in ("trial", "seed", "point", "scenario"):
+        if key in task:
+            payload[key] = task[key]
+    return payload

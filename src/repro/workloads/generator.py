@@ -4,6 +4,22 @@ Generates applications with random task DAGs (layered, always valid:
 acyclic, every message has one producer and at least one consumer,
 producers on a single node), random mappings onto a node set, and
 multi-application modes with harmonic or arbitrary periods.
+
+The generator is the input half of every scaling study in
+``benchmarks/``: :class:`GeneratorConfig` fixes the shape distribution
+(tasks, nodes, period choices, DAG fan-out and depth) and the ``seed``
+fixes the sample, so a benchmark line like *"4-task apps on 6 nodes,
+seed 3"* pins an exact, reproducible workload.  Generated applications
+are valid **by construction** — no rejection sampling is needed — and
+always pass ``Application.validate``:
+
+* the task DAG is layered, hence acyclic;
+* every message has exactly one producing task and >= 1 consumers;
+* producers sit on a single node (the TTW model's requirement for a
+  well-defined slot owner).
+
+Hand-written reference workloads (the paper's Fig. 3 application,
+industrial-control presets) live in :mod:`repro.workloads.presets`.
 """
 
 from __future__ import annotations
@@ -14,6 +30,7 @@ from typing import List, Optional, Sequence
 
 from ..core.app_model import Application
 from ..core.modes import Mode
+from ..core.rng import make_rng
 
 
 @dataclass
@@ -51,11 +68,26 @@ class GeneratorConfig:
 
 
 class WorkloadGenerator:
-    """Seeded generator of random applications and modes."""
+    """Seeded generator of random applications and modes.
 
-    def __init__(self, config: Optional[GeneratorConfig] = None, seed: int = 1) -> None:
+    Args:
+        config: Generation knobs (see :class:`GeneratorConfig`).
+        seed: An integer, a ``random.Random``, a
+            ``numpy.random.Generator``, or ``None`` — the same seeding
+            contract as the loss models (see
+            :func:`repro.core.rng.make_rng`).  Equal integer seeds
+            reproduce the exact same workload on every platform, which
+            is what lets scaling benchmarks and fuzz tests pin their
+            inputs.
+    """
+
+    def __init__(
+        self,
+        config: Optional[GeneratorConfig] = None,
+        seed: "int | random.Random | None" = 1,
+    ) -> None:
         self.config = config or GeneratorConfig()
-        self._rng = random.Random(seed)
+        self._rng = make_rng(seed)
 
     def application(self, name: str) -> Application:
         """Generate one random, always-valid application."""

@@ -1,11 +1,28 @@
 """Reference workloads, including the paper's Fig. 3 control application.
 
-Fig. 3: execution starts with two sensor readings (tau1, tau2), both
-received by the controller (tau3) via messages m1, m2; actuation values
-are computed, multicast to the actuators via m3, and applied by tau5
-and tau6.  (The paper's figure labels the receiving tasks tau4/tau5/tau6
-inconsistently across text and figure; we use sense1, sense2, control,
-act1, act2.)
+Four hand-written presets cover the workload shapes the paper's
+evaluation and this repository's experiments revolve around:
+
+* :func:`fig3_control_app` — the paper's running example: two sensors
+  feed a controller which multicasts to two actuators;
+* :func:`closed_loop_pipeline` — a ``sense -> process^k -> actuate``
+  chain on distinct nodes, the 10–500 ms distributed control loop the
+  introduction targets;
+* :func:`industrial_mode` — several concurrent pipelines with harmonic
+  periods, a typical process-control deployment (and the default
+  workload of the Monte-Carlo campaign benchmark);
+* :func:`emergency_mode` — a fast single-loop mode used as the target
+  of mode-change experiments.
+
+All presets are deterministic (no randomness); randomized workloads
+come from :mod:`repro.workloads.generator`.
+
+Fig. 3 note: execution starts with two sensor readings (tau1, tau2),
+both received by the controller (tau3) via messages m1, m2; actuation
+values are computed, multicast to the actuators via m3, and applied by
+tau5 and tau6.  (The paper's figure labels the receiving tasks
+tau4/tau5/tau6 inconsistently across text and figure; we use sense1,
+sense2, control, act1, act2.)
 """
 
 from __future__ import annotations

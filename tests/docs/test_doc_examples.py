@@ -1,0 +1,78 @@
+"""Execute every ```python block in docs/ — documentation cannot rot.
+
+Each markdown file's fenced ``python`` blocks are concatenated (they
+share one namespace, top to bottom, like a doctest session) and run in
+a fresh subprocess with a temporary working directory, so examples may
+write files and register backends without leaking into the test
+process.
+
+Opting a block out: give the fence a different info string (e.g.
+```python no-exec) — it keeps syntax highlighting but is skipped here.
+Blocks in other languages (bash, text, json) are never executed.
+"""
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOCS_DIR = REPO_ROOT / "docs"
+
+#: ```python ... ``` fences whose info string is exactly "python".
+_FENCE = re.compile(
+    r"^```python[ \t]*\n(.*?)^```[ \t]*$",
+    re.MULTILINE | re.DOTALL,
+)
+
+
+def python_blocks(path: Path):
+    return _FENCE.findall(path.read_text())
+
+
+def doc_files():
+    return sorted(DOCS_DIR.glob("*.md"))
+
+
+def test_docs_directory_has_documents():
+    names = {path.name for path in doc_files()}
+    assert {"API.md", "ARCHITECTURE.md", "SIMULATION.md"} <= names
+
+
+def test_simulation_doc_has_executable_examples():
+    assert len(python_blocks(DOCS_DIR / "SIMULATION.md")) >= 4
+
+
+@pytest.mark.parametrize(
+    "path", doc_files(), ids=lambda path: path.name
+)
+def test_doc_python_blocks_execute(path, tmp_path):
+    blocks = python_blocks(path)
+    if not blocks:
+        pytest.skip(f"{path.name} has no python blocks")
+    source = "\n\n".join(
+        f"# -- {path.name}, block {index + 1} --\n{block}"
+        for index, block in enumerate(blocks)
+    )
+    script = tmp_path / f"{path.stem}_doc_blocks.py"
+    script.write_text(source)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, (
+        f"{path.name}: python blocks failed\n"
+        f"--- stdout ---\n{completed.stdout}\n"
+        f"--- stderr ---\n{completed.stderr}"
+    )

@@ -1,0 +1,157 @@
+"""Campaign statistics: Wilson intervals, percentiles, aggregation."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mc import CampaignStats, DistSummary, RateEstimate, percentile, wilson_interval
+from repro.runtime.trial import TrialResult
+
+
+class TestWilsonInterval:
+    def test_no_evidence_no_confidence(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_known_value(self):
+        # 8/10 at 95 %: the classic textbook example.
+        low, high = wilson_interval(8, 10)
+        assert low == pytest.approx(0.4902, abs=1e-3)
+        assert high == pytest.approx(0.9433, abs=1e-3)
+
+    def test_zero_successes_lower_bound_is_zero(self):
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0
+        assert 0.0 < high < 0.15
+
+    def test_all_successes_upper_bound_is_one(self):
+        low, high = wilson_interval(50, 50)
+        assert high == 1.0
+        assert 0.85 < low < 1.0
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 3)
+
+    @given(st.integers(0, 200), st.integers(0, 200))
+    def test_interval_contains_the_point_estimate(self, successes, extra):
+        total = successes + extra
+        low, high = wilson_interval(successes, total)
+        assert 0.0 <= low <= high <= 1.0
+        if total:
+            assert low <= successes / total <= high
+
+    @given(st.integers(1, 60), st.integers(2, 8))
+    def test_interval_shrinks_with_more_evidence(self, successes, factor):
+        total = successes * 2
+        low1, high1 = wilson_interval(successes, total)
+        low2, high2 = wilson_interval(successes * factor, total * factor)
+        assert (high2 - low2) < (high1 - low1)
+
+
+class TestPercentile:
+    def test_endpoints_and_median(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 50) == 3.0
+        assert percentile(values, 100) == 5.0
+
+    def test_interpolates(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    @given(st.lists(st.floats(0, 1e6, allow_subnormal=False),
+                    min_size=1, max_size=50))
+    def test_bounded_by_min_max(self, values):
+        for q in (0, 25, 50, 95, 99, 100):
+            assert min(values) <= percentile(values, q) <= max(values)
+
+
+class TestRateEstimate:
+    def test_complement(self):
+        est = RateEstimate(30, 40)
+        assert est.complement.rate == pytest.approx(0.25)
+        assert est.complement.total == 40
+
+    def test_str_mentions_interval(self):
+        text = str(RateEstimate(1, 10))
+        assert "[" in text and "]" in text
+
+
+class TestDistSummary:
+    def test_from_values(self):
+        summary = DistSummary.from_values([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.p50 == pytest.approx(2.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DistSummary.from_values([])
+
+
+def _trial(on_time, total, radio=10.0, switches=(), collisions=0):
+    return TrialResult(
+        rounds=total,
+        collisions=collisions,
+        beacon_heard=(total, total),
+        messages={"m": (on_time, on_time, total)},
+        chains={"app": (on_time, total)},
+        radio_on={"n1": radio / 2, "n2": radio / 2},
+        switch_delays=list(switches),
+        duration=100.0,
+    )
+
+
+class TestCampaignStats:
+    def test_pools_counts_across_trials(self):
+        stats = CampaignStats.aggregate([_trial(9, 10), _trial(7, 10)])
+        assert stats.n_trials == 2
+        assert stats.miss.successes == 4  # 1 + 3 misses
+        assert stats.miss.total == 20
+        assert stats.flows["m"].rate == pytest.approx(0.2)
+        assert stats.chain_miss["app"].rate == pytest.approx(0.2)
+        assert stats.rounds == 20
+
+    def test_radio_and_switch_distributions(self):
+        stats = CampaignStats.aggregate([
+            _trial(10, 10, radio=8.0, switches=[5.0]),
+            _trial(10, 10, radio=12.0, switches=[7.0, 9.0]),
+        ])
+        assert stats.radio_on.mean == pytest.approx(10.0)
+        assert stats.switch_delay.count == 3
+        assert stats.switch_delay.maximum == pytest.approx(9.0)
+        assert stats.radio_on_per_round.mean == pytest.approx(
+            (0.8 + 1.2) / 2
+        )
+
+    def test_collisions_sum(self):
+        stats = CampaignStats.aggregate([
+            _trial(10, 10, collisions=2), _trial(10, 10, collisions=1),
+        ])
+        assert stats.collisions == 3
+
+    def test_empty_aggregate(self):
+        stats = CampaignStats.aggregate([])
+        assert stats.n_trials == 0
+        assert stats.miss.total == 0
+        assert stats.radio_on is None
+        assert stats.switch_delay is None
+
+    def test_to_dict_round_trips_json(self):
+        import json
+
+        stats = CampaignStats.aggregate([_trial(9, 10, switches=[4.0])])
+        payload = json.loads(json.dumps(stats.to_dict()))
+        assert payload["miss"]["total"] == 10
+        assert payload["switch_delay"]["count"] == 1

@@ -314,6 +314,55 @@ class TestScenarioSweep:
         assert "clitest-2" in captured
 
 
+class TestScenarioMc:
+    def test_mc_prints_campaign_table(self, scenario_file, capsys):
+        assert main(["scenario", "mc", str(scenario_file),
+                     "--trials", "2", "--backend", "greedy"]) == 0
+        out = capsys.readouterr().out
+        assert "grid point(s)" in out
+        assert "miss" in out
+        assert "engine:" in out
+
+    def test_mc_sweep_and_json_output(self, scenario_file, tmp_path, capsys):
+        out_json = tmp_path / "stats.json"
+        assert main(["scenario", "mc", str(scenario_file),
+                     "--trials", "2", "--backend", "greedy",
+                     "--sweep", "data_loss=0,0.1",
+                     "--json", str(out_json)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out_json.read_text())
+        assert len(payload["points"]) == 2
+        assert payload["points"][0]["point"] == {"data_loss": 0}
+        assert payload["ok"] is True
+
+    def test_mc_explicit_seeds_and_flows(self, scenario_file, capsys):
+        assert main(["scenario", "mc", str(scenario_file),
+                     "--seeds", "1,2,3", "--backend", "greedy",
+                     "--flows"]) == 0
+        out = capsys.readouterr().out
+        assert "flow" in out
+        assert "miss rate" in out
+
+    def test_mc_rejects_bad_sweep(self, scenario_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["scenario", "mc", str(scenario_file), "--sweep", "oops"])
+
+    def test_mc_rejects_duplicate_sweep_parameter(self, scenario_file,
+                                                  capsys):
+        assert main(["scenario", "mc", str(scenario_file),
+                     "--backend", "greedy",
+                     "--sweep", "data_loss=0,0.05",
+                     "--sweep", "data_loss=0.1"]) == 2
+        assert "more than once" in capsys.readouterr().err
+
+    def test_mc_unknown_sweep_parameter_fails_cleanly(self, scenario_file,
+                                                      capsys):
+        assert main(["scenario", "mc", str(scenario_file),
+                     "--backend", "greedy", "--trials", "1",
+                     "--sweep", "nope=1,2"]) == 2
+        assert "unknown parameter" in capsys.readouterr().err
+
+
 class TestDeprecations:
     def test_synth_warns(self, workload_file, tmp_path, capsys):
         out = tmp_path / "out.json"
