@@ -5,4 +5,68 @@ prints the rows/series in paper-comparable form; ``pytest-benchmark``
 additionally times the underlying computation.  Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Machine-readable trajectories
+-----------------------------
+
+Benchmarks that track a performance claim record their headline
+numbers through the ``bench_record`` fixture::
+
+    def test_bench_something(bench_record):
+        ...
+        bench_record("mc_campaign", trials_per_sec=123.4, speedup=5.6)
+
+At session end every record is written to ``BENCH_<name>.json`` (in
+``$BENCH_JSON_DIR``, default the current working directory), one JSON
+document per benchmark with a stable ``schema`` tag plus whatever
+fields the benchmark chose.  CI uploads these files as artifacts, so
+the perf curve of the repository is a downloadable time series — see
+``docs/PERFORMANCE.md`` for how to read them.
 """
+
+import json
+import os
+import platform
+from pathlib import Path
+
+import pytest
+
+#: Records accumulated over the session: name -> fields.
+_RECORDS = {}
+
+#: Format tag written into every BENCH_*.json document.
+BENCH_SCHEMA = "repro-bench/1"
+
+
+@pytest.fixture
+def bench_record():
+    """Record one benchmark's machine-readable result.
+
+    Call as ``bench_record(name, **fields)``; fields must be
+    JSON-serializable.  Calling twice with the same name overwrites
+    (re-runs within one session supersede themselves).
+    """
+
+    def record(name: str, **fields):
+        json.dumps(fields)  # fail fast on non-serializable fields
+        _RECORDS[name] = fields
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RECORDS:
+        return
+    out_dir = Path(os.environ.get("BENCH_JSON_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name, fields in sorted(_RECORDS.items()):
+        document = {
+            "schema": BENCH_SCHEMA,
+            "benchmark": name,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        }
+        document.update(fields)
+        path = out_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")

@@ -1,22 +1,25 @@
-"""Monte-Carlo campaign throughput: single-process vs. pooled trials.
+"""Monte-Carlo campaign throughput: compiled fast path vs. reference.
 
-The campaign layer's performance claim mirrors the synthesis engine's:
-*mechanism, not results*.  A campaign over ``MC_BENCH_TRIALS`` seeded
-trials (default 200) of a preset industrial-control scenario runs once
-sequentially (``jobs=1``) and once over the trial pool, and the bench
-asserts:
+Two performance claims, both *mechanism, not results*:
 
-* the aggregated statistics are **bit-identical** — pooling only
-  changes wall-clock;
-* **synthesis runs once per distinct config**: the sequential pass
-  populates the schedule cache (1 miss), the pooled pass is pure cache
-  hits and does zero solver work, however many trials execute;
-* on machines with >= 6 workers, the pooled campaign must be at least
-  4x faster than the sequential one (on smaller machines the speedup
-  is printed but not asserted — a 1-core CI box cannot parallelize,
-  and a 4-core box has a theoretical ceiling of exactly 4x).
+* **Engine**: the compiled round-program fast path (``engine="fast"``,
+  see ``repro.runtime.compiled`` / ``repro.mc.fastpath``) must deliver
+  **>= 5x trials/sec** over the reference object-level simulator on
+  the same campaign — while producing **bit-identical** aggregated
+  statistics (the fast path shares the reference's random stream, so
+  this is an equality of numbers, not a statistical comparison).
+* **Pooling**: running the same campaign over the trial pool must not
+  change a single number, synthesis must happen once per distinct
+  config however many trials execute, and on machines with >= 6
+  workers the pooled fast campaign must beat the sequential one by
+  >= 4x (smaller machines print the speedup but cannot meaningfully
+  assert it).
 
-CI smokes this path with ``MC_BENCH_TRIALS=2`` so it cannot rot.
+The headline numbers land in ``BENCH_mc_campaign.json`` (via the
+``bench_record`` fixture) so the repository's perf trajectory is
+machine-readable.  CI smokes this path with ``MC_BENCH_TRIALS=2`` so
+it cannot rot; the 5x bar is asserted at ``MC_BENCH_TRIALS >= 100``
+(the default 200).
 """
 
 import os
@@ -46,61 +49,113 @@ def make_scenario() -> Scenario:
     )
 
 
-def test_bench_mc_campaign(benchmark, tmp_path, capsys):
+def test_bench_mc_campaign(benchmark, tmp_path, capsys, bench_record):
     cache_dir = tmp_path / "cache"
     scenario = make_scenario()
 
-    # Warm the schedule cache so both timed passes measure pure trial
+    # Warm the schedule cache so every timed pass measures pure trial
     # throughput (synthesis cost is the other bench's story).
     warmup = run_campaign(scenario, trials=1, jobs=1, cache_dir=cache_dir)
     assert warmup.stats.modes_synthesized == 1
 
     started = time.monotonic()
-    sequential = run_campaign(scenario, jobs=1, cache_dir=cache_dir)
-    t_seq = time.monotonic() - started
+    reference = run_campaign(scenario, jobs=1, cache_dir=cache_dir,
+                             engine="reference")
+    t_reference = time.monotonic() - started
 
-    def pooled_campaign():
+    started = time.monotonic()
+    ref_pooled = run_campaign(scenario, jobs=JOBS, cache_dir=cache_dir,
+                              engine="reference")
+    t_ref_pooled = time.monotonic() - started
+
+    def fast_campaign():
         started = time.monotonic()
-        result = run_campaign(scenario, jobs=JOBS, cache_dir=cache_dir)
+        result = run_campaign(scenario, jobs=1, cache_dir=cache_dir,
+                              engine="fast")
         return result, time.monotonic() - started
 
-    pooled, t_pool = benchmark.pedantic(pooled_campaign, rounds=1,
-                                        iterations=1)
+    fast, t_fast = benchmark.pedantic(fast_campaign, rounds=1, iterations=1)
 
-    # Pooling must not change a single number.
-    assert pooled.points[0].trials == sequential.points[0].trials
-    assert pooled.points[0].stats.to_dict() == \
-        sequential.points[0].stats.to_dict()
-    assert sequential.ok and pooled.ok
+    started = time.monotonic()
+    fast_pooled = run_campaign(scenario, jobs=JOBS, cache_dir=cache_dir,
+                               engine="fast")
+    t_fast_pooled = time.monotonic() - started
+
+    # The engines must agree on every number, and pooling must not
+    # change a single one either.
+    assert fast.points[0].trials == reference.points[0].trials
+    reference_stats = reference.points[0].stats.to_dict()
+    for result in (fast, ref_pooled, fast_pooled):
+        assert result.points[0].stats.to_dict() == reference_stats
+    assert reference.ok and fast.ok
 
     # Synthesis once per distinct config: the warm-up solved the one
-    # distinct problem; both timed passes did zero solver work, despite
+    # distinct problem; every timed pass did zero solver work, despite
     # executing TRIALS trials each.
-    for result in (sequential, pooled):
+    for result in (reference, fast, ref_pooled, fast_pooled):
         assert result.stats.modes_synthesized == 0
         assert result.stats.cache_hits == 1
 
-    stats = sequential.points[0].stats
+    engine_speedup = t_reference / t_fast if t_fast else float("inf")
+    pool_speedup = t_reference / t_ref_pooled if t_ref_pooled else float("inf")
+    stats = fast.points[0].stats
+    bench_record(
+        "mc_campaign",
+        trials=TRIALS,
+        jobs=JOBS,
+        reference_seconds=t_reference,
+        fast_seconds=t_fast,
+        reference_pooled_seconds=t_ref_pooled,
+        fast_pooled_seconds=t_fast_pooled,
+        reference_trials_per_sec=TRIALS / t_reference if t_reference else None,
+        fast_trials_per_sec=TRIALS / t_fast if t_fast else None,
+        engine_speedup=engine_speedup,
+        pool_speedup=pool_speedup,
+        bit_identical=True,
+    )
+
     with capsys.disabled():
         print(f"\n=== Monte-Carlo campaign throughput "
               f"({TRIALS} trials, jobs={JOBS}) ===")
         rows = [
-            ("sequential", round(t_seq, 2),
-             round(TRIALS / t_seq, 1) if t_seq else float("inf")),
-            (f"pooled (j={JOBS})", round(t_pool, 2),
-             round(TRIALS / t_pool, 1) if t_pool else float("inf")),
+            ("reference (j=1)", round(t_reference, 2),
+             round(TRIALS / t_reference, 1) if t_reference else float("inf")),
+            (f"reference (j={JOBS})", round(t_ref_pooled, 2),
+             round(TRIALS / t_ref_pooled, 1) if t_ref_pooled
+             else float("inf")),
+            ("fast (j=1)", round(t_fast, 2),
+             round(TRIALS / t_fast, 1) if t_fast else float("inf")),
+            (f"fast (j={JOBS})", round(t_fast_pooled, 2),
+             round(TRIALS / t_fast_pooled, 1) if t_fast_pooled
+             else float("inf")),
         ]
-        print(format_table(["mode", "time [s]", "trials/s"], rows))
-        print(f"speedup: {t_seq / t_pool:.2f}x   "
+        print(format_table(["engine", "time [s]", "trials/s"], rows))
+        print(f"engine speedup: {engine_speedup:.2f}x   "
+              f"pool speedup: {pool_speedup:.2f}x   "
               f"miss {stats.miss}   collisions {stats.collisions}")
 
+    if TRIALS >= 100:
+        # The acceptance bar: the compiled fast path must hold >= 5x
+        # trials/sec over the reference simulator (same machine, same
+        # campaign, sequential vs. sequential).  Below 100 trials the
+        # per-campaign fixed costs dominate and the ratio is noise.
+        assert engine_speedup >= 5.0, (
+            f"fast engine only {engine_speedup:.2f}x faster than the "
+            f"reference ({t_reference:.2f}s -> {t_fast:.2f}s, "
+            f"{TRIALS} trials)"
+        )
+
     if JOBS >= 6 and TRIALS >= 200:
-        # The acceptance bar: >= 4x pooled vs. sequential.  Asserted
-        # only with >= 6 workers — on a 4-core box the theoretical
-        # ceiling is 4x, which pool overhead necessarily undercuts.
-        assert t_seq / t_pool >= 4.0, (
-            f"pooled campaign only {t_seq / t_pool:.2f}x faster "
-            f"({t_seq:.2f}s -> {t_pool:.2f}s, jobs={JOBS})"
+        # Pooling bar: >= 4x pooled vs. sequential for the reference
+        # engine (whose per-trial cost dwarfs pool overhead; the fast
+        # engine's sequential pass is already so cheap that process
+        # startup dominates it — its pooled time is reported, not
+        # asserted).  Asserted only with >= 6 workers — on a 4-core
+        # box the theoretical ceiling is 4x, which pool overhead
+        # necessarily undercuts.
+        assert pool_speedup >= 4.0, (
+            f"pooled campaign only {pool_speedup:.2f}x faster "
+            f"({t_reference:.2f}s -> {t_ref_pooled:.2f}s, jobs={JOBS})"
         )
 
 
@@ -117,3 +172,15 @@ def test_bench_mc_sweep_reuses_synthesis(tmp_path, capsys):
     with capsys.disabled():
         misses = [str(point.stats.miss) for point in result.points]
         print(f"\nsweep misses ({trials} trials/point): {misses}")
+
+
+def test_bench_engines_agree_across_sweep(tmp_path):
+    """Fast and reference engines agree point by point on a sweep grid
+    (the bench-level restatement of the equivalence suite)."""
+    trials = max(2, min(10, TRIALS))
+    kwargs = dict(trials=trials, jobs=1, cache_dir=tmp_path / "cache",
+                  sweep={"beacon_loss": [0.0, 0.1]})
+    fast = run_campaign(make_scenario(), engine="fast", **kwargs)
+    reference = run_campaign(make_scenario(), engine="reference", **kwargs)
+    for fast_point, reference_point in zip(fast.points, reference.points):
+        assert fast_point.stats.to_dict() == reference_point.stats.to_dict()

@@ -37,7 +37,7 @@ def _make_modes():
     return [generator.mode(f"m{i}", 2) for i in range(NUM_MODES)]
 
 
-def test_bench_parallel_synthesis(benchmark, tmp_path, capsys):
+def test_bench_parallel_synthesis(benchmark, tmp_path, capsys, bench_record):
     config = SchedulingConfig(round_length=1.0, slots_per_round=5,
                               max_round_gap=None)
     modes = _make_modes()
@@ -73,6 +73,16 @@ def test_bench_parallel_synthesis(benchmark, tmp_path, capsys):
         assert eng.total_latency == pytest.approx(seq.total_latency)
         rows.append((mode.name, seq.num_rounds,
                      round(seq.total_latency, 2)))
+
+    bench_record(
+        "parallel_synthesis",
+        modes=NUM_MODES,
+        sweep_passes=SWEEP_PASSES,
+        jobs=jobs,
+        sequential_seconds=t_seq,
+        engine_seconds=t_engine,
+        speedup=t_seq / t_engine if t_engine else None,
+    )
 
     with capsys.disabled():
         print(f"\n=== Engine vs. sequential Algorithm 1 "

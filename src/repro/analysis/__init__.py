@@ -14,6 +14,7 @@ from .figures import (
     fig7_energy_savings,
     latency_vs_drp,
 )
+from .bench import bench_table, load_bench_documents
 from .campaign import (
     campaign_rows,
     campaign_series,
@@ -36,6 +37,7 @@ __all__ = [
     "Fig6Data",
     "Fig7Data",
     "LatencyComparison",
+    "bench_table",
     "campaign_rows",
     "campaign_series",
     "campaign_table",
@@ -47,6 +49,7 @@ __all__ = [
     "format_table",
     "format_tail",
     "latency_vs_drp",
+    "load_bench_documents",
     "render_gantt",
     "render_round_table",
     "table1_rows",

@@ -1,0 +1,99 @@
+"""Reading and formatting the ``BENCH_*.json`` benchmark trajectories.
+
+``benchmarks/conftest.py`` writes one JSON document per benchmark run
+(schema ``repro-bench/1``): the headline numbers of a performance
+claim — trials/sec, speedups — plus the environment they were measured
+on.  CI uploads them as artifacts, so collecting the documents of many
+commits yields the repository's performance curve over time.  This
+module is the reader half: load a directory (or an explicit file list)
+and render the same aligned tables the rest of the analysis layer
+produces.
+
+Example::
+
+    from repro.analysis import bench_table, load_bench_documents
+
+    documents = load_bench_documents(".")     # BENCH_*.json in cwd
+    print(bench_table(documents))
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+from .format import format_table
+
+#: The schema tag benchmarks/conftest.py writes.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Fields every document carries (written by the session hook).
+COMMON_FIELDS = ("schema", "benchmark", "python", "machine", "cpu_count")
+
+
+def load_bench_documents(
+    source: Union[str, Path, Sequence[Union[str, Path]]] = ".",
+) -> List[Dict[str, object]]:
+    """Load ``BENCH_*.json`` documents from a directory or file list.
+
+    Args:
+        source: A directory to glob for ``BENCH_*.json``, or an
+            explicit sequence of file paths (e.g. the same file
+            collected from many CI runs).
+
+    Returns:
+        One dict per document, sorted by benchmark name then input
+        order — so trajectories of the same benchmark stay adjacent
+        and chronological.
+
+    Raises:
+        ValueError: on documents that do not carry the expected
+            schema tag (naming the file, in the repository's boundary
+            style).
+    """
+    if isinstance(source, (str, Path)):
+        paths: Iterable[Path] = sorted(Path(source).glob("BENCH_*.json"))
+    else:
+        paths = [Path(p) for p in source]
+    documents: List[Dict[str, object]] = []
+    for order, path in enumerate(paths):
+        document = json.loads(path.read_text())
+        if document.get("schema") != BENCH_SCHEMA:
+            raise ValueError(
+                f"{path}: expected schema {BENCH_SCHEMA!r}, got "
+                f"{document.get('schema')!r}"
+            )
+        document["_path"] = str(path)
+        document["_order"] = order
+        documents.append(document)
+    documents.sort(key=lambda d: (str(d.get("benchmark")), d["_order"]))
+    return documents
+
+
+def bench_table(documents: Sequence[Dict[str, object]]) -> str:
+    """The trajectory documents as one aligned ASCII table.
+
+    Columns are the union of all benchmark-specific fields (the
+    bookkeeping fields come first); missing values print as ``-`` so
+    heterogeneous benchmarks share one table.
+    """
+    if not documents:
+        return "(no benchmark documents)"
+    headers: List[str] = ["benchmark"]
+    for document in documents:
+        for key in document:
+            if key.startswith("_") or key in COMMON_FIELDS:
+                continue
+            if key not in headers:
+                headers.append(key)
+    rows = []
+    for document in documents:
+        row = []
+        for header in headers:
+            value = document.get(header, "-")
+            if isinstance(value, float):
+                value = round(value, 3)
+            row.append(value)
+        rows.append(row)
+    return format_table(headers, rows)

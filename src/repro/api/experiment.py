@@ -276,6 +276,7 @@ class Experiment:
         trials: Optional[int] = None,
         seeds: Optional[Sequence[int]] = None,
         sweep: Optional[Dict[str, Sequence]] = None,
+        engine: str = "fast",
     ):
         """Run a Monte-Carlo campaign over this experiment's scenarios.
 
@@ -296,6 +297,9 @@ class Experiment:
                 point — common random numbers); overrides ``trials``.
             sweep: ``{loss_param: [values, ...]}`` grid evaluated per
                 scenario.
+            engine: ``"fast"`` (compiled round programs, trace-free
+                accumulation, automatic fallback) or ``"reference"``
+                (the object-level simulator); bit-identical results.
 
         Returns:
             A :class:`repro.mc.CampaignResult`.
@@ -310,6 +314,7 @@ class Experiment:
             jobs=self.jobs,
             cache=self.cache,
             warm_start=self.warm_start,
+            engine=engine,
         )
 
     def _simulate(

@@ -9,7 +9,9 @@ Commands:
   pool and schedule cache and print a results table;
 * ``scenario mc``   — run a Monte-Carlo campaign over a scenario file
   (``--trials/--seeds/--sweep``, see :mod:`repro.mc`) and print the
-  aggregated statistics table;
+  aggregated statistics table; ``--engine fast`` (default) executes
+  trials over compiled round programs, ``--engine reference`` over the
+  object-level simulator (bit-identical, for cross-checks);
 * ``verify``   — re-verify every schedule in a system file;
 * ``simulate`` — execute a system file for a given duration and print
   trace statistics;
@@ -272,6 +274,7 @@ def _cmd_scenario_mc(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             warm_start=not args.no_warm_start,
+            engine=args.engine,
         )
     except ValueError as exc:  # ScenarioError is a ValueError
         print(f"error: {exc}", file=sys.stderr)
@@ -574,6 +577,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also print the per-flow deadline-miss tables")
     mc.add_argument("--json", default=None, metavar="FILE",
                     help="write the aggregated statistics as JSON")
+    mc.add_argument("--engine", choices=["fast", "reference"],
+                    default="fast",
+                    help="trial engine: 'fast' runs compiled round "
+                         "programs (trace-free, falls back to the "
+                         "reference simulator for unsupported "
+                         "features); 'reference' always walks the "
+                         "object-level simulator (bit-identical "
+                         "results, mainly for cross-checks)")
     mc.add_argument("--no-warm-start", action="store_true",
                     help="disable the demand-bound warm start (campaigns "
                          "default to warm starts ON; schedules are "

@@ -57,6 +57,19 @@ def _run_chunk(chunk: Sequence[Tuple[str, dict]]) -> List[dict]:
     return [_RUN_TASK(_context_for(key), task) for key, task in chunk]
 
 
+def default_chunk_size(num_tasks: int, jobs: int) -> int:
+    """Tasks per submitted future when the caller does not pin one.
+
+    Aims at ~4 futures per worker — half as many futures (and half
+    the submission/pickling overhead) as the previous 8-per-worker
+    split, while still leaving enough slack for stragglers to
+    rebalance.  Small batches (``num_tasks < 4 * jobs``, which covers
+    every ``tasks < 2 * jobs`` campaign) degrade to one task per
+    future, so every worker gets work.
+    """
+    return max(1, math.ceil(num_tasks / (4 * jobs)))
+
+
 class TrialPool:
     """Run many context-sharing tasks over one process pool.
 
@@ -68,9 +81,10 @@ class TrialPool:
         contexts: ``key -> context data`` for every context tasks may
             reference.
         jobs: Worker processes; ``1`` runs in-process (no executor).
-        chunk_size: Tasks per submitted future; defaults to an even
-            split that keeps every worker busy with a handful of
-            futures (8 per worker) so stragglers rebalance.
+        chunk_size: Tasks per submitted future; defaults to
+            :func:`default_chunk_size` (an even split at ~4 futures
+            per worker, degrading to one task per future for small
+            batches so no worker idles).
     """
 
     def __init__(
@@ -109,8 +123,8 @@ class TrialPool:
                 results.append(self.run_task(local[key], task))
             return results
 
-        chunk_size = self.chunk_size or max(
-            1, math.ceil(len(tasks) / (self.jobs * 8))
+        chunk_size = self.chunk_size or default_chunk_size(
+            len(tasks), self.jobs
         )
         chunks = [
             list(tasks[i:i + chunk_size])

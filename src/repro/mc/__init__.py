@@ -39,6 +39,7 @@ from .campaign import (
     run_campaign,
     run_campaigns,
 )
+from .fastpath import run_program, supports_loss_kind
 from .stats import (
     CampaignStats,
     DistSummary,
@@ -56,5 +57,7 @@ __all__ = [
     "percentile",
     "run_campaign",
     "run_campaigns",
+    "run_program",
+    "supports_loss_kind",
     "wilson_interval",
 ]

@@ -52,7 +52,7 @@ from ..engine.cache import ScheduleCache
 from ..engine.trials import TrialPool
 from ..io.serialize import mode_to_dict, schedule_to_dict
 from ..runtime.loss import build_loss, reseeded
-from ..runtime.trial import TrialResult, build_context, execute_trial
+from ..runtime.trial import ENGINES, TrialResult, build_context, execute_trial
 from .stats import CampaignStats
 
 
@@ -199,8 +199,15 @@ def _resolve_seeds(
     return [derive_seed(spec.seed, index) for index in range(count)]
 
 
-def _scenario_context(scenario: Scenario, schedules: Dict[str, ModeSchedule]) -> dict:
-    """The JSON context trial workers rebuild deployments from."""
+def scenario_context(scenario: Scenario, schedules: Dict[str, ModeSchedule]) -> dict:
+    """The JSON context trial workers rebuild deployments from.
+
+    Public building block for custom evaluation loops: feed the result
+    to :func:`repro.runtime.trial.build_context` to get the
+    :class:`~repro.runtime.trial.TrialContext` (deployments, compiled
+    round program, simulation parameters) that
+    :func:`~repro.runtime.trial.run_trial` executes against.
+    """
     system = scenario.to_system()  # assigns mode-graph ids
     spec = scenario.simulation
     assert spec is not None
@@ -253,6 +260,7 @@ def run_campaigns(
     cache_dir: "Optional[str | Path]" = None,
     warm_start: bool = True,
     stats: Optional[EngineStats] = None,
+    engine: str = "fast",
 ) -> CampaignResult:
     """Run a Monte-Carlo campaign over many scenarios.
 
@@ -273,6 +281,12 @@ def run_campaigns(
             ``cache`` is given).
         warm_start: Seed Algorithm 1 at the demand lower bound.
         stats: Engine counters to update in place.
+        engine: Trial engine — ``"fast"`` (default) lowers each
+            scenario into a compiled round program once per worker
+            (via the trial pool's context cache) and runs trials
+            trace-free, falling back to the reference simulator for
+            unsupported features; ``"reference"`` always walks the
+            object-level simulator.  Results are bit-identical.
 
     Returns:
         A :class:`CampaignResult`; scenarios whose schedules fail
@@ -281,10 +295,15 @@ def run_campaigns(
     Raises:
         ScenarioError: on inconsistent scenarios (no simulation phase,
             sweeping a scenario without a loss model, ...).
-        ValueError: on invalid ``trials`` / ``seeds`` / ``sweep``.
+        ValueError: on invalid ``trials`` / ``seeds`` / ``sweep`` /
+            ``engine``.
     """
     if not scenarios:
         raise ValueError("run_campaigns needs at least one scenario")
+    if engine not in ENGINES:
+        raise ValueError(
+            f"engine must be one of {', '.join(ENGINES)}, got {engine!r}"
+        )
     for scenario in scenarios:
         scenario.validate()
         if scenario.simulation is None:
@@ -331,7 +350,7 @@ def run_campaigns(
                         f"scenario {scenario.name!r}: {exc}"
                     ) from None
 
-        contexts[scenario.name] = _scenario_context(scenario, schedules)
+        contexts[scenario.name] = scenario_context(scenario, schedules)
         scenario_seeds = seeds_by_scenario[scenario.name]
         for point_index, point in enumerate(points):
             for trial_index, seed in enumerate(scenario_seeds):
@@ -343,6 +362,7 @@ def run_campaigns(
                         "trial": trial_index,
                         "seed": seed,
                         "loss": _point_loss(scenario, point, seed),
+                        "engine": engine,
                     },
                 ))
 
@@ -382,6 +402,7 @@ def run_campaign(
     cache: Optional[ScheduleCache] = None,
     cache_dir: "Optional[str | Path]" = None,
     warm_start: bool = True,
+    engine: str = "fast",
 ) -> CampaignResult:
     """One-scenario convenience wrapper over :func:`run_campaigns`."""
     return run_campaigns(
@@ -393,4 +414,5 @@ def run_campaign(
         cache=cache,
         cache_dir=cache_dir,
         warm_start=warm_start,
+        engine=engine,
     )

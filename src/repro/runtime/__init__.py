@@ -2,6 +2,7 @@
 discrete-event protocol simulator (paper Sec. II)."""
 
 from .beacon import Beacon, encoded_size
+from .compiled import CompileError, SystemProgram, compile_program
 from .deployment import ModeDeployment, NodeTable, SlotAssignment, build_deployment
 from .loss import (
     SEEDABLE_KINDS,
@@ -37,6 +38,7 @@ from .trace import (
 
 __all__ = [
     "Beacon",
+    "CompileError",
     "DEFAULT_DRIFT_PPM",
     "BernoulliLoss",
     "ChainInstanceRecord",
@@ -58,6 +60,7 @@ __all__ = [
     "SlotAssignment",
     "SlotRecord",
     "SyncAnalysis",
+    "SystemProgram",
     "Trace",
     "TraceReplayLoss",
     "TrialContext",
@@ -66,6 +69,7 @@ __all__ = [
     "available_loss_kinds",
     "build_deployment",
     "build_loss",
+    "compile_program",
     "reseeded",
     "run_trial",
     "summarize_trace",

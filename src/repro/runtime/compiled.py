@@ -1,0 +1,454 @@
+"""Compiled round programs — the Monte-Carlo fast path's static half.
+
+The reference :class:`~repro.runtime.simulator.RuntimeSimulator` walks
+Python objects slot by slot and materializes a full
+:class:`~repro.runtime.trace.Trace` that the campaign layer immediately
+collapses into a handful of aggregates.  For a campaign of thousands of
+trials that is pure interpreter overhead: everything about a round
+except the loss realization is known *before the first trial runs*.
+
+:func:`compile_program` lowers a deployment set into an immutable
+:class:`SystemProgram` — numpy arrays plus loop-friendly per-round rows
+— computed **once per scenario** and reused by every trial:
+
+* node names become dense indices (sorted order, the same order every
+  loss model consumes its random stream in), so receiver sets become
+  integer bitmasks;
+* every slot of every round of every mode becomes one flat record:
+  message id, sender index, consumer bitmask, period/offset/deadline,
+  the ``instance = occurrence * per_hp + position - leftover``
+  bookkeeping, and the sigma shift of the drain rule — exactly the
+  values ``_record_message_instance`` re-derives per slot;
+* globally unique round ids, per-node transmit tables (for the
+  ``LOCAL_BELIEF`` ablation), per-application drain rows, and
+  end-to-end chain programs (latency, first offset, per-message sigma
+  shifts) are tabulated the same way;
+* the radio-on constants (beacon/data slot on-times) are evaluated
+  once instead of per round.
+
+The dynamic half — sampling losses and accumulating a
+:class:`~repro.runtime.trial.TrialResult` without ever constructing
+``Trace``/``SlotRecord`` objects — lives in :mod:`repro.mc.fastpath`.
+The contract binding the two: a fast trial is **bit-identical** to
+``summarize_trace`` of the reference simulator under the same seed
+(asserted by ``tests/mc/test_fastpath.py`` over a seed × policy ×
+loss-model matrix).  Anything the compiler cannot prove it supports
+raises :class:`CompileError`, and the caller falls back to the
+reference simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.latency import chain_latency
+from ..core.modes import Mode
+from ..timing import slot_on_time
+from .deployment import ModeDeployment
+from .simulator import NodePolicy, RadioTiming
+
+
+class CompileError(Exception):
+    """A scenario feature the round-program compiler does not support.
+
+    Raising this is not an error condition for the caller: the trial
+    entry point catches it and transparently runs the reference
+    simulator instead (see ``repro.runtime.trial.run_trial``).
+    """
+
+
+#: Per-slot row layout (``ModeProgram.slot_rows``):
+#: ``(gid, sender_index, sender_bit, consumers_mask, record, period,
+#:   offset, deadline, per_hp, position_minus_leftover, shift)``.
+SLOT_FIELDS = (
+    "gid",
+    "sender_index",
+    "sender_bit",
+    "consumers_mask",
+    "record",
+    "period",
+    "offset",
+    "deadline",
+    "per_hp",
+    "position_minus_leftover",
+    "shift",
+)
+
+
+@dataclass(frozen=True)
+class ModeProgram:
+    """One mode's rounds, lowered to arrays.
+
+    The numpy arrays are the canonical, inspectable representation
+    (``slot_offsets`` delimits rounds in the flat slot arrays);
+    ``round_starts_list`` and ``slot_rows`` are the same data as plain
+    Python objects, pre-extracted so the per-round execution loop never
+    touches numpy scalars (scalar indexing into arrays is slower than
+    tuple access, and the executor's arithmetic must be plain-float to
+    match the reference simulator bit for bit).
+
+    Attributes:
+        mode_id: Beacon-visible mode id.
+        num_rounds: Rounds per hyperperiod.
+        hyperperiod: Mode hyperperiod (ms).
+        round_length: Round length (ms) — the new-mode origin offset.
+        uid_base: Globally unique id of this mode's round 0.
+        round_starts: ``r.t`` per round index, relative to the
+            hyperperiod (float64 array).
+        slot_offsets: int32 array of length ``num_rounds + 1``; round
+            ``r``'s slots are ``slice(slot_offsets[r],
+            slot_offsets[r+1])`` of the flat arrays.
+        slot_gid: Global message id per slot (int32).
+        slot_sender: Transmitting node index per slot (int32).
+        slot_period / slot_offset / slot_deadline: Message timing per
+            slot (float64; period is NaN for unrecorded slots).
+        slot_per_hp / slot_pos_minus_leftover / slot_shift: Instance
+            bookkeeping per slot (int32).
+        slot_record: Whether the slot records a message instance
+            (bool); False only for messages outside every application.
+        slot_consumers: Consumer bitmask per slot (Python ints — node
+            counts are unbounded, int64 is not).
+        round_starts_list / slot_rows: Loop-friendly views (see above).
+        tx_slot_masks: Per round-index, per node-index bitmask of slot
+            indices the node transmits in — the ``LOCAL_BELIEF``
+            transmit tables.
+    """
+
+    mode_id: int
+    num_rounds: int
+    hyperperiod: float
+    round_length: float
+    uid_base: int
+    round_starts: np.ndarray
+    slot_offsets: np.ndarray
+    slot_gid: np.ndarray
+    slot_sender: np.ndarray
+    slot_period: np.ndarray
+    slot_offset: np.ndarray
+    slot_deadline: np.ndarray
+    slot_per_hp: np.ndarray
+    slot_pos_minus_leftover: np.ndarray
+    slot_shift: np.ndarray
+    slot_record: np.ndarray
+    slot_consumers: Tuple[int, ...]
+    round_starts_list: Tuple[float, ...]
+    slot_rows: Tuple[Tuple[tuple, ...], ...]
+    tx_slot_masks: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.slot_gid)
+
+
+@dataclass(frozen=True)
+class SystemProgram:
+    """A full deployment set, compiled for trace-free trial execution.
+
+    Attributes:
+        node_names: All nodes, sorted — index ``i`` is bit ``1 << i``
+            in every mask.
+        node_index: Name → index.
+        host_default: The node the simulator hosts beacons on when the
+            trial does not override it.
+        full_mask: Bitmask with every node bit set.
+        initial_mode: Mode id the system boots into.
+        policy: Node transmission policy the program was compiled for.
+        modes: ``mode_id -> ModeProgram``.
+        uid_mode / uid_index: Globally-unique round id → (mode id,
+            round index), as flat tuples.
+        message_names: Global message id → name (ids are dense; names
+            shared across modes share the id, exactly like the
+            reference trace keys message records by name).
+        drain_rows: ``mode_id -> ((period, deadline), ...)`` per
+            application — the host's drain-deadline inputs.
+        chain_rows: ``mode_id -> ((app_name, period, chains), ...)``
+            with ``chains = ((first_offset, latency, checks), ...)``
+            and ``checks = ((gid, sigma_shift), ...)`` per chain
+            message — everything ``_account_chains`` needs.
+        radio_beacon_on / radio_data_on: Per-flood radio-on time (ms),
+            ``None`` when the trial does no radio accounting.
+        payload_bytes: Data-flood payload handed to loss models.
+    """
+
+    node_names: Tuple[str, ...]
+    node_index: Dict[str, int]
+    host_default: Optional[str]
+    full_mask: int
+    initial_mode: int
+    policy: NodePolicy
+    modes: Dict[int, ModeProgram]
+    uid_mode: Tuple[int, ...]
+    uid_index: Tuple[int, ...]
+    message_names: Tuple[str, ...]
+    drain_rows: Dict[int, Tuple[Tuple[float, float], ...]]
+    chain_rows: Dict[int, tuple]
+    radio_beacon_on: Optional[float]
+    radio_data_on: Optional[float]
+    payload_bytes: int
+
+    def resolve_host(self, host_node: Optional[str]) -> Optional[int]:
+        """Node index of the beacon host, following the simulator's
+        rule (explicit override, else a node named ``"host"``, else
+        the lexicographically first node) — or ``None`` when the
+        resolved host is outside the compiled node universe (e.g. a
+        base station owning no tasks or messages), which the fast path
+        cannot mask and must hand to the reference simulator."""
+        host = host_node or self.host_default or self.node_names[0]
+        return self.node_index.get(host)
+
+
+def names_to_mask(names, node_index: Dict[str, int]) -> int:
+    """Node names → bitmask over ``node_index``; unknown names drop out
+    (matching the reference simulator, which intersects receiver sets
+    with its node universe).  Shared by the compiler and the fast-path
+    samplers so unknown-name handling cannot drift between them."""
+    mask = 0
+    for name in names:
+        index = node_index.get(name)
+        if index is not None:
+            mask |= 1 << index
+    return mask
+
+
+def compile_program(
+    modes: Dict[int, Mode],
+    deployments: Dict[int, ModeDeployment],
+    initial_mode: int,
+    policy: NodePolicy = NodePolicy.BEACON_GATED,
+    radio: Optional[RadioTiming] = None,
+) -> SystemProgram:
+    """Lower a deployment set into a :class:`SystemProgram`.
+
+    Mirrors :class:`~repro.runtime.simulator.RuntimeSimulator`'s
+    constructor arguments; the result is immutable and shared by every
+    trial of a scenario (and across processes via the trial-pool
+    context cache).
+
+    Raises:
+        CompileError: for inputs the fast path does not support — the
+            caller falls back to the reference simulator.
+    """
+    if initial_mode not in deployments:
+        raise CompileError(f"unknown initial mode id {initial_mode}")
+    if set(modes) != set(deployments):
+        raise CompileError("modes and deployments must have matching ids")
+    if not isinstance(policy, NodePolicy):
+        raise CompileError(f"unsupported node policy {policy!r}")
+
+    # Node universe and host resolution — same rule as the simulator.
+    all_nodes = set()
+    for deployment in deployments.values():
+        all_nodes.update(deployment.node_tables)
+        all_nodes.update(deployment.message_senders.values())
+    if not all_nodes:
+        raise CompileError("deployments name no nodes")
+    node_names = tuple(sorted(all_nodes))
+    node_index = {name: i for i, name in enumerate(node_names)}
+    host_default = "host" if "host" in node_index else None
+    full_mask = (1 << len(node_names)) - 1
+
+    # Global message ids: every message allocated in any round, plus
+    # chain messages that are never allocated (their instance lookups
+    # must miss, exactly like the reference trace's delivered-dict).
+    message_names: List[str] = []
+    gid_of: Dict[str, int] = {}
+
+    def gid(name: str) -> int:
+        if name not in gid_of:
+            gid_of[name] = len(message_names)
+            message_names.append(name)
+        return gid_of[name]
+
+    # Globally unique round ids, in the simulator's assignment order.
+    uid_mode: List[int] = []
+    uid_index: List[int] = []
+    uid_base: Dict[int, int] = {}
+    for mode_id in sorted(deployments):
+        uid_base[mode_id] = len(uid_mode)
+        for idx in range(deployments[mode_id].num_rounds):
+            uid_mode.append(mode_id)
+            uid_index.append(idx)
+
+    mode_programs: Dict[int, ModeProgram] = {}
+    drain_rows: Dict[int, Tuple[Tuple[float, float], ...]] = {}
+    chain_rows: Dict[int, tuple] = {}
+    for mode_id in sorted(deployments):
+        deployment = deployments[mode_id]
+        mode = modes[mode_id]
+        mode_programs[mode_id] = _compile_mode(
+            mode_id, deployment, node_index, gid, uid_base[mode_id]
+        )
+        drain_rows[mode_id] = tuple(
+            (app.period, app.deadline) for app in mode.applications
+        )
+        chain_rows[mode_id] = _compile_chains(mode, deployment, gid)
+
+    if radio is not None:
+        # The timing model works in seconds; the trace in milliseconds.
+        beacon_on = 1e3 * slot_on_time(
+            radio.constants.l_beacon, radio.diameter, radio.constants
+        )
+        data_on = 1e3 * slot_on_time(
+            radio.payload_bytes, radio.diameter, radio.constants
+        )
+        payload = radio.payload_bytes
+    else:
+        beacon_on = data_on = None
+        payload = 0
+
+    return SystemProgram(
+        node_names=node_names,
+        node_index=node_index,
+        host_default=host_default,
+        full_mask=full_mask,
+        initial_mode=initial_mode,
+        policy=policy,
+        modes=mode_programs,
+        uid_mode=tuple(uid_mode),
+        uid_index=tuple(uid_index),
+        message_names=tuple(message_names),
+        drain_rows=drain_rows,
+        chain_rows=chain_rows,
+        radio_beacon_on=beacon_on,
+        radio_data_on=data_on,
+        payload_bytes=payload,
+    )
+
+
+def _compile_mode(
+    mode_id: int,
+    deployment: ModeDeployment,
+    node_index: Dict[str, int],
+    gid,
+    uid_base: int,
+) -> ModeProgram:
+    schedule = deployment.schedule
+    num_rounds = deployment.num_rounds
+
+    # Rounds a message is allocated in (the reference recomputes this
+    # list — and its `.index()` — per executed slot).
+    allocated: Dict[str, List[int]] = {}
+    for r_index, messages in enumerate(deployment.round_messages):
+        for message in messages:
+            allocated.setdefault(message, []).append(r_index)
+
+    offsets = [0]
+    gids: List[int] = []
+    senders: List[int] = []
+    periods: List[float] = []
+    msg_offsets: List[float] = []
+    deadlines: List[float] = []
+    per_hps: List[int] = []
+    pos_minus_leftovers: List[int] = []
+    shifts: List[int] = []
+    records: List[bool] = []
+    consumers_masks: List[int] = []
+
+    for r_index, messages in enumerate(deployment.round_messages):
+        for message in messages:
+            sender = deployment.message_senders[message]
+            period = deployment.message_periods.get(message)
+            rounds_of = allocated[message]
+            gids.append(gid(message))
+            senders.append(node_index[sender])
+            records.append(period is not None)
+            periods.append(math.nan if period is None else period)
+            msg_offsets.append(schedule.message_offsets[message])
+            deadlines.append(schedule.message_deadlines[message])
+            per_hps.append(len(rounds_of))
+            pos_minus_leftovers.append(
+                rounds_of.index(r_index) - schedule.leftover.get(message, 0)
+            )
+            shifts.append(deployment.message_shifts.get(message, 0))
+            consumers_masks.append(
+                names_to_mask(
+                    deployment.message_consumers[message], node_index
+                )
+            )
+        offsets.append(len(gids))
+
+    # LOCAL_BELIEF transmit tables: per (round index, node index), the
+    # bitmask of slot indices the node's deployment table assigns it.
+    tx_slot_masks = []
+    for r_index in range(num_rounds):
+        row = [0] * len(node_index)
+        for name, table in deployment.node_tables.items():
+            mask = 0
+            for s_index, _msg in table.slot_for_round(r_index):
+                mask |= 1 << s_index
+            row[node_index[name]] = mask
+        tx_slot_masks.append(tuple(row))
+
+    slot_rows = tuple(
+        tuple(
+            (
+                gids[s],
+                senders[s],
+                1 << senders[s],
+                consumers_masks[s],
+                records[s],
+                periods[s],
+                msg_offsets[s],
+                deadlines[s],
+                per_hps[s],
+                pos_minus_leftovers[s],
+                shifts[s],
+            )
+            for s in range(offsets[r], offsets[r + 1])
+        )
+        for r in range(num_rounds)
+    )
+
+    return ModeProgram(
+        mode_id=mode_id,
+        num_rounds=num_rounds,
+        hyperperiod=deployment.hyperperiod,
+        round_length=schedule.config.round_length,
+        uid_base=uid_base,
+        round_starts=np.asarray(deployment.round_starts, dtype=np.float64),
+        slot_offsets=np.asarray(offsets, dtype=np.int32),
+        slot_gid=np.asarray(gids, dtype=np.int32),
+        slot_sender=np.asarray(senders, dtype=np.int32),
+        slot_period=np.asarray(periods, dtype=np.float64),
+        slot_offset=np.asarray(msg_offsets, dtype=np.float64),
+        slot_deadline=np.asarray(deadlines, dtype=np.float64),
+        slot_per_hp=np.asarray(per_hps, dtype=np.int32),
+        slot_pos_minus_leftover=np.asarray(
+            pos_minus_leftovers, dtype=np.int32
+        ),
+        slot_shift=np.asarray(shifts, dtype=np.int32),
+        slot_record=np.asarray(records, dtype=bool),
+        slot_consumers=tuple(consumers_masks),
+        round_starts_list=tuple(
+            float(start) for start in deployment.round_starts
+        ),
+        slot_rows=slot_rows,
+        tx_slot_masks=tuple(tx_slot_masks),
+    )
+
+
+def _compile_chains(mode: Mode, deployment: ModeDeployment, gid) -> tuple:
+    schedule = deployment.schedule
+    rows = []
+    for app in mode.applications:
+        chains = []
+        for chain in app.chains():
+            latency = chain_latency(
+                app, chain, schedule.task_offsets, schedule.sigma
+            )
+            first_offset = schedule.task_offsets[chain.first_task]
+            checks = []
+            shift = 0
+            for i in range(len(chain.elements) - 1):
+                src = chain.elements[i]
+                dst = chain.elements[i + 1]
+                shift += schedule.sigma.get((src, dst), 0)
+                if dst in app.messages:
+                    checks.append((gid(dst), shift))
+            chains.append((first_offset, latency, tuple(checks)))
+        rows.append((app.name, app.period, tuple(chains)))
+    return tuple(rows)

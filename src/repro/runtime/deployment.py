@@ -66,6 +66,13 @@ class ModeDeployment:
         message_senders: Transmitting node per message.
         message_consumers: Consumer nodes per message.
         schedule: The synthesized schedule this was compiled from.
+        message_periods: Period of the application carrying each
+            message — pure per (mode, message), computed once here so
+            neither the simulator nor the fast-path compiler re-derives
+            it per round.
+        message_shifts: Cumulative sigma wrap from the application
+            release to each message (the ``g - shift`` instance
+            correspondence); pure per (mode, message) as well.
     """
 
     mode_id: int
@@ -78,10 +85,48 @@ class ModeDeployment:
     message_senders: Dict[str, str]
     message_consumers: Dict[str, List[str]]
     schedule: ModeSchedule
+    message_periods: Dict[str, float] = field(default_factory=dict)
+    message_shifts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def num_rounds(self) -> int:
         return len(self.round_starts)
+
+
+def compute_message_shifts(mode: Mode, schedule: ModeSchedule) -> Dict[str, int]:
+    """Sigma wrap accumulated from the application release to each message.
+
+    Message instance ``g`` carries data of application instance
+    ``g - shift``; the shift is the (max) sum of sigma binaries on any
+    path from a source task to the message.  Pure per (mode, schedule),
+    so :func:`build_deployment` computes it once and the runtime reads
+    the table.
+    """
+    sigma = schedule.sigma
+    shifts: Dict[str, int] = {}
+    for app in mode.applications:
+        # Topological walk over the bipartite DAG.
+        order: List[str] = []
+        indeg = {t: len(app.task_preds[t]) for t in app.tasks}
+        indeg.update({m: len(app.msg_producers[m]) for m in app.messages})
+        queue = [e for e, d in indeg.items() if d == 0]
+        while queue:
+            element = queue.pop()
+            order.append(element)
+            for nxt in app.successors(element):
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    queue.append(nxt)
+        local: Dict[str, int] = {}
+        for element in order:
+            preds = app.predecessors(element)
+            local[element] = max(
+                (local[p] + sigma.get((p, element), 0) for p in preds),
+                default=0,
+            )
+        for m in app.messages:
+            shifts[m] = local[m]
+    return shifts
 
 
 def build_deployment(
@@ -140,6 +185,12 @@ def build_deployment(
                     msg_name
                 )
 
+    periods = {
+        msg_name: app.period
+        for app in mode.applications
+        for msg_name in app.messages
+    }
+
     return ModeDeployment(
         mode_id=resolved_id,
         mode_name=mode.name,
@@ -151,4 +202,6 @@ def build_deployment(
         message_senders=senders,
         message_consumers=consumers,
         schedule=schedule,
+        message_periods=periods,
+        message_shifts=compute_message_shifts(mode, schedule),
     )

@@ -474,7 +474,8 @@ class RuntimeSimulator:
         offset = schedule.message_offsets[message]
         deadline = schedule.message_deadlines[message]
         leftover = schedule.leftover.get(message, 0)
-        period = self._message_period(deployment, message)
+        # Pure per (mode, message); hoisted onto the deployment tables.
+        period = deployment.message_periods.get(message)
         if period is None:
             return
         allocated = [
@@ -493,7 +494,7 @@ class RuntimeSimulator:
             # a message whose producing application instance started
             # before the announcement is still transmitted (Fig. 2,
             # "running applications finish their execution").
-            shift = self._message_shift(deployment.mode_id, message)
+            shift = deployment.message_shifts.get(message, 0)
             app_release = mode_origin + (instance - shift) * period
             if app_release >= stop_time - EPS:
                 return
@@ -508,61 +509,6 @@ class RuntimeSimulator:
             consumers=consumers,
         )
         trace.messages.append(record)
-
-    def _message_period(
-        self, deployment: ModeDeployment, message: str
-    ) -> Optional[float]:
-        mode = self.modes[deployment.mode_id]
-        for app in mode.applications:
-            if message in app.messages:
-                return app.period
-        return None
-
-    def _message_shift(self, mode_id: int, message: str) -> int:
-        """Cumulative sigma wrap from the application release to ``message``.
-
-        Message instance ``g`` carries data of application instance
-        ``g - shift``; the shift is the (max) sum of sigma binaries on
-        any path from a source task to the message.
-        """
-        cache = getattr(self, "_shift_cache", None)
-        if cache is None:
-            cache = {}
-            self._shift_cache = cache
-        if mode_id not in cache:
-            cache[mode_id] = self._compute_shifts(mode_id)
-        return cache[mode_id].get(message, 0)
-
-    def _compute_shifts(self, mode_id: int) -> Dict[str, int]:
-        mode = self.modes[mode_id]
-        sigma = self.deployments[mode_id].schedule.sigma
-        shifts: Dict[str, int] = {}
-        for app in mode.applications:
-            # Topological walk over the bipartite DAG.
-            order: List[str] = []
-            indeg = {t: len(app.task_preds[t]) for t in app.tasks}
-            indeg.update({m: len(app.msg_producers[m]) for m in app.messages})
-            queue = [e for e, d in indeg.items() if d == 0]
-            while queue:
-                element = queue.pop()
-                order.append(element)
-                for nxt in app.successors(element):
-                    indeg[nxt] -= 1
-                    if indeg[nxt] == 0:
-                        queue.append(nxt)
-            local: Dict[str, int] = {}
-            for element in order:
-                preds = app.predecessors(element)
-                local[element] = max(
-                    (
-                        local[p] + sigma.get((p, element), 0)
-                        for p in preds
-                    ),
-                    default=0,
-                )
-            for m in app.messages:
-                shifts[m] = local[m]
-        return shifts
 
     # ------------------------------------------------------------------
     def _account_chains(

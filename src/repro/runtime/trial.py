@@ -144,7 +144,14 @@ def summarize_trace(trace: Trace) -> TrialResult:
 
 @dataclass
 class TrialContext:
-    """Everything shared by the trials of one scenario."""
+    """Everything shared by the trials of one scenario.
+
+    The compiled round program (see :mod:`repro.runtime.compiled`) is
+    part of the shared state: :meth:`compiled` lowers the deployments
+    exactly once per context — i.e. once per worker process, through
+    the trial pool's context cache — and every fast-path trial reuses
+    the immutable program.
+    """
 
     modes: Dict[int, Mode]
     deployments: Dict[int, ModeDeployment]
@@ -155,6 +162,35 @@ class TrialContext:
     mode_requests: List[ModeRequest] = field(default_factory=list)
     radio: Optional[RadioTiming] = None
     topology: Optional[Topology] = None
+    _compiled: object = field(default=False, repr=False, compare=False)
+    _compile_error: Optional[str] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def compiled(self):
+        """The compiled :class:`~repro.runtime.compiled.SystemProgram`,
+        or ``None`` when the scenario has a feature the compiler does
+        not support (:attr:`compile_error` then says which)."""
+        if self._compiled is False:
+            from .compiled import CompileError, compile_program
+
+            try:
+                self._compiled = compile_program(
+                    self.modes,
+                    self.deployments,
+                    self.initial_mode,
+                    policy=self.policy,
+                    radio=self.radio,
+                )
+            except CompileError as exc:
+                self._compiled = None
+                self._compile_error = str(exc)
+        return self._compiled
+
+    @property
+    def compile_error(self) -> Optional[str]:
+        """Why :meth:`compiled` returned ``None`` (``None`` otherwise)."""
+        return self._compile_error
 
 
 def build_context(data: dict) -> TrialContext:
@@ -218,20 +254,80 @@ def build_context(data: dict) -> TrialContext:
     )
 
 
+#: Trial engines ``run_trial`` accepts.  ``fast`` compiles the scenario
+#: into a round program and accumulates the summary trace-free — and
+#: transparently falls back to ``reference`` for anything the compiler
+#: or its loss samplers do not support.  ``reference`` always walks the
+#: full object-level simulator.  Both produce bit-identical results.
+ENGINES = ("fast", "reference")
+
+
+def trial_engine(context: TrialContext, loss_kind: Optional[str]) -> str:
+    """Which engine ``engine="fast"`` will actually execute.
+
+    Returns ``"fast"`` when the scenario compiles, the loss kind has a
+    fast-path sampler, and the beacon host resolves to a compiled node
+    index; ``"reference"`` otherwise — the automatic fallback
+    :func:`run_trial` applies.
+    """
+    from ..mc.fastpath import supports_loss_kind
+
+    if not supports_loss_kind(loss_kind):
+        return "reference"
+    program = context.compiled()
+    if program is None:
+        return "reference"
+    if program.resolve_host(context.host_node) is None:
+        # A host outside the deployment's node universe (a base
+        # station owning no tasks or messages) cannot be masked; the
+        # reference simulator handles it.
+        return "reference"
+    return "fast"
+
+
 def run_trial(
-    context: TrialContext, loss_kind: Optional[str], loss_params: Optional[dict]
+    context: TrialContext,
+    loss_kind: Optional[str],
+    loss_params: Optional[dict],
+    engine: str = "fast",
 ) -> TrialResult:
     """Run one trial in-process and summarize it.
 
     A fresh loss model is built per trial (loss models are stateful:
     RNG position, Markov channel state, replay cursors), so trials
     never contaminate each other.
+
+    Args:
+        context: Shared scenario state (see :func:`build_context`).
+        loss_kind: Loss model kind, or ``None`` for perfect links.
+        loss_params: Loss model parameters.
+        engine: ``"fast"`` (compiled round program, trace-free
+            accumulation; automatic fallback to the reference
+            simulator for unsupported scenario features) or
+            ``"reference"`` (the object-level simulator).  The two are
+            bit-identical wherever the fast path runs.
     """
+    if engine not in ENGINES:
+        raise ValueError(
+            f"engine must be one of {', '.join(ENGINES)}, got {engine!r}"
+        )
     loss = (
         build_loss(loss_kind, loss_params, context.topology)
         if loss_kind is not None
         else None
     )
+    if engine == "fast" and trial_engine(context, loss_kind) == "fast":
+        from ..mc.fastpath import build_sampler, run_program
+
+        program = context.compiled()
+        sampler = build_sampler(loss_kind, loss, program)
+        return run_program(
+            program,
+            sampler,
+            context.duration,
+            mode_requests=context.mode_requests,
+            host_node=context.host_node,
+        )
     simulator = RuntimeSimulator(
         context.modes,
         dict(context.deployments),
@@ -251,16 +347,18 @@ def run_trial(
 def execute_trial(context: TrialContext, task: dict) -> dict:
     """Pool entry point: run the trial described by ``task``.
 
-    ``task`` carries ``loss`` (``{"kind", "params"}`` or ``None``) plus
-    opaque bookkeeping keys (``trial``, ``seed``, ``point``) that are
-    echoed into the result so the aggregator can group answers without
-    relying on completion order.
+    ``task`` carries ``loss`` (``{"kind", "params"}`` or ``None``) and
+    optionally ``engine`` (``"fast"``/``"reference"``, default fast),
+    plus opaque bookkeeping keys (``trial``, ``seed``, ``point``) that
+    are echoed into the result so the aggregator can group answers
+    without relying on completion order.
     """
     loss = task.get("loss")
     result = run_trial(
         context,
         loss["kind"] if loss is not None else None,
         loss.get("params") if loss is not None else None,
+        engine=task.get("engine", "fast"),
     )
     payload = result.to_dict()
     for key in ("trial", "seed", "point", "scenario"):

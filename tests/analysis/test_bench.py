@@ -1,0 +1,82 @@
+"""The BENCH_*.json trajectory reader (analysis side of the perf curve)."""
+
+import json
+
+import pytest
+
+from repro.analysis import bench_table, load_bench_documents
+from repro.analysis.bench import BENCH_SCHEMA
+
+
+def write_document(path, name, **fields):
+    document = {
+        "schema": BENCH_SCHEMA,
+        "benchmark": name,
+        "python": "3.12.0",
+        "machine": "x86_64",
+        "cpu_count": 8,
+    }
+    document.update(fields)
+    path.write_text(json.dumps(document))
+
+
+class TestLoadBenchDocuments:
+    def test_globs_directory(self, tmp_path):
+        write_document(tmp_path / "BENCH_mc_campaign.json", "mc_campaign",
+                       engine_speedup=7.5, trials=200)
+        write_document(tmp_path / "BENCH_parallel_synthesis.json",
+                       "parallel_synthesis", speedup=2.2)
+        (tmp_path / "not_a_bench.json").write_text("{}")
+        documents = load_bench_documents(tmp_path)
+        assert [d["benchmark"] for d in documents] == [
+            "mc_campaign", "parallel_synthesis",
+        ]
+        assert documents[0]["engine_speedup"] == 7.5
+
+    def test_explicit_file_list_keeps_trajectory_order(self, tmp_path):
+        # The same benchmark collected from successive CI runs: input
+        # order is the time axis and must survive the sort.
+        runs = []
+        for index, speedup in enumerate([5.1, 6.0, 7.5]):
+            path = tmp_path / f"run{index}" / "BENCH_mc_campaign.json"
+            path.parent.mkdir()
+            write_document(path, "mc_campaign", engine_speedup=speedup)
+            runs.append(path)
+        documents = load_bench_documents(runs)
+        assert [d["engine_speedup"] for d in documents] == [5.1, 6.0, 7.5]
+
+    def test_rejects_foreign_schema(self, tmp_path):
+        (tmp_path / "BENCH_x.json").write_text('{"schema": "nope"}')
+        with pytest.raises(ValueError, match="expected schema"):
+            load_bench_documents(tmp_path)
+
+    def test_empty_directory(self, tmp_path):
+        assert load_bench_documents(tmp_path) == []
+
+
+class TestBenchTable:
+    def test_renders_union_of_fields(self, tmp_path):
+        write_document(tmp_path / "BENCH_a.json", "a", speedup=2.0)
+        write_document(tmp_path / "BENCH_b.json", "b", trials_per_sec=381.7)
+        table = bench_table(load_bench_documents(tmp_path))
+        assert "speedup" in table and "trials_per_sec" in table
+        assert "381.7" in table
+        # Missing cells render as '-', bookkeeping fields never appear.
+        assert "-" in table
+        assert "x86_64" not in table
+
+    def test_empty(self):
+        assert bench_table([]) == "(no benchmark documents)"
+
+    def test_round_trips_real_conftest_output(self, tmp_path):
+        """The writer in benchmarks/conftest.py and this reader agree."""
+        import importlib.util
+        from pathlib import Path
+
+        spec = importlib.util.spec_from_file_location(
+            "bench_conftest",
+            Path(__file__).resolve().parents[2] / "benchmarks" / "conftest.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.BENCH_SCHEMA == BENCH_SCHEMA

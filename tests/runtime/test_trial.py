@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import Mode, SchedulingConfig, synthesize
-from repro.engine.trials import TrialPool
+from repro.engine.trials import TrialPool, default_chunk_size
 from repro.io import mode_to_dict, schedule_to_dict
 from repro.runtime import build_deployment
 from repro.runtime.simulator import RuntimeSimulator
@@ -209,3 +209,37 @@ class TestTrialPool:
             TrialPool(build_context, execute_trial, {}, jobs=0)
         with pytest.raises(ValueError, match="chunk_size"):
             TrialPool(build_context, execute_trial, {}, jobs=2, chunk_size=0)
+
+
+class TestChunkSizing:
+    """Default chunking must keep every worker busy in both regimes."""
+
+    def test_small_batches_fan_one_task_per_future(self):
+        # tasks < 2 * jobs: a chunk size above 1 would idle workers,
+        # so the default must degrade to one task per future.
+        for jobs in (2, 4, 8):
+            for tasks in range(1, 2 * jobs):
+                assert default_chunk_size(tasks, jobs) == 1
+
+    def test_large_batches_amortize_to_four_chunks_per_worker(self):
+        # tasks >> jobs: ~4 futures per worker amortizes submission
+        # overhead while leaving slack for stragglers to rebalance.
+        import math
+
+        for tasks, jobs in ((1000, 4), (640, 8), (100, 2)):
+            chunk = default_chunk_size(tasks, jobs)
+            assert chunk == math.ceil(tasks / (4 * jobs))
+            num_chunks = math.ceil(tasks / chunk)
+            # Every worker gets at least ~4 futures, and no fewer
+            # chunks than workers exist (no idle workers).
+            assert num_chunks >= jobs
+            assert num_chunks <= 4 * jobs + jobs  # ceil slack
+
+    def test_small_pooled_batch_executes_correctly(self):
+        # Behavioral check of the small regime through a real pool:
+        # 3 tasks over 2 workers must still produce in-order results.
+        contexts = {"ctx": trial_context_data()}
+        tasks = [("ctx", {"loss": None, "trial": i}) for i in range(3)]
+        results = TrialPool(build_context, execute_trial, contexts,
+                            jobs=2).map(tasks)
+        assert [r["trial"] for r in results] == [0, 1, 2]
