@@ -1,0 +1,100 @@
+"""Exploration throughput: store-backed incremental Pareto search.
+
+The design-space explorer's performance claim is not trials/sec (PR 4
+owns that) but *work avoidance*: the result store makes repeated
+explorations incremental, so the second pass over a space — the common
+case while a designer iterates on objectives or grows an axis — costs
+no campaign at all.  This bench explores a (payload, B) space twice
+against one store and records candidates/sec plus the reuse counters.
+
+``EXPLORE_BENCH_TRIALS`` scales the MC depth (default 20; CI smokes at
+2).  The emitted ``BENCH_explore.json`` intentionally carries **no**
+``speedup`` field — it is the live regression test that heterogeneous
+benchmark documents render in one ``bench_table`` (see
+``repro.analysis.bench``).
+"""
+
+import os
+import time
+
+from repro.analysis import bench_table
+from repro.api import LossSpec, RadioSpec, Scenario, SimulationSpec
+from repro.core import Mode, SchedulingConfig
+from repro.dse import Axis, Space, explore
+from repro.workloads import closed_loop_pipeline
+
+TRIALS = int(os.environ.get("EXPLORE_BENCH_TRIALS", "20"))
+
+
+def _space() -> Space:
+    base = Scenario(
+        name="bench-explore",
+        modes=[Mode("normal", [closed_loop_pipeline(
+            "loop", period=2000.0, deadline=2000.0, num_hops=2, wcet=1.0)])],
+        config=SchedulingConfig(round_length=50.0, slots_per_round=5,
+                                max_round_gap=None, backend="greedy"),
+        radio=RadioSpec(payload_bytes=10, diameter=4),
+        loss=LossSpec("bernoulli", {"beacon_loss": 0.02, "data_loss": 0.02,
+                                    "seed": 1}),
+        simulation=SimulationSpec(duration=6000.0, trials=TRIALS, seed=42),
+    )
+    return Space(
+        base=base,
+        axes=[
+            Axis("payload", "payload", [10, 32]),
+            Axis("B", "slots", [1, 2, 5]),
+        ],
+        derive="glossy_timing",
+    )
+
+
+def test_bench_explore(tmp_path, capsys, bench_record):
+    space = _space()
+    store = tmp_path / "explore.jsonl"
+    objectives = ("energy_saving", "latency", "miss")
+
+    started = time.monotonic()
+    first = explore(space, sampler="grid", objectives=objectives,
+                    store=store, engine="fast")
+    t_first = time.monotonic() - started
+
+    started = time.monotonic()
+    second = explore(space, sampler="grid", objectives=objectives,
+                     store=store, engine="fast")
+    t_second = time.monotonic() - started
+
+    # The store's headline property: the rerun executes zero campaigns
+    # and reproduces the exact same front.
+    assert first.executed == space.size and first.reused == 0
+    assert second.executed == 0 and second.reused == space.size
+    assert [c.name for c in second.front] == [c.name for c in first.front]
+
+    bench_record(
+        "explore",
+        candidates=space.size,
+        trials=TRIALS,
+        first_pass_seconds=t_first,
+        resumed_pass_seconds=t_second,
+        candidates_per_sec=space.size / t_first if t_first else None,
+        executed=first.executed,
+        reused_on_rerun=second.reused,
+    )
+
+    with capsys.disabled():
+        print(f"\n=== Exploration store reuse ({space.size} candidates x "
+              f"{TRIALS} trials) ===")
+        print(f"first pass: {t_first:.2f}s   resumed pass: {t_second:.2f}s")
+        print(first.front_table())
+
+    # Heterogeneous documents (this one has no 'speedup') must render
+    # in one table without KeyErrors.
+    document = {
+        "schema": "repro-bench/1", "benchmark": "explore",
+        "candidates": space.size, "first_pass_seconds": t_first,
+    }
+    pr4_document = {
+        "schema": "repro-bench/1", "benchmark": "parallel_synthesis",
+        "speedup": None, "engine_seconds": 1.0,
+    }
+    table = bench_table([document, pr4_document])
+    assert "explore" in table and "-" in table

@@ -15,6 +15,14 @@ from .figures import (
     latency_vs_drp,
 )
 from .bench import bench_table, load_bench_documents
+from .exploration import (
+    axis_series,
+    exploration_rows,
+    exploration_table,
+    front_rows,
+    front_series,
+    front_table,
+)
 from .campaign import (
     campaign_rows,
     campaign_series,
@@ -37,13 +45,19 @@ __all__ = [
     "Fig6Data",
     "Fig7Data",
     "LatencyComparison",
+    "axis_series",
     "bench_table",
     "campaign_rows",
     "campaign_series",
     "campaign_table",
+    "exploration_rows",
+    "exploration_table",
     "fig6_round_length",
     "fig7_energy_savings",
     "flow_table",
+    "front_rows",
+    "front_series",
+    "front_table",
     "format_rate",
     "format_series",
     "format_table",

@@ -23,7 +23,7 @@ import json
 from pathlib import Path
 from typing import Dict, Iterable, List, Sequence, Union
 
-from .format import format_table
+from .format import format_rows
 
 #: The schema tag benchmarks/conftest.py writes.
 BENCH_SCHEMA = "repro-bench/1"
@@ -75,25 +75,18 @@ def bench_table(documents: Sequence[Dict[str, object]]) -> str:
     """The trajectory documents as one aligned ASCII table.
 
     Columns are the union of all benchmark-specific fields (the
-    bookkeeping fields come first); missing values print as ``-`` so
+    bookkeeping fields come first); optional fields a document omits or
+    nulls out — e.g. the PR 4 ``speedup`` numbers, which third-party or
+    explorer-timing documents do not carry — print as ``-`` so
     heterogeneous benchmarks share one table.
     """
-    if not documents:
-        return "(no benchmark documents)"
-    headers: List[str] = ["benchmark"]
-    for document in documents:
-        for key in document:
-            if key.startswith("_") or key in COMMON_FIELDS:
-                continue
-            if key not in headers:
-                headers.append(key)
     rows = []
     for document in documents:
-        row = []
-        for header in headers:
-            value = document.get(header, "-")
-            if isinstance(value, float):
-                value = round(value, 3)
-            row.append(value)
-        rows.append(row)
-    return format_table(headers, rows)
+        rows.append({
+            key: round(value, 3) if isinstance(value, float) else value
+            for key, value in document.items()
+            if key == "benchmark"
+            or (not key.startswith("_") and key not in COMMON_FIELDS)
+        })
+    return format_rows(rows, headers=["benchmark"],
+                       empty="(no benchmark documents)")

@@ -1,0 +1,146 @@
+"""Formatting of design-space exploration results — tables and series.
+
+The explorer (:mod:`repro.dse`) produces scored candidates; this module
+renders them the way the rest of the evaluation output looks: aligned
+ASCII tables (one row per candidate / per front point) and the
+``label: (x, y) ...`` figure series the benchmarks print.
+:func:`axis_series` is the figures hook — it regroups an exploration
+along one axis, which reproduces the paper's Fig. 6/7 shape (one
+series per payload, slots on the x axis) directly from measured
+exploration data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .format import format_rows, format_series
+
+
+def exploration_rows(result) -> List[Dict[str, object]]:
+    """One flat dict per explored candidate, in selection order.
+
+    Columns: the axis assignment, the measured objective values,
+    dominance ``rank``, a ``front`` marker, whether the evaluation was
+    restored from the store, and the error of failed candidates.
+    """
+    rows: List[Dict[str, object]] = []
+    for candidate in result.candidates:
+        row: Dict[str, object] = {}
+        for name, value in candidate.assignment.items():
+            row[name] = value
+        for objective in result.objectives:
+            row[objective.name] = (
+                candidate.values[objective.name]
+                if candidate.values is not None else "-"
+            )
+        row["rank"] = candidate.rank if candidate.rank is not None else "-"
+        row["front"] = "*" if candidate.on_front else ""
+        row["cached"] = "yes" if candidate.cached else ""
+        if candidate.error is not None:
+            row["error"] = candidate.error
+        rows.append(row)
+    return rows
+
+
+def exploration_table(result) -> str:
+    """Every explored candidate as one aligned ASCII table."""
+    return format_rows(exploration_rows(result), empty="(no candidates)",
+                       float_fmt="{:.4f}")
+
+
+def front_rows(result) -> List[Dict[str, object]]:
+    """One dict per Pareto-front point, sorted by the first objective."""
+    first = result.objectives[0]
+    rows = []
+    for candidate in sorted(
+        result.front, key=lambda c: first.sign * c.values[first.name]
+    ):
+        row: Dict[str, object] = dict(candidate.assignment)
+        for objective in result.objectives:
+            row[objective.name] = candidate.values[objective.name]
+        rows.append(row)
+    return rows
+
+
+def front_table(result) -> str:
+    """The Pareto front as an aligned ASCII table."""
+    return format_rows(front_rows(result), empty="(empty front)",
+                       float_fmt="{:.4f}")
+
+
+def front_series(result, x: str, y: str, label: Optional[str] = None) -> str:
+    """The front as a printable ``(x, y)`` series of two objectives.
+
+    Points are sorted by the ``x`` objective, so the series traces the
+    trade-off curve a designer reads off the frontier.
+    """
+    names = {obj.name for obj in result.objectives}
+    for objective in (x, y):
+        if objective not in names:
+            raise ValueError(
+                f"objective {objective!r} was not explored; available: "
+                f"{', '.join(sorted(names))}"
+            )
+    points = sorted(
+        ((c.values[x], c.values[y]) for c in result.front),
+        key=lambda pair: pair[0],
+    )
+    return format_series(
+        label or f"front: {y} vs {x}",
+        [p[0] for p in points],
+        [p[1] for p in points],
+    )
+
+
+def axis_series(
+    result,
+    series_axis: str,
+    x_axis: str,
+    objective: str,
+) -> List[str]:
+    """Figure series per value of one axis — the Fig. 6/7 hook.
+
+    Groups the exploration's healthy candidates by ``series_axis``,
+    plots ``objective`` against ``x_axis`` within each group, and
+    returns one formatted series per group (e.g. one energy-saving
+    curve per payload size over the slots axis, which is exactly the
+    paper's Fig. 7 layout).
+    """
+    if not any(obj.name == objective for obj in result.objectives):
+        raise ValueError(
+            f"objective {objective!r} was not explored; available: "
+            f"{', '.join(obj.name for obj in result.objectives)}"
+        )
+    if result.candidates:
+        known = result.candidates[0].assignment
+        for axis in (series_axis, x_axis):
+            if axis not in known:
+                raise ValueError(
+                    f"axis {axis!r} not in the exploration's assignment "
+                    f"(axes: {', '.join(known)})"
+                )
+    groups: Dict[object, List] = {}
+    for candidate in result.candidates:
+        if candidate.values is None:
+            continue
+        groups.setdefault(candidate.assignment[series_axis], []).append(
+            candidate
+        )
+
+    def _ordering(values, key=lambda value: value):
+        # Numeric values order numerically, everything else as text.
+        try:
+            return sorted(values, key=lambda v: float(key(v)))
+        except (TypeError, ValueError):
+            return sorted(values, key=lambda v: str(key(v)))
+
+    series = []
+    for value in _ordering(groups):
+        ordered = _ordering(groups[value], key=lambda c: c.assignment[x_axis])
+        series.append(format_series(
+            f"{series_axis}={value}",
+            [c.assignment[x_axis] for c in ordered],
+            [c.values[objective] for c in ordered],
+        ))
+    return series

@@ -41,6 +41,35 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_rows(
+    rows: Sequence[dict],
+    headers: Sequence[str] = (),
+    empty: str = "(no rows)",
+    float_fmt: str = "{:.2f}",
+    missing: str = "-",
+) -> str:
+    """Render dict rows as one table over the union of their keys.
+
+    Headers are the given prefix plus every further key in
+    first-appearance order; cells a row misses — or carries as ``None``
+    — render as ``missing``, so heterogeneous rows share one table.
+    """
+    if not rows:
+        return empty
+    headers = list(headers)
+    for row in rows:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+    body = []
+    for row in rows:
+        body.append([
+            missing if row.get(header) is None else row[header]
+            for header in headers
+        ])
+    return format_table(headers, body, float_fmt=float_fmt)
+
+
 def format_series(label: str, xs: Sequence[object], ys: Sequence[float]) -> str:
     """Render one figure series as ``label: (x, y) ...`` pairs."""
     pairs = ", ".join(f"({x}, {y:.3g})" for x, y in zip(xs, ys))

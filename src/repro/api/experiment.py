@@ -317,6 +317,61 @@ class Experiment:
             engine=engine,
         )
 
+    def explore(
+        self,
+        space,
+        sampler: str = "grid",
+        objectives: Optional[Sequence] = None,
+        trials: Optional[int] = None,
+        seeds: Optional[Sequence[int]] = None,
+        samples: Optional[int] = None,
+        store=None,
+        engine: str = "fast",
+        batch_size: Optional[int] = None,
+    ):
+        """Explore a design space over this experiment's pool and cache.
+
+        Where :meth:`run` executes a fixed scenario list and
+        :meth:`run_campaign` adds trials x seeds x loss grids, an
+        *exploration* searches a declarative parameter
+        :class:`~repro.dse.space.Space` (axes over scenario fields —
+        slots per round, payload, loss grids, backends, ...) for its
+        Pareto-optimal configurations: a sampler selects candidates
+        (``grid``, ``random``, ``halton``, or the adaptive
+        ``adaptive`` successive-halving strategy), each candidate runs
+        one Monte-Carlo campaign through the shared pool/cache, and
+        the measured objective vectors yield an exact multi-objective
+        Pareto front.  A persistent ``store`` (JSONL or SQLite path)
+        makes the exploration resumable: completed candidates are
+        never re-executed.  See :func:`repro.dse.explore` for the
+        full parameter set and :doc:`docs/EXPLORATION.md` for a
+        worked example.
+
+        Returns:
+            A :class:`repro.dse.ExplorationResult`.
+        """
+        from ..dse import DEFAULT_BATCH_SIZE, DEFAULT_OBJECTIVES
+        from ..dse import explore as run_exploration
+
+        return run_exploration(
+            space,
+            sampler=sampler,
+            objectives=(
+                objectives if objectives is not None else DEFAULT_OBJECTIVES
+            ),
+            trials=trials,
+            seeds=seeds,
+            samples=samples,
+            jobs=self.jobs,
+            cache=self.cache,
+            warm_start=self.warm_start,
+            store=store,
+            engine=engine,
+            batch_size=(
+                batch_size if batch_size is not None else DEFAULT_BATCH_SIZE
+            ),
+        )
+
     def _simulate(
         self, scenario: Scenario, schedules: Dict[str, ModeSchedule]
     ) -> Trace:

@@ -413,20 +413,45 @@ def sweep(
 ) -> List[Scenario]:
     """Derive scenario variants from ``base`` by varying one field.
 
-    Exactly one keyword argument is expected — a Scenario field name
-    mapped to a sequence of values; each value yields a copy of
-    ``base`` named ``<base.name>-<i>`` with that field replaced.
+    .. deprecated::
+        ``sweep()`` is a thin shim over the design-space explorer
+        (:mod:`repro.dse`): declare a :class:`repro.dse.Space` with an
+        axis per knob and use :func:`repro.dse.explore` (or
+        ``Experiment.explore()``) instead — it adds multi-axis grids,
+        adaptive sampling, Pareto fronts, and a resumable result
+        store.  The shim keeps the PR 2 behavior bit-identical:
+        exactly one Scenario field, variants named ``<base.name>-<i>``,
+        no validation of the derived scenarios, no store.  (Sweeping
+        ``name`` was never functional — it used to raise ``TypeError``
+        on a duplicate keyword; it now raises :class:`ScenarioError`
+        with an explanation.)
 
     Example::
 
         variants = sweep(base, backend=["highs", "bnb", "greedy"])
     """
+    import warnings
+
+    warnings.warn(
+        "repro.api.sweep() is deprecated; declare a repro.dse.Space and "
+        "use repro.dse.explore() / Experiment.explore() (see "
+        "docs/EXPLORATION.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if len(field_values) != 1:
         raise ScenarioError("sweep() varies exactly one field at a time")
     (field_name, values), = field_values.items()
     if field_name not in {f.name for f in dataclasses.fields(Scenario)}:
         raise ScenarioError(f"unknown Scenario field {field_name!r}")
-    return [
-        dataclasses.replace(base, name=f"{base.name}-{i}", **{field_name: value})
-        for i, value in enumerate(values)
-    ]
+    from ..dse.space import SpaceError, apply_target
+
+    try:
+        return [
+            dataclasses.replace(
+                apply_target(base, field_name, value), name=f"{base.name}-{i}"
+            )
+            for i, value in enumerate(values)
+        ]
+    except SpaceError as exc:
+        raise ScenarioError(str(exc)) from None

@@ -12,6 +12,15 @@ Commands:
   aggregated statistics table; ``--engine fast`` (default) executes
   trials over compiled round programs, ``--engine reference`` over the
   object-level simulator (bit-identical, for cross-checks);
+* ``scenario explore`` — design-space exploration (see
+  :mod:`repro.dse`): search a parameter space (a space file, or a
+  scenario file plus ``--axis`` flags) for its Pareto-optimal
+  configurations with ``--sampler grid|random|halton|adaptive``,
+  evaluating candidates through Monte-Carlo campaigns and printing
+  the front table; ``--store FILE`` persists every evaluation
+  (JSONL, or SQLite by suffix) so repeated invocations are
+  incremental and ``--resume`` continues an interrupted run without
+  re-executing completed campaigns;
 * ``verify``   — re-verify every schedule in a system file;
 * ``simulate`` — execute a system file for a given duration and print
   trace statistics;
@@ -314,6 +323,129 @@ def _cmd_scenario_mc(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _axis_item(item: str) -> tuple:
+    """argparse type for ``--axis``: ``slots=1,2,5`` -> ``("slots", [...])``.
+
+    The part before ``=`` is the axis target (a registered transform
+    like ``slots``/``payload`` or a dotted path like
+    ``loss.params.data_loss``); it doubles as the axis name.  Values
+    parse as JSON where possible, else stay strings.
+    """
+    return _sweep_item(item)
+
+
+def _objective_list(text: str) -> List[str]:
+    """argparse type for ``--objectives``: comma-separated names."""
+    names = [part.strip() for part in text.split(",") if part.strip()]
+    if not names:
+        raise argparse.ArgumentTypeError("expects at least one objective")
+    return names
+
+
+def _load_space_file(path: str, args: argparse.Namespace):
+    """Build the exploration space from a space or scenario file."""
+    from .dse import Axis, Space
+
+    payload = json.loads(Path(path).read_text())
+    if payload.get("kind") == "space":
+        space = Space.from_dict(payload)
+        base = _apply_overrides(space.base, args)
+        axes = list(space.axes)
+        derive = space.derive
+    else:
+        base = _apply_overrides(_load_scenario_file(path), args)
+        axes = []
+        derive = None
+    for name, values in args.axis or []:
+        # A CLI axis replaces any file axis addressing the same knob.
+        # Matching by *name* keeps that axis's target (so `--axis B=2`
+        # re-values a file's Axis("B", "slots", ...)); matching by
+        # *target* replaces it outright (so `--axis slots=4` does not
+        # silently stack a second transform onto the same field).
+        target = next(
+            (axis.target for axis in axes if axis.name == name), name
+        )
+        axes = [
+            axis for axis in axes
+            if axis.name != name and axis.target != target
+        ]
+        axes.append(Axis(name, target, values))
+    if args.derive is not None:
+        derive = args.derive or None  # --derive "" clears a file's deriver
+    if not axes:
+        raise ValueError(
+            f"{path}: no axes to explore; give a space file (kind='space') "
+            f"or add --axis TARGET=V1,V2,..."
+        )
+    return Space(base=base, axes=axes, derive=derive)
+
+
+def _cmd_scenario_explore(args: argparse.Namespace) -> int:
+    from .dse import explore, get_sampler
+
+    try:
+        space = _load_space_file(args.space, args)
+        if args.resume:
+            if args.store is None:
+                raise ValueError("--resume needs --store FILE")
+            if not Path(args.store).exists():
+                raise ValueError(
+                    f"--resume: store {args.store!r} does not exist yet "
+                    f"(drop --resume to start a fresh exploration)"
+                )
+        sampler = get_sampler(args.sampler, samples=args.samples,
+                              seed=args.sampler_seed)
+        result = explore(
+            space,
+            sampler=sampler,
+            objectives=args.objectives,
+            trials=args.trials,
+            seeds=args.seeds,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            warm_start=not args.no_warm_start,
+            store=args.store,
+            engine=args.engine,
+        )
+    except ValueError as exc:  # Space/Sampler/Objective/Exploration errors
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    front = result.front
+    print(
+        f"exploration {space.base.name!r}: sampler {result.sampler!r} "
+        f"selected {len(result.candidates)} of {result.space_size} grid "
+        f"point(s), objectives "
+        f"{','.join(obj.name for obj in result.objectives)}"
+    )
+    print(
+        f"executed {result.executed} campaign(s), reused {result.reused} "
+        f"from store, {result.failed} failed"
+    )
+    if args.all:
+        print(result.table())
+        print()
+    print(f"-- Pareto front ({len(front)} of "
+          f"{len(result.candidates) - result.failed} scored candidate(s))")
+    print(result.front_table())
+    print(f"engine: {result.stats}")
+    failures = 0
+    for candidate in result.candidates:
+        if candidate.error is None:
+            continue
+        kind = "note" if candidate.error.startswith("infeasible:") else "FAIL"
+        print(
+            f"{kind}: {candidate.name}: {candidate.error}", file=sys.stderr
+        )
+        if kind == "FAIL":
+            failures += 1
+    if args.json is not None:
+        Path(args.json).write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True)
+        )
+        print(f"wrote {args.json}")
+    return 1 if failures else 0
+
+
 # -- legacy shims ------------------------------------------------------------
 
 
@@ -591,6 +723,97 @@ def build_parser() -> argparse.ArgumentParser:
                          "identical either way)")
     _add_engine_flags(mc)
     mc.set_defaults(func=_cmd_scenario_mc)
+
+    explore = scenario_sub.add_parser(
+        "explore",
+        help="design-space exploration: Pareto search over a parameter "
+             "space with a resumable result store (repro.dse)",
+    )
+    explore.add_argument(
+        "space",
+        help="space JSON (kind='space': base scenario + axes), or a "
+             "scenario file combined with --axis flags",
+    )
+    explore.add_argument(
+        "--axis", type=_axis_item, action="append", default=None,
+        metavar="TARGET=V1,V2,...",
+        help="add an axis (repeatable): TARGET is a registered transform "
+             "(slots, payload, round_length, backend, policy, "
+             "period_scale) or a dotted path (config.*, radio.*, "
+             "simulation.*, loss.params.*); overrides a same-named axis "
+             "from the space file",
+    )
+    explore.add_argument(
+        "--derive", default=None, metavar="NAME",
+        help="post-assignment deriver, e.g. 'glossy_timing' (recompute "
+             "the round length from payload/diameter/slots per "
+             "candidate); pass '' to clear the space file's deriver",
+    )
+    explore.add_argument(
+        "--sampler", choices=["grid", "random", "halton", "adaptive"],
+        default="grid",
+        help="candidate selection: exhaustive grid (default), seeded "
+             "uniform sample, low-discrepancy halton sample, or the "
+             "adaptive successive-halving pruner over analytic bounds",
+    )
+    explore.add_argument(
+        "--samples", type=_positive_int, default=None,
+        help="candidate budget: random/halton draw size (default 16), "
+             "adaptive survivor target (default: half the grid)",
+    )
+    explore.add_argument(
+        "--sampler-seed", type=int, default=None,
+        help="seed of the random sampler (default 0)",
+    )
+    explore.add_argument(
+        "--objectives", type=_objective_list,
+        default=["energy", "latency", "miss"], metavar="NAME,NAME,...",
+        help="objectives spanning the Pareto front (default "
+             "energy,latency,miss; see repro.dse.available_objectives)",
+    )
+    explore.add_argument(
+        "-t", "--trials", type=_positive_int, default=None,
+        help="MC trials per candidate (default: the scenario's "
+             "simulation.trials)",
+    )
+    explore.add_argument(
+        "--seeds", type=_seed_list, default=None,
+        help="comma-separated explicit trial seeds, shared by every "
+             "candidate (common random numbers across the space)",
+    )
+    explore.add_argument(
+        "--store", default=None, metavar="FILE",
+        help="persistent result store (SQLite for .sqlite/.db suffixes, "
+             "JSONL otherwise); stored evaluations are reused, so "
+             "repeated invocations are incremental",
+    )
+    explore.add_argument(
+        "--resume", action="store_true",
+        help="require an existing --store and continue it (same "
+             "behavior as a plain incremental run, but fails fast when "
+             "the store file is missing)",
+    )
+    explore.add_argument(
+        "--engine", choices=["fast", "reference"], default="fast",
+        help="trial engine (bit-identical; 'fast' compiles round "
+             "programs, default)",
+    )
+    explore.add_argument(
+        "--all", action="store_true",
+        help="print every scored candidate, not only the Pareto front",
+    )
+    explore.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the exploration result (candidates, front, engine "
+             "counters) as JSON",
+    )
+    explore.add_argument(
+        "--no-warm-start", action="store_true",
+        help="disable the demand-bound warm start (explorations default "
+             "to warm starts ON; schedules are identical either way)",
+    )
+    _add_engine_flags(explore)
+    explore.set_defaults(func=_cmd_scenario_explore)
 
     synth = sub.add_parser(
         "synth", help="[deprecated: use `scenario run`] synthesize schedules"

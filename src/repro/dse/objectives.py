@@ -1,0 +1,303 @@
+"""Objectives: what a design-space candidate is scored on.
+
+An :class:`Objective` turns one evaluated candidate (its synthesized
+schedules plus the Monte-Carlo campaign statistics) into one number
+with a direction.  The explorer collects one vector per candidate and
+hands them, normalized to minimization, to :mod:`repro.dse.pareto`.
+
+Objectives may also carry a **cheap analytic bound** — a closed-form
+proxy computable from the candidate scenario alone (paper eq. 13 for
+latency, the Sec. V radio-on model for energy).  The adaptive sampler
+ranks candidates by these bounds to prune dominated configurations
+*before* any MC trial is spent; objectives without a bound (e.g. the
+deadline-miss interval, which depends on the loss realization) simply
+do not constrain the pruning.
+
+Built-ins (see :func:`available_objectives`):
+
+``energy``         mean radio duty cycle (radio-on / duration), min
+``energy_per_round``  mean radio-on per executed round [ms], min
+``energy_saving``  analytic saving vs. a no-rounds design (Fig. 7), max
+``latency``        summed end-to-end application latency (eq. 47/48), min
+``miss``           Wilson 95 % *upper* bound of deadline-miss rate, min
+``delivery``       Wilson 95 % *lower* bound of delivery rate, max
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..api.scenario import Scenario
+from ..core.latency import latency_lower_bound
+from ..mc.stats import CampaignStats
+
+
+class ObjectiveError(ValueError):
+    """Raised when an objective cannot be computed for a candidate."""
+
+
+@dataclass
+class Evaluation:
+    """One evaluated candidate — everything objectives may read.
+
+    Attributes:
+        scenario: The materialized candidate scenario.
+        assignment: The axis values that produced it.
+        stats: Aggregated Monte-Carlo statistics of the candidate's
+            campaign (``None`` only for records restored from stores
+            written by evaluation failures).
+        total_latency: Sum of synthesized per-application latencies
+            over all modes (exact, eq. 47/48).
+        rounds: Synthesized rounds summed over all modes.
+        seeds: The trial seeds the campaign ran with.
+        cached: True when the evaluation was restored from a result
+            store instead of executed.
+        elapsed: Wall-clock seconds the evaluation batch took (0.0 for
+            restored records).
+        error: Failure description for candidates that could not be
+            evaluated (infeasible synthesis, failed verification);
+            ``None`` for healthy records.
+    """
+
+    scenario: Scenario
+    assignment: Dict[str, object]
+    stats: Optional[CampaignStats] = None
+    total_latency: float = 0.0
+    rounds: int = 0
+    seeds: Tuple[Optional[int], ...] = ()
+    cached: bool = False
+    elapsed: float = 0.0
+    error: Optional[str] = None
+
+    def require_stats(self, objective: str) -> CampaignStats:
+        if self.stats is None:
+            raise ObjectiveError(
+                f"objective {objective!r} needs campaign statistics, but "
+                f"candidate {self.scenario.name!r} has none"
+                + (f" (evaluation failed: {self.error})" if self.error else "")
+            )
+        return self.stats
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One scoring dimension with a direction and an optional bound.
+
+    Attributes:
+        name: Identifier (CLI ``--objectives``, table headers).
+        direction: ``"min"`` or ``"max"``.
+        description: One-line human description.
+        value: ``Evaluation -> float`` — the measured objective.
+        bound: Optional ``Scenario -> float`` analytic proxy in the
+            same direction, computable without running anything; used
+            by the adaptive sampler's pruning.
+        requires: Optional ``Scenario -> None`` pre-check raising
+            :class:`ObjectiveError` when the scenario cannot support
+            this objective — the explorer runs it per candidate
+            *before* spending any synthesis/MC budget.
+    """
+
+    name: str
+    direction: str
+    description: str
+    value: Callable[[Evaluation], float] = field(compare=False)
+    bound: Optional[Callable[[Scenario], float]] = field(
+        default=None, compare=False
+    )
+    requires: Optional[Callable[[Scenario], None]] = field(
+        default=None, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("min", "max"):
+            raise ValueError(
+                f"objective {self.name!r}: direction must be 'min' or "
+                f"'max', got {self.direction!r}"
+            )
+
+    @property
+    def sign(self) -> float:
+        """Multiplier normalizing this objective to minimization."""
+        return 1.0 if self.direction == "min" else -1.0
+
+    def normalized(self, value: float) -> float:
+        return self.sign * value
+
+
+# -- analytic helpers ---------------------------------------------------------
+
+
+def _radio_dimensions(scenario: Scenario, objective: str) -> Tuple[int, int]:
+    """Shared payload/diameter resolution, with objective-flavored errors."""
+    from .space import SpaceError, radio_dimensions
+
+    try:
+        return radio_dimensions(scenario, f"objective {objective!r}")
+    except SpaceError as exc:
+        raise ObjectiveError(str(exc)) from None
+
+
+def _needs_radio(objective: str) -> Callable[[Scenario], None]:
+    """A ``requires`` pre-check: the scenario must resolve radio dims."""
+
+    def check(scenario: Scenario) -> None:
+        _radio_dimensions(scenario, objective)
+
+    return check
+
+
+def analytic_energy_saving(scenario: Scenario) -> float:
+    """Paper Fig. 7: relative radio-on saving of rounds, from the
+    scenario's (payload, diameter, slots-per-round) alone."""
+    from ..timing import energy_saving
+
+    payload, diameter = _radio_dimensions(scenario, "energy_saving")
+    return energy_saving(
+        payload, diameter, scenario.effective_config.slots_per_round
+    )
+
+
+def analytic_energy_per_round_ms(scenario: Scenario) -> float:
+    """Radio-on time of one full round [ms] (paper Sec. V model)."""
+    from ..timing import rounds_on_time
+
+    payload, diameter = _radio_dimensions(scenario, "energy_per_round")
+    return 1000.0 * rounds_on_time(
+        payload, diameter, scenario.effective_config.slots_per_round
+    )
+
+
+def analytic_latency_bound(scenario: Scenario) -> float:
+    """Summed eq.-13 lower bounds over every application of every mode."""
+    round_length = scenario.effective_config.round_length
+    return sum(
+        latency_lower_bound(app, round_length)
+        for mode in scenario.modes
+        for app in mode.applications
+    )
+
+
+# -- built-in objective values ------------------------------------------------
+
+
+def _value_energy(evaluation: Evaluation) -> float:
+    stats = evaluation.require_stats("energy")
+    if stats.radio_on is None:
+        raise ObjectiveError(
+            "objective 'energy' needs radio-on accounting; give the "
+            "scenario a radio spec"
+        )
+    duration = evaluation.scenario.simulation.duration
+    return stats.radio_on.mean / duration
+
+
+def _value_energy_per_round(evaluation: Evaluation) -> float:
+    stats = evaluation.require_stats("energy_per_round")
+    if stats.radio_on_per_round is None:
+        raise ObjectiveError(
+            "objective 'energy_per_round' needs radio-on accounting; give "
+            "the scenario a radio spec"
+        )
+    return stats.radio_on_per_round.mean
+
+
+def _value_energy_saving(evaluation: Evaluation) -> float:
+    return analytic_energy_saving(evaluation.scenario)
+
+
+def _value_latency(evaluation: Evaluation) -> float:
+    return evaluation.total_latency
+
+
+def _value_miss(evaluation: Evaluation) -> float:
+    stats = evaluation.require_stats("miss")
+    return stats.miss.ci[1]
+
+
+def _value_delivery(evaluation: Evaluation) -> float:
+    stats = evaluation.require_stats("delivery")
+    return stats.delivery.ci[0]
+
+
+_OBJECTIVES: Dict[str, Objective] = {}
+
+
+def register_objective(objective: Objective) -> Objective:
+    """Register an objective under its name (overwrites)."""
+    _OBJECTIVES[objective.name] = objective
+    return objective
+
+
+register_objective(Objective(
+    "energy", "min",
+    "mean radio duty cycle: radio-on time / simulated duration",
+    _value_energy,
+    requires=_needs_radio("energy"),
+))
+register_objective(Objective(
+    "energy_per_round", "min",
+    "mean radio-on time per executed round [ms]",
+    _value_energy_per_round,
+    bound=analytic_energy_per_round_ms,
+    requires=_needs_radio("energy_per_round"),
+))
+register_objective(Objective(
+    "energy_saving", "max",
+    "analytic radio-on saving vs. a no-rounds design (paper Fig. 7)",
+    _value_energy_saving,
+    bound=analytic_energy_saving,
+    requires=_needs_radio("energy_saving"),
+))
+register_objective(Objective(
+    "latency", "min",
+    "summed synthesized end-to-end application latency (eq. 47/48)",
+    _value_latency,
+    bound=analytic_latency_bound,
+))
+register_objective(Objective(
+    "miss", "min",
+    "Wilson 95% upper bound of the deadline-miss rate",
+    _value_miss,
+))
+register_objective(Objective(
+    "delivery", "max",
+    "Wilson 95% lower bound of the delivery rate",
+    _value_delivery,
+))
+
+#: The explorer's default objective triple.
+DEFAULT_OBJECTIVES = ("energy", "latency", "miss")
+
+
+def available_objectives() -> Tuple[str, ...]:
+    """Registered objective names, sorted."""
+    return tuple(sorted(_OBJECTIVES))
+
+
+def get_objective(name: str) -> Objective:
+    try:
+        return _OBJECTIVES[name]
+    except KeyError:
+        raise ObjectiveError(
+            f"unknown objective {name!r}; available: "
+            f"{', '.join(available_objectives())}"
+        ) from None
+
+
+def resolve_objectives(
+    objectives: "Sequence[str | Objective]",
+) -> Tuple[Objective, ...]:
+    """Resolve names/instances into a validated, non-empty tuple."""
+    if isinstance(objectives, (str, Objective)):
+        objectives = [objectives]
+    resolved = tuple(
+        obj if isinstance(obj, Objective) else get_objective(obj)
+        for obj in objectives
+    )
+    if not resolved:
+        raise ObjectiveError("at least one objective is required")
+    names = [obj.name for obj in resolved]
+    if len(set(names)) != len(names):
+        raise ObjectiveError(f"duplicate objectives: {names}")
+    return resolved

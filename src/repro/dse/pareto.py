@@ -1,0 +1,151 @@
+"""Exact multi-objective Pareto dominance — the core of the explorer.
+
+Design-space exploration produces one objective vector per candidate
+(energy, latency, deadline-miss upper bound, ...); the designer reads
+the *Pareto front* — the candidates no other candidate beats on every
+objective at once.  This module is the exact, deterministic dominance
+arithmetic everything else builds on:
+
+* :func:`dominates` — the strict Pareto relation between two vectors;
+* :func:`pareto_front` — indices of the non-dominated points;
+* :func:`dominance_rank` — non-dominated sorting (rank 0 is the front,
+  rank 1 the front of the rest, ...), the ordering the adaptive
+  sampler prunes by.
+
+All vectors are **minimization** vectors — :mod:`repro.dse.objectives`
+normalizes maximization objectives (e.g. energy saving) by negation
+before they reach this module.  Points with equal vectors do not
+dominate each other, so exact duplicates all stay on the front; the
+O(n^2) pairwise sweep is exact (no epsilon, no approximation) and
+plenty fast for the candidate counts a design space produces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+Vector = Sequence[float]
+
+
+def _check_points(points: Sequence[Vector]) -> int:
+    """Validate a point set; returns the common dimension."""
+    if not points:
+        return 0
+    width = len(points[0])
+    if width == 0:
+        raise ValueError("objective vectors must have at least one component")
+    for index, point in enumerate(points):
+        if len(point) != width:
+            raise ValueError(
+                f"point {index} has {len(point)} objectives, expected {width}"
+            )
+        for value in point:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"point {index} carries a non-numeric objective {value!r}"
+                )
+            if math.isnan(value):
+                raise ValueError(
+                    f"point {index} carries NaN; dominance is undefined"
+                )
+    return width
+
+
+def dominates(a: Vector, b: Vector) -> bool:
+    """True when ``a`` Pareto-dominates ``b`` (minimization).
+
+    ``a`` dominates ``b`` iff it is no worse on every objective and
+    strictly better on at least one.  Equal vectors dominate neither
+    way.
+    """
+    if len(a) != len(b):
+        raise ValueError(
+            f"vectors of different dimension: {len(a)} vs {len(b)}"
+        )
+    strictly_better = False
+    for x, y in zip(a, b):
+        if x > y:
+            return False
+        if x < y:
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_front(points: Sequence[Vector]) -> List[int]:
+    """Indices of the non-dominated points, in input order.
+
+    Exact pairwise dominance; duplicates of a front point are all kept
+    (neither dominates the other).  Raises :class:`ValueError` on NaN
+    components or ragged dimensions.
+    """
+    _check_points(points)
+    front: List[int] = []
+    for i, candidate in enumerate(points):
+        if not any(
+            dominates(other, candidate)
+            for j, other in enumerate(points)
+            if j != i
+        ):
+            front.append(i)
+    return front
+
+
+def dominance_rank(points: Sequence[Vector]) -> List[int]:
+    """Non-dominated sorting rank per point (0 = Pareto front).
+
+    Rank ``k`` points are on the front once every point of rank
+    ``< k`` is removed — the classic NSGA-style layering the adaptive
+    sampler uses to drop the most-dominated half first.
+    """
+    _check_points(points)
+    ranks = [-1] * len(points)
+    remaining = list(range(len(points)))
+    rank = 0
+    while remaining:
+        layer = [
+            i
+            for i in remaining
+            if not any(
+                dominates(points[j], points[i]) for j in remaining if j != i
+            )
+        ]
+        if not layer:  # pragma: no cover - impossible for a strict order
+            raise RuntimeError("dominance produced an empty layer")
+        for i in layer:
+            ranks[i] = rank
+        remaining = [i for i in remaining if ranks[i] == -1]
+        rank += 1
+    return ranks
+
+
+def crowding_spread(points: Sequence[Vector], indices: Sequence[int]) -> List[float]:
+    """Objective-range spread of ``indices`` within ``points``.
+
+    A light-weight diversity measure (sum of per-objective normalized
+    gaps to the nearest neighbours) used only for reporting — front
+    membership itself is exact and never filtered by crowding.
+    Boundary points get ``inf``.
+    """
+    width = _check_points(points)
+    chosen = list(indices)
+    if not chosen:
+        return []
+    spread = {i: 0.0 for i in chosen}
+    for axis in range(width):
+        ordered = sorted(chosen, key=lambda i: points[i][axis])
+        low = points[ordered[0]][axis]
+        high = points[ordered[-1]][axis]
+        span = high - low
+        spread[ordered[0]] = float("inf")
+        spread[ordered[-1]] = float("inf")
+        if span <= 0:
+            continue
+        for position in range(1, len(ordered) - 1):
+            gap = (
+                points[ordered[position + 1]][axis]
+                - points[ordered[position - 1]][axis]
+            ) / span
+            if spread[ordered[position]] != float("inf"):
+                spread[ordered[position]] += gap
+    return [spread[i] for i in chosen]

@@ -1,0 +1,314 @@
+"""Candidate selection strategies over a :class:`~repro.dse.space.Space`.
+
+A sampler decides *which* grid assignments the explorer evaluates:
+
+* :class:`GridSampler` — the exhaustive cartesian product, in
+  deterministic grid order (the reference every other sampler is
+  judged against);
+* :class:`RandomSampler` — a seeded uniform sample without
+  replacement, for cheap first looks at huge spaces;
+* :class:`HaltonSampler` — a low-discrepancy (quasi-random) sample:
+  deterministic, seedless, and better spread over the grid than
+  uniform sampling at the same budget;
+* :class:`SuccessiveHalvingSampler` — the adaptive strategy: rank the
+  full grid by the objectives' **cheap analytic bounds** (paper
+  eq. 13 for latency, the Sec. V radio-on model for energy) and
+  successively halve away the most-dominated candidates before a
+  single Monte-Carlo trial is spent.  Pruning respects axes the
+  analytic model cannot see (loss parameters, simulation knobs):
+  candidates are only compared within groups that agree on those
+  axes, and an analytically non-dominated candidate is never dropped.
+
+Samplers are pure selection: they return assignments, never results,
+so every sampler composes with the same evaluation/store pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .objectives import Objective, resolve_objectives
+from .pareto import dominance_rank
+from .space import Axis, Space
+
+Assignment = Dict[str, object]
+
+
+class SamplerError(ValueError):
+    """Raised for invalid sampler parameters."""
+
+
+class Sampler:
+    """Base class: a named strategy selecting grid assignments."""
+
+    name = "sampler"
+
+    def select(
+        self, space: Space, objectives: Sequence[Objective]
+    ) -> List[Assignment]:
+        raise NotImplementedError
+
+
+class GridSampler(Sampler):
+    """Every grid point, in deterministic product order."""
+
+    name = "grid"
+
+    def select(
+        self, space: Space, objectives: Sequence[Objective]
+    ) -> List[Assignment]:
+        return list(space.assignments())
+
+
+class RandomSampler(Sampler):
+    """A seeded uniform sample of the grid, without replacement.
+
+    Args:
+        samples: Number of assignments to draw (clamped to the grid
+            size).
+        seed: RNG seed; equal seeds give equal samples on every
+            platform.
+    """
+
+    name = "random"
+
+    def __init__(self, samples: int, seed: int = 0) -> None:
+        if not isinstance(samples, int) or isinstance(samples, bool) \
+                or samples < 1:
+            raise SamplerError(
+                f"samples must be an integer >= 1, got {samples!r}"
+            )
+        self.samples = samples
+        self.seed = seed
+
+    def select(
+        self, space: Space, objectives: Sequence[Objective]
+    ) -> List[Assignment]:
+        count = min(self.samples, space.size)
+        rng = random.Random(self.seed)
+        indices = sorted(rng.sample(range(space.size), count))
+        return [space.assignment_at(index) for index in indices]
+
+
+def _halton(index: int, base: int) -> float:
+    """The ``index``-th element of the base-``base`` Halton sequence."""
+    result, fraction = 0.0, 1.0
+    while index > 0:
+        fraction /= base
+        result += fraction * (index % base)
+        index //= base
+    return result
+
+
+_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47)
+
+
+class HaltonSampler(Sampler):
+    """A low-discrepancy sample: axis ``i`` follows the Halton sequence
+    in the ``i``-th prime base, quantized onto the axis values.
+
+    Deterministic and seedless; duplicate grid points produced by the
+    quantization are skipped, so the result is ``samples`` *distinct*
+    assignments (or the whole grid, whichever is smaller).
+    """
+
+    name = "halton"
+
+    def __init__(self, samples: int) -> None:
+        if not isinstance(samples, int) or isinstance(samples, bool) \
+                or samples < 1:
+            raise SamplerError(
+                f"samples must be an integer >= 1, got {samples!r}"
+            )
+        self.samples = samples
+
+    def select(
+        self, space: Space, objectives: Sequence[Objective]
+    ) -> List[Assignment]:
+        if len(space.axes) > len(_PRIMES):
+            raise SamplerError(
+                f"halton supports up to {len(_PRIMES)} axes, space has "
+                f"{len(space.axes)}"
+            )
+        count = min(self.samples, space.size)
+        chosen: List[Assignment] = []
+        seen = set()
+        index = 1
+        # The sequence visits every grid cell eventually; the cutoff
+        # only guards degenerate quantizations.
+        limit = 200 * max(count, 1) + 100
+        while len(chosen) < count and index <= limit:
+            assignment = {
+                axis.name: axis.values[
+                    min(
+                        int(_halton(index, _PRIMES[i]) * len(axis.values)),
+                        len(axis.values) - 1,
+                    )
+                ]
+                for i, axis in enumerate(space.axes)
+            }
+            key = tuple(repr(assignment[a.name]) for a in space.axes)
+            if key not in seen:
+                seen.add(key)
+                chosen.append(assignment)
+            index += 1
+        return chosen
+
+
+#: Axis targets the analytic bounds cannot see: pruning never compares
+#: candidates that differ on one of these.
+_NON_ANALYTIC_TARGETS = {
+    "policy", "mode_requests", "period_scale", "loss", "simulation",
+    "transitions", "modes",
+}
+_NON_ANALYTIC_PREFIXES = ("loss.", "simulation.")
+
+
+def _axis_is_analytic(axis: Axis) -> bool:
+    if axis.target in _NON_ANALYTIC_TARGETS:
+        return False
+    return not axis.target.startswith(_NON_ANALYTIC_PREFIXES)
+
+
+class SuccessiveHalvingSampler(Sampler):
+    """Adaptive pruning on analytic bounds before any MC trial.
+
+    The full grid is scored with every objective's ``bound`` (skipping
+    objectives that have none), normalized to minimization, and ranked
+    by non-dominated sorting.  Within each group of candidates that
+    agree on the non-analytic axes (loss parameters, simulation
+    knobs), the most-dominated half is dropped per rung until the
+    group reaches its share of ``budget`` or only analytically
+    non-dominated candidates remain — those are **never** dropped, so
+    the sampler is conservative exactly where the cheap model stops
+    discriminating.
+
+    When no selected objective carries a bound the sampler degrades to
+    the exhaustive grid (there is nothing cheap to rank by, and
+    guessing would risk the front).
+
+    Args:
+        budget: Target number of surviving assignments (``None``:
+            half the grid, rounded up).
+    """
+
+    name = "adaptive"
+
+    def __init__(self, budget: Optional[int] = None) -> None:
+        if budget is not None and (
+            not isinstance(budget, int) or isinstance(budget, bool)
+            or budget < 1
+        ):
+            raise SamplerError(
+                f"budget must be an integer >= 1 or None, got {budget!r}"
+            )
+        self.budget = budget
+        #: Filled by :meth:`select`: (kept, total) of the last run.
+        self.last_pruned: Optional[Tuple[int, int]] = None
+
+    def select(
+        self, space: Space, objectives: Sequence[Objective]
+    ) -> List[Assignment]:
+        objectives = resolve_objectives(objectives)
+        assignments = list(space.assignments())
+        bounded = [obj for obj in objectives if obj.bound is not None]
+        if not bounded or len(assignments) <= 1:
+            self.last_pruned = (len(assignments), len(assignments))
+            return assignments
+
+        grouping = [
+            axis for axis in space.axes if not _axis_is_analytic(axis)
+        ]
+        groups: Dict[Tuple[str, ...], List[int]] = {}
+        for index, assignment in enumerate(assignments):
+            key = tuple(repr(assignment[axis.name]) for axis in grouping)
+            groups.setdefault(key, []).append(index)
+
+        vectors: List[Tuple[float, ...]] = []
+        for assignment in assignments:
+            candidate = space.candidate(assignment)
+            vectors.append(tuple(
+                obj.normalized(obj.bound(candidate)) for obj in bounded
+            ))
+
+        total = len(assignments)
+        target_total = (
+            self.budget if self.budget is not None else math.ceil(total / 2)
+        )
+        survivors: List[int] = []
+        for key in groups:
+            members = groups[key]
+            # Each group gets its proportional share of the budget,
+            # never less than one candidate.
+            target = max(1, round(target_total * len(members) / total))
+            survivors.extend(self._halve(members, vectors, target))
+        survivors.sort()
+        self.last_pruned = (len(survivors), total)
+        return [assignments[index] for index in survivors]
+
+    @staticmethod
+    def _halve(
+        members: List[int],
+        vectors: Sequence[Tuple[float, ...]],
+        target: int,
+    ) -> List[int]:
+        alive = list(members)
+        while len(alive) > target:
+            ranks = dominance_rank([vectors[i] for i in alive])
+            front_size = sum(1 for rank in ranks if rank == 0)
+            if front_size == len(alive):
+                break  # all mutually non-dominated: nothing safe to drop
+            # One rung: drop the most-dominated half, but never below
+            # the target and never any rank-0 (front) candidate.  The
+            # loop guard gives target < len(alive), and front_size <
+            # len(alive) here, so every rung strictly shrinks.
+            keep = min(
+                max(target, front_size, math.ceil(len(alive) / 2)),
+                len(alive) - 1,
+            )
+            order = sorted(range(len(alive)), key=lambda i: (ranks[i], i))
+            alive = sorted(alive[i] for i in order[:keep])
+        return alive
+
+
+_SAMPLERS = {
+    "grid": GridSampler,
+    "random": RandomSampler,
+    "halton": HaltonSampler,
+    "adaptive": SuccessiveHalvingSampler,
+}
+
+
+def available_samplers() -> Tuple[str, ...]:
+    """Known sampler names, sorted."""
+    return tuple(sorted(_SAMPLERS))
+
+
+def get_sampler(
+    name: str,
+    samples: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Sampler:
+    """Build a sampler from CLI-ish parameters.
+
+    ``samples`` is the candidate budget (random/halton draw size,
+    adaptive survivor target; ignored by grid); ``seed`` only affects
+    ``random``.
+    """
+    if name == "grid":
+        return GridSampler()
+    if name == "random":
+        return RandomSampler(
+            samples if samples is not None else 16,
+            seed=seed if seed is not None else 0,
+        )
+    if name == "halton":
+        return HaltonSampler(samples if samples is not None else 16)
+    if name == "adaptive":
+        return SuccessiveHalvingSampler(budget=samples)
+    raise SamplerError(
+        f"unknown sampler {name!r}; available: "
+        f"{', '.join(available_samplers())}"
+    )

@@ -1,0 +1,232 @@
+"""Persistent, content-addressed result stores — explorations resume.
+
+Every evaluated candidate is written to the store under a SHA-256 key
+of *what was evaluated*: the candidate scenario's canonical JSON image,
+the axis assignment, the resolved trial seed list, and the record
+schema version.  Looking the key up before evaluating makes every
+exploration incremental:
+
+* an interrupted run resumes without re-executing completed campaigns
+  (records are flushed per evaluation batch, so at most one batch of
+  work is ever lost);
+* re-running the same CLI command against the same store executes
+  **zero** new campaigns;
+* growing an axis re-uses every overlapping grid point.
+
+Two backends share one interface, selected by file suffix in
+:func:`open_store`: ``.sqlite`` / ``.db`` / ``.sqlite3`` use stdlib
+SQLite (one ``results`` table, key-unique upserts), anything else is
+append-only JSONL (one record per line, last write wins — crash-safe
+because a torn final line is detected and ignored).
+
+The trial engine is deliberately **not** part of the key: the fast and
+reference engines are bit-identical (asserted by ``tests/mc``), so
+results transfer between them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Sequence
+
+from ..api.scenario import Scenario
+from ..io.serialize import canonical_dumps, scenario_to_dict
+
+#: Schema tag of store records; bump on incompatible record changes.
+STORE_SCHEMA = "repro-dse/1"
+
+
+class StoreError(ValueError):
+    """Raised for unusable store files or malformed records."""
+
+
+def candidate_key(
+    scenario: Scenario,
+    assignment: Dict[str, object],
+    seeds: Sequence[Optional[int]],
+) -> str:
+    """Stable content hash of one evaluation's identity.
+
+    Equal inputs hash equally across processes and platforms (the
+    scenario image and the assignment are canonicalized); anything
+    that changes the campaign's results — workload, config, loss
+    parameters, seeds — changes the key.  ``mode_id`` labels are
+    excluded: the mode graph assigns them as an execution side effect
+    (``Scenario.to_system`` sets them in place), so they would make
+    the key depend on whether a campaign already ran in this process.
+    """
+    scenario_data = scenario_to_dict(scenario)
+    for mode_record in scenario_data.get("modes", []):
+        mode_record.pop("mode_id", None)
+    try:
+        payload = canonical_dumps({
+            "schema": STORE_SCHEMA,
+            "scenario": scenario_data,
+            "assignment": dict(assignment),
+            "seeds": list(seeds),
+        })
+    except TypeError as exc:
+        raise StoreError(
+            f"candidate of scenario {scenario.name!r} is not "
+            f"JSON-serializable and cannot be stored: {exc}"
+        ) from None
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """Interface of a persistent key -> record evaluation store."""
+
+    #: Backend label for tables and logs.
+    backend = "memory"
+
+    def __init__(self, path: Optional[Path] = None) -> None:
+        self.path = path
+        self._records: Dict[str, dict] = {}
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored record, or ``None`` for unseen keys."""
+        return self._records.get(key)
+
+    def put(self, key: str, record: dict) -> None:
+        """Persist one record durably (visible to a process crash)."""
+        self._records[key] = dict(record)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class MemoryStore(ResultStore):
+    """A store without persistence — dedup within one process only."""
+
+
+class JsonlStore(ResultStore):
+    """Append-only JSONL backend: one ``{"key": ..., ...}`` per line.
+
+    Appends are flushed per record; re-written keys append a new line
+    and the *last* occurrence wins on load.  A torn final line (crash
+    mid-append) is skipped with all complete records preserved.
+    """
+
+    backend = "jsonl"
+
+    def __init__(self, path: "str | Path") -> None:
+        super().__init__(Path(path))
+        self._load()
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            return
+        text = self.path.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        for number, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if number == len(lines) and not text.endswith("\n"):
+                    continue  # torn final append from a killed run
+                raise StoreError(
+                    f"{self.path}:{number}: not valid JSON"
+                ) from None
+            if not isinstance(record, dict) or "key" not in record:
+                raise StoreError(
+                    f"{self.path}:{number}: record without a 'key'"
+                )
+            key = record.pop("key")
+            self._records[key] = record
+
+    def put(self, key: str, record: dict) -> None:
+        super().put(key, record)
+        line = json.dumps({"key": key, **record}, sort_keys=True)
+        self._file.write(line + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+
+class SqliteStore(ResultStore):
+    """SQLite backend: one ``results(key PRIMARY KEY, record)`` table."""
+
+    backend = "sqlite"
+
+    def __init__(self, path: "str | Path") -> None:
+        super().__init__(Path(path))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._connection = sqlite3.connect(str(self.path))
+        try:
+            self._connection.execute(
+                "CREATE TABLE IF NOT EXISTS results ("
+                "  key TEXT PRIMARY KEY,"
+                "  record TEXT NOT NULL"
+                ")"
+            )
+            self._connection.commit()
+            rows = self._connection.execute(
+                "SELECT key, record FROM results"
+            ).fetchall()
+        except sqlite3.DatabaseError as exc:
+            self._connection.close()
+            raise StoreError(f"{self.path}: not a result store: {exc}") from None
+        for key, text in rows:
+            try:
+                self._records[key] = json.loads(text)
+            except json.JSONDecodeError:
+                raise StoreError(
+                    f"{self.path}: corrupt record under key {key!r}"
+                ) from None
+
+    def put(self, key: str, record: dict) -> None:
+        super().put(key, record)
+        self._connection.execute(
+            "INSERT INTO results (key, record) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET record = excluded.record",
+            (key, json.dumps(record, sort_keys=True)),
+        )
+        self._connection.commit()
+
+    def close(self) -> None:
+        self._connection.close()
+
+
+#: File suffixes routed to the SQLite backend.
+_SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+
+def open_store(path: "str | Path | None") -> ResultStore:
+    """Open (creating if needed) the result store at ``path``.
+
+    ``None`` returns an in-memory store (no persistence).  The backend
+    is chosen by suffix: ``.sqlite`` / ``.sqlite3`` / ``.db`` open
+    SQLite, everything else (conventionally ``.jsonl``) the JSONL
+    backend.
+    """
+    if path is None:
+        return MemoryStore()
+    path = Path(path)
+    if path.suffix.lower() in _SQLITE_SUFFIXES:
+        return SqliteStore(path)
+    return JsonlStore(path)

@@ -113,6 +113,11 @@ class RateEstimate:
             "ci95": [low, high],
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "RateEstimate":
+        """Rebuild from :meth:`to_dict` output (rate/CI are derived)."""
+        return cls(successes=data["successes"], total=data["total"])
+
     def __str__(self) -> str:
         low, high = self.ci
         return f"{self.rate:.4f} [{low:.4f}, {high:.4f}]"
@@ -154,6 +159,18 @@ class DistSummary:
             "min": self.minimum,
             "max": self.maximum,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DistSummary":
+        return cls(
+            count=data["count"],
+            mean=data["mean"],
+            p50=data["p50"],
+            p95=data["p95"],
+            p99=data["p99"],
+            minimum=data["min"],
+            maximum=data["max"],
+        )
 
     def __str__(self) -> str:
         return (
@@ -262,6 +279,43 @@ class CampaignStats:
         if switch_delays:
             stats.switch_delay = DistSummary.from_values(switch_delays)
         return stats
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignStats":
+        """Rebuild aggregated statistics from :meth:`to_dict` output.
+
+        The round trip is exact for everything the explorer and the
+        tables read (counts, rate estimates, distribution summaries);
+        the raw per-trial samples are not part of the serialized form.
+        """
+        return cls(
+            n_trials=data["n_trials"],
+            flows={
+                k: RateEstimate.from_dict(v)
+                for k, v in data.get("flows", {}).items()
+            },
+            miss=RateEstimate.from_dict(data["miss"]),
+            delivery=RateEstimate.from_dict(data["delivery"]),
+            chain_miss={
+                k: RateEstimate.from_dict(v)
+                for k, v in data.get("chain_miss", {}).items()
+            },
+            beacon=RateEstimate.from_dict(data["beacon"]),
+            radio_on=(
+                DistSummary.from_dict(data["radio_on"])
+                if data.get("radio_on") else None
+            ),
+            radio_on_per_round=(
+                DistSummary.from_dict(data["radio_on_per_round"])
+                if data.get("radio_on_per_round") else None
+            ),
+            switch_delay=(
+                DistSummary.from_dict(data["switch_delay"])
+                if data.get("switch_delay") else None
+            ),
+            collisions=data.get("collisions", 0),
+            rounds=data.get("rounds", 0),
+        )
 
     def to_dict(self) -> dict:
         return {

@@ -68,6 +68,26 @@ class TestBenchTable:
     def test_empty(self):
         assert bench_table([]) == "(no benchmark documents)"
 
+    def test_tolerates_missing_and_null_optional_fields(self, tmp_path):
+        # PR 4 documents carry speedup numbers; third-party documents
+        # and the explorer timings do not — and a degenerate run writes
+        # an explicit null (speedup=None on a zero-time denominator).
+        # All must render as '-' without KeyErrors.
+        write_document(tmp_path / "BENCH_a.json", "mc_campaign",
+                       engine_speedup=7.5, trials_per_sec=100.0)
+        write_document(tmp_path / "BENCH_b.json", "explore",
+                       candidates=6, first_pass_seconds=1.25)
+        write_document(tmp_path / "BENCH_c.json", "parallel_synthesis",
+                       speedup=None, engine_seconds=2.0)
+        documents = load_bench_documents(tmp_path)
+        table = bench_table(documents)
+        lines = table.splitlines()
+        assert len(lines) == 5  # header + rule + three documents
+        explore_row = next(line for line in lines if "explore" in line)
+        assert "None" not in table
+        assert explore_row.count("-") >= 2  # no speedup columns filled
+        assert "7.5" in table and "1.25" in table
+
     def test_round_trips_real_conftest_output(self, tmp_path):
         """The writer in benchmarks/conftest.py and this reader agree."""
         import importlib.util

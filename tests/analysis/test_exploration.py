@@ -1,0 +1,85 @@
+"""Exploration tables and figure series (repro.analysis.exploration)."""
+
+import pytest
+
+from repro.analysis import (
+    axis_series,
+    exploration_table,
+    front_series,
+    front_table,
+)
+from repro.api import LossSpec, RadioSpec, Scenario, SimulationSpec
+from repro.core import Mode, SchedulingConfig
+from repro.dse import Axis, Space, explore
+from repro.workloads import closed_loop_pipeline
+
+
+@pytest.fixture(scope="module")
+def result():
+    base = Scenario(
+        name="viz",
+        modes=[Mode("normal", [closed_loop_pipeline(
+            "loop", period=2000.0, deadline=2000.0, num_hops=2, wcet=1.0)])],
+        config=SchedulingConfig(round_length=50.0, slots_per_round=5,
+                                max_round_gap=None, backend="greedy"),
+        radio=RadioSpec(payload_bytes=10, diameter=4),
+        loss=LossSpec("bernoulli", {"beacon_loss": 0.0, "data_loss": 0.0,
+                                    "seed": 1}),
+        simulation=SimulationSpec(duration=4000.0, trials=1, seed=3),
+    )
+    space = Space(base=base, axes=[
+        Axis("payload", "payload", [8, 32]),
+        Axis("B", "slots", [1, 2, 5]),
+    ], derive="glossy_timing")
+    return explore(space, objectives=("energy_saving", "latency"))
+
+
+class TestTables:
+    def test_exploration_table_lists_every_candidate(self, result):
+        table = exploration_table(result)
+        lines = table.splitlines()
+        assert len(lines) == 2 + len(result.candidates)  # header + rule
+        assert "energy_saving" in lines[0] and "front" in lines[0]
+
+    def test_front_table_sorted_by_first_objective(self, result):
+        table = front_table(result)
+        assert "rank" not in table  # front tables carry no bookkeeping
+        # energy_saving is maximized: best first.
+        savings = [c.values["energy_saving"] for c in result.front]
+        column = table.splitlines()[2:]
+        assert len(column) == len(savings)
+        rendered = [float(line.split()[2]) for line in column]
+        # Tables render at 4 decimals; ordering is what matters.
+        assert rendered == pytest.approx(
+            sorted(savings, reverse=True), abs=1e-3
+        )
+
+    def test_empty_front_placeholder(self, result):
+        import dataclasses
+
+        empty = dataclasses.replace(result, candidates=[])
+        assert front_table(empty) == "(empty front)"
+        assert exploration_table(empty) == "(no candidates)"
+
+
+class TestSeries:
+    def test_front_series_traces_the_tradeoff(self, result):
+        series = front_series(result, "energy_saving", "latency")
+        assert series.startswith("front: latency vs energy_saving")
+        assert series.count("(") == len(result.front)
+
+    def test_front_series_rejects_unexplored_objective(self, result):
+        with pytest.raises(ValueError, match="was not explored"):
+            front_series(result, "energy_saving", "miss")
+
+    def test_axis_series_reproduces_fig7_layout(self, result):
+        series = axis_series(result, "payload", "B", "energy_saving")
+        assert len(series) == 2  # one curve per payload
+        assert series[0].startswith("payload=8:")
+        assert series[1].startswith("payload=32:")
+        # Three B values per curve, saving grows with B (Fig. 7 shape).
+        assert series[0].count("(") == 3
+
+    def test_axis_series_rejects_unknown_axis(self, result):
+        with pytest.raises(ValueError, match="not in the exploration"):
+            axis_series(result, "nope", "B", "energy_saving")

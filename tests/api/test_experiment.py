@@ -127,7 +127,8 @@ class TestExperiment:
 
     def test_backend_sweep_table(self):
         base = make_scenario()
-        variants = sweep(base, backend=["highs", "greedy"])
+        with pytest.warns(DeprecationWarning):  # shim over repro.dse
+            variants = sweep(base, backend=["highs", "greedy"])
         # Re-instantiate modes per variant: Mode objects are mutated
         # (mode ids) when registered in a mode graph.
         for variant in variants:

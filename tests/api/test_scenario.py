@@ -225,19 +225,24 @@ def test_scenario_json_round_trip_property(
 
 
 class TestSweep:
+    # sweep() is a deprecated shim over repro.dse (see docs/EXPLORATION.md);
+    # behavior stays bit-identical, plus a DeprecationWarning.
     def test_sweep_varies_one_field(self):
         base = two_mode_scenario()
-        variants = sweep(base, backend=["highs", "bnb", "greedy"])
+        with pytest.warns(DeprecationWarning, match="repro.dse"):
+            variants = sweep(base, backend=["highs", "bnb", "greedy"])
         assert [v.backend for v in variants] == ["highs", "bnb", "greedy"]
         assert len({v.name for v in variants}) == 3
 
     def test_sweep_rejects_multiple_fields(self):
-        with pytest.raises(ScenarioError, match="exactly one"):
-            sweep(two_mode_scenario(), backend=["highs"], name=["x"])
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ScenarioError, match="exactly one"):
+                sweep(two_mode_scenario(), backend=["highs"], name=["x"])
 
     def test_sweep_rejects_unknown_field(self):
-        with pytest.raises(ScenarioError, match="unknown Scenario field"):
-            sweep(two_mode_scenario(), rounds=[1, 2])
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ScenarioError, match="unknown Scenario field"):
+                sweep(two_mode_scenario(), rounds=[1, 2])
 
 
 class TestSystemBridge:

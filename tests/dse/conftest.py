@@ -1,0 +1,44 @@
+"""Shared fixtures of the design-space exploration tests.
+
+Everything here is sized for speed: a one-mode 2-hop pipeline, the
+greedy backend, two short trials — one candidate evaluates in tens of
+milliseconds, so whole-space explorations stay cheap enough for
+property-style assertions.
+"""
+
+import pytest
+
+from repro.api import LossSpec, RadioSpec, Scenario, SimulationSpec
+from repro.core import Mode, SchedulingConfig
+from repro.dse import Axis, Space
+from repro.workloads import closed_loop_pipeline
+
+
+@pytest.fixture
+def dse_base() -> Scenario:
+    """A small, fully-featured scenario (radio + loss + simulation)."""
+    return Scenario(
+        name="dse",
+        modes=[Mode("normal", [closed_loop_pipeline(
+            "loop", period=2000.0, deadline=2000.0, num_hops=2, wcet=1.0)])],
+        config=SchedulingConfig(round_length=50.0, slots_per_round=5,
+                                max_round_gap=None, backend="greedy"),
+        radio=RadioSpec(payload_bytes=10, diameter=4),
+        loss=LossSpec("bernoulli", {"beacon_loss": 0.0, "data_loss": 0.0,
+                                    "seed": 1}),
+        simulation=SimulationSpec(duration=4000.0, trials=2, seed=7),
+    )
+
+
+@pytest.fixture
+def dse_space(dse_base) -> Space:
+    """The pinned reference space of the acceptance criteria:
+    B x payload with paper-faithful derived round lengths."""
+    return Space(
+        base=dse_base,
+        axes=[
+            Axis("B", "slots", [1, 2, 5]),
+            Axis("payload", "payload", [8, 32]),
+        ],
+        derive="glossy_timing",
+    )

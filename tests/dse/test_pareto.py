@@ -1,0 +1,129 @@
+"""Property tests of the exact Pareto machinery.
+
+The front is the subsystem's core correctness claim, so its defining
+properties are asserted over hypothesis-generated point sets:
+
+* front points are mutually non-dominated;
+* every dropped point is dominated by some front member;
+* the front is invariant under permutation of the objective order;
+* non-dominated sorting peels fronts layer by layer.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse import crowding_spread, dominance_rank, dominates, pareto_front
+
+
+@st.composite
+def point_sets(draw):
+    """A rectangular set of finite objective vectors."""
+    dim = draw(st.integers(min_value=1, max_value=4))
+    count = draw(st.integers(min_value=1, max_value=24))
+    value = st.one_of(
+        st.integers(min_value=-5, max_value=5).map(float),  # force ties
+        st.floats(min_value=-1e6, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+    )
+    return [
+        [draw(value) for _ in range(dim)] for _ in range(count)
+    ]
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates([1.0, 1.0], [2.0, 2.0])
+
+    def test_equal_vectors_dominate_neither_way(self):
+        assert not dominates([1.0, 2.0], [1.0, 2.0])
+
+    def test_tradeoff_is_incomparable(self):
+        assert not dominates([1.0, 3.0], [2.0, 2.0])
+        assert not dominates([2.0, 2.0], [1.0, 3.0])
+
+    def test_weak_improvement_suffices(self):
+        assert dominates([1.0, 2.0], [1.0, 3.0])
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="different dimension"):
+            dominates([1.0], [1.0, 2.0])
+
+    def test_nan_rejected_by_front(self):
+        with pytest.raises(ValueError, match="NaN"):
+            pareto_front([[float("nan"), 1.0]])
+
+
+class TestFrontProperties:
+    @given(point_sets())
+    @settings(max_examples=120, deadline=None)
+    def test_front_points_are_mutually_non_dominated(self, points):
+        front = pareto_front(points)
+        for i in front:
+            for j in front:
+                if i != j:
+                    assert not dominates(points[i], points[j])
+
+    @given(point_sets())
+    @settings(max_examples=120, deadline=None)
+    def test_every_dropped_point_is_dominated_by_a_front_member(self, points):
+        front = set(pareto_front(points))
+        assert front, "a non-empty set always has a non-dominated point"
+        for i, point in enumerate(points):
+            if i in front:
+                continue
+            assert any(dominates(points[j], point) for j in front)
+
+    @given(point_sets(), st.randoms(use_true_random=False))
+    @settings(max_examples=120, deadline=None)
+    def test_front_invariant_under_objective_permutation(self, points, rng):
+        order = list(range(len(points[0])))
+        rng.shuffle(order)
+        permuted = [[point[k] for k in order] for point in points]
+        assert pareto_front(points) == pareto_front(permuted)
+
+    @given(point_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_duplicates_of_front_points_all_survive(self, points):
+        doubled = points + points
+        front = set(pareto_front(doubled))
+        for i in range(len(points)):
+            assert (i in front) == (i + len(points) in front)
+
+
+class TestDominanceRank:
+    @given(point_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_rank_zero_is_exactly_the_front(self, points):
+        ranks = dominance_rank(points)
+        assert [i for i, r in enumerate(ranks) if r == 0] == \
+            pareto_front(points)
+
+    @given(point_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_ranks_peel_fronts_layer_by_layer(self, points):
+        ranks = dominance_rank(points)
+        remaining = list(range(len(points)))
+        expected_rank = 0
+        while remaining:
+            layer = pareto_front([points[i] for i in remaining])
+            chosen = {remaining[k] for k in layer}
+            for i in chosen:
+                assert ranks[i] == expected_rank
+            remaining = [i for i in remaining if i not in chosen]
+            expected_rank += 1
+
+    def test_empty_input(self):
+        assert pareto_front([]) == []
+        assert dominance_rank([]) == []
+
+
+class TestCrowdingSpread:
+    def test_boundary_points_are_infinite(self):
+        points = [[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]]
+        spread = crowding_spread(points, [0, 1, 2, 3])
+        assert spread[0] == float("inf") and spread[3] == float("inf")
+        assert 0.0 < spread[1] < float("inf")
+
+    def test_empty_selection(self):
+        assert crowding_spread([[1.0]], []) == []

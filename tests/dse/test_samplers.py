@@ -1,0 +1,146 @@
+"""Samplers: determinism, coverage, and the adaptive pruning contract."""
+
+import pytest
+
+from repro.dse import (
+    Axis,
+    GridSampler,
+    HaltonSampler,
+    RandomSampler,
+    SamplerError,
+    Space,
+    SuccessiveHalvingSampler,
+    available_samplers,
+    dominance_rank,
+    get_sampler,
+    get_objective,
+    resolve_objectives,
+)
+
+OBJECTIVES = resolve_objectives(("energy_saving", "latency"))
+
+
+def _keys(assignments, space):
+    return [
+        tuple(a[axis.name] for axis in space.axes) for a in assignments
+    ]
+
+
+class TestGrid:
+    def test_covers_the_whole_space_in_order(self, dse_space):
+        selected = GridSampler().select(dse_space, OBJECTIVES)
+        assert selected == list(dse_space.assignments())
+
+
+class TestRandom:
+    def test_deterministic_per_seed(self, dse_space):
+        one = RandomSampler(4, seed=5).select(dse_space, OBJECTIVES)
+        two = RandomSampler(4, seed=5).select(dse_space, OBJECTIVES)
+        other = RandomSampler(4, seed=6).select(dse_space, OBJECTIVES)
+        assert one == two
+        assert len(one) == 4
+        assert one != other  # 6 choose 4 makes collision astronomically rare
+
+    def test_without_replacement_and_clamped(self, dse_space):
+        selected = RandomSampler(99, seed=0).select(dse_space, OBJECTIVES)
+        keys = _keys(selected, dse_space)
+        assert len(keys) == len(set(keys)) == dse_space.size
+
+    def test_rejects_bad_samples(self):
+        with pytest.raises(SamplerError, match=">= 1"):
+            RandomSampler(0)
+
+
+class TestHalton:
+    def test_deterministic_and_distinct(self, dse_space):
+        one = HaltonSampler(4).select(dse_space, OBJECTIVES)
+        two = HaltonSampler(4).select(dse_space, OBJECTIVES)
+        assert one == two
+        keys = _keys(one, dse_space)
+        assert len(keys) == len(set(keys)) == 4
+
+    def test_exhausts_small_spaces(self, dse_space):
+        selected = HaltonSampler(50).select(dse_space, OBJECTIVES)
+        assert len(selected) == dse_space.size
+
+
+class TestSuccessiveHalving:
+    def test_prunes_analytically_dominated_candidates(self, dse_space):
+        sampler = SuccessiveHalvingSampler()
+        selected = sampler.select(dse_space, OBJECTIVES)
+        # The payload=32 column is dominated at equal B (less saving,
+        # longer round); only the payload=8 column survives.
+        assert _keys(selected, dse_space) == [(1, 8), (2, 8), (5, 8)]
+        assert sampler.last_pruned == (3, 6)
+
+    def test_never_drops_an_analytically_non_dominated_candidate(
+        self, dse_space
+    ):
+        sampler = SuccessiveHalvingSampler(budget=1)
+        selected = sampler.select(dse_space, OBJECTIVES)
+        vectors = [
+            tuple(
+                obj.normalized(obj.bound(dse_space.candidate(a)))
+                for obj in OBJECTIVES
+            )
+            for a in dse_space.assignments()
+        ]
+        front = {
+            tuple(a[axis.name] for axis in dse_space.axes)
+            for a, rank in zip(dse_space.assignments(),
+                               dominance_rank(vectors))
+            if rank == 0
+        }
+        assert front <= set(_keys(selected, dse_space))
+
+    def test_unbounded_objectives_degrade_to_grid(self, dse_space):
+        # 'miss' and 'energy' carry no analytic bound: nothing cheap to
+        # rank by, so the sampler must not guess.
+        selected = SuccessiveHalvingSampler().select(
+            dse_space, resolve_objectives(("miss", "energy"))
+        )
+        assert selected == list(dse_space.assignments())
+
+    def test_prunes_only_within_loss_groups(self, dse_base):
+        # A loss axis is invisible to the analytic bounds: candidates
+        # are only compared against candidates with the same loss
+        # value, so each loss group keeps its own analytic front.
+        space = Space(
+            base=dse_base,
+            axes=[
+                Axis("p", "loss.params.data_loss", [0.0, 0.3]),
+                Axis("payload", "payload", [8, 32]),
+            ],
+            derive="glossy_timing",
+        )
+        selected = SuccessiveHalvingSampler().select(space, OBJECTIVES)
+        keys = _keys(selected, space)
+        # payload=8 dominates payload=32 analytically within each loss
+        # group; both loss values must survive.
+        assert (0.0, 8) in keys and (0.3, 8) in keys
+        assert (0.0, 32) not in keys and (0.3, 32) not in keys
+
+    def test_budget_validation(self):
+        with pytest.raises(SamplerError, match="budget"):
+            SuccessiveHalvingSampler(budget=0)
+
+
+class TestFactory:
+    def test_names(self):
+        assert available_samplers() == ("adaptive", "grid", "halton", "random")
+
+    def test_get_sampler_builds_each_kind(self):
+        assert isinstance(get_sampler("grid"), GridSampler)
+        assert isinstance(get_sampler("random", samples=3), RandomSampler)
+        assert isinstance(get_sampler("halton"), HaltonSampler)
+        adaptive = get_sampler("adaptive", samples=4)
+        assert isinstance(adaptive, SuccessiveHalvingSampler)
+        assert adaptive.budget == 4
+
+    def test_unknown_sampler(self):
+        with pytest.raises(SamplerError, match="unknown sampler"):
+            get_sampler("nope")
+
+    def test_objective_registry_round_trip(self):
+        assert get_objective("latency").direction == "min"
+        assert get_objective("energy_saving").direction == "max"

@@ -1,0 +1,172 @@
+"""Result stores: round trips, crash tolerance, and resumability.
+
+The acceptance-critical test lives here: an exploration killed mid-way
+must resume from its store without re-executing any completed
+campaign.
+"""
+
+import importlib
+import json
+
+import pytest
+
+# `repro.dse.explore` the attribute is the explore() function; the
+# module itself is fetched for monkeypatching its run_campaigns name.
+explore_module = importlib.import_module("repro.dse.explore")
+
+from repro.dse import (
+    JsonlStore,
+    MemoryStore,
+    SqliteStore,
+    StoreError,
+    candidate_key,
+    explore,
+    open_store,
+)
+from repro.mc.campaign import _resolve_seeds
+
+
+class TestOpenStore:
+    def test_suffix_routing(self, tmp_path):
+        assert isinstance(open_store(None), MemoryStore)
+        for suffix, kind in [
+            (".jsonl", JsonlStore), (".sqlite", SqliteStore),
+            (".sqlite3", SqliteStore), (".db", SqliteStore),
+            (".anything", JsonlStore),
+        ]:
+            store = open_store(tmp_path / f"s{suffix}")
+            try:
+                assert isinstance(store, kind), suffix
+            finally:
+                store.close()
+
+
+@pytest.mark.parametrize("suffix", [".jsonl", ".sqlite"])
+class TestRoundTrip:
+    def test_put_get_reopen(self, tmp_path, suffix):
+        path = tmp_path / f"store{suffix}"
+        with open_store(path) as store:
+            store.put("k1", {"value": 1})
+            store.put("k2", {"value": 2})
+            assert store.get("k1") == {"value": 1}
+            assert "k2" in store and len(store) == 2
+        with open_store(path) as again:
+            assert again.get("k2") == {"value": 2}
+            assert sorted(again.keys()) == ["k1", "k2"]
+
+    def test_rewrites_last_write_wins(self, tmp_path, suffix):
+        path = tmp_path / f"store{suffix}"
+        with open_store(path) as store:
+            store.put("k", {"value": 1})
+            store.put("k", {"value": 2})
+        with open_store(path) as again:
+            assert again.get("k") == {"value": 2}
+            assert len(again) == 1
+
+
+class TestJsonlCrashTolerance:
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        with open_store(path) as store:
+            store.put("k1", {"value": 1})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "k2", "val')  # killed mid-append
+        with open_store(path) as again:
+            assert again.get("k1") == {"value": 1}
+            assert len(again) == 1
+
+    def test_corrupt_middle_line_is_an_error(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text('not json\n{"key": "k", "value": 1}\n')
+        with pytest.raises(StoreError, match="not valid JSON"):
+            open_store(path)
+
+    def test_record_without_key_is_an_error(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text('{"value": 1}\n')
+        with pytest.raises(StoreError, match="without a 'key'"):
+            open_store(path)
+
+
+class TestCandidateKey:
+    def test_stable_across_mode_id_assignment(self, dse_space):
+        assignment = {"B": 2, "payload": 8}
+        candidate = dse_space.candidate(assignment)
+        seeds = _resolve_seeds(candidate, None, None)
+        before = candidate_key(candidate, assignment, seeds)
+        candidate.to_system()  # assigns mode ids in place
+        assert candidate_key(candidate, assignment, seeds) == before
+
+    def test_sensitive_to_seeds_and_assignment(self, dse_space):
+        assignment = {"B": 2, "payload": 8}
+        candidate = dse_space.candidate(assignment)
+        base = candidate_key(candidate, assignment, [1, 2])
+        assert candidate_key(candidate, assignment, [1, 3]) != base
+        assert candidate_key(candidate, {"B": 5, "payload": 8}, [1, 2]) != base
+
+    def test_non_json_candidate_rejected(self, dse_space):
+        candidate = dse_space.candidate({"B": 2, "payload": 8})
+        with pytest.raises(StoreError, match="not\\s+JSON-serializable"):
+            candidate_key(candidate, {"x": object()}, [1])
+
+
+class TestKilledExplorationResume:
+    """Kill an exploration mid-way; resume must re-execute nothing."""
+
+    @pytest.mark.parametrize("suffix", [".jsonl", ".sqlite"])
+    def test_resume_skips_completed_campaigns(
+        self, dse_space, tmp_path, monkeypatch, suffix
+    ):
+        store_path = tmp_path / f"store{suffix}"
+        objectives = ("energy_saving", "latency")
+        evaluated = []
+        real_run_campaigns = explore_module.run_campaigns
+
+        def counting(scenarios, **kwargs):
+            evaluated.extend(s.name for s in scenarios)
+            return real_run_campaigns(scenarios, **kwargs)
+
+        def killed_after_first_batch(scenarios, **kwargs):
+            if evaluated:
+                raise KeyboardInterrupt("simulated kill")
+            return counting(scenarios, **kwargs)
+
+        monkeypatch.setattr(
+            explore_module, "run_campaigns", killed_after_first_batch
+        )
+        with pytest.raises(KeyboardInterrupt):
+            explore(dse_space, objectives=objectives, store=store_path,
+                    batch_size=2)
+        assert len(evaluated) == 2  # exactly one batch completed
+
+        # The completed batch is durable: a fresh process would see it.
+        with open_store(store_path) as peek:
+            assert len(peek) == 2
+        completed = list(evaluated)
+
+        monkeypatch.setattr(explore_module, "run_campaigns", counting)
+        result = explore(dse_space, objectives=objectives, store=store_path,
+                         batch_size=2)
+        assert result.reused == 2
+        assert result.executed == dse_space.size - 2
+        # No completed campaign ran twice.
+        rerun = evaluated[2:]
+        assert not set(completed) & set(rerun)
+        assert len(result.candidates) == dse_space.size
+
+    def test_store_records_are_json_documents(self, dse_space, tmp_path):
+        store_path = tmp_path / "store.jsonl"
+        explore(dse_space, objectives=("energy_saving", "latency"),
+                store=store_path)
+        lines = [
+            json.loads(line)
+            for line in store_path.read_text().splitlines() if line
+        ]
+        assert len(lines) == dse_space.size
+        record = lines[0]
+        assert record["schema"] == "repro-dse/1"
+        assert set(record) >= {
+            "key", "name", "assignment", "seeds", "stats", "total_latency",
+            "rounds", "error",
+        }
+        assert record["stats"]["n_trials"] == 2

@@ -381,3 +381,162 @@ class TestDeprecations:
         capsys.readouterr()
         system = TTWSystem.load(out_dir / "workload.system.json")
         assert system.schedules["normal"].config.backend == "greedy"
+
+
+@pytest.fixture
+def space_file(tmp_path):
+    from repro.api import LossSpec, RadioSpec, Scenario, SimulationSpec
+    from repro.dse import Axis, Space
+
+    base = Scenario(
+        name="clidse",
+        modes=[Mode("normal", [
+            closed_loop_pipeline("loop", period=2000.0, deadline=2000.0,
+                                 num_hops=2, wcet=1.0),
+        ])],
+        config=SchedulingConfig(round_length=50.0, slots_per_round=5,
+                                max_round_gap=None, backend="greedy"),
+        radio=RadioSpec(payload_bytes=10, diameter=4),
+        loss=LossSpec("bernoulli", {"beacon_loss": 0.0, "data_loss": 0.0,
+                                    "seed": 1}),
+        simulation=SimulationSpec(duration=4000.0, trials=2, seed=7),
+    )
+    space = Space(base=base, axes=[
+        Axis("B", "slots", [1, 2, 5]),
+        Axis("payload", "payload", [8, 32]),
+    ], derive="glossy_timing")
+    path = tmp_path / "clidse.space.json"
+    space.save(path)
+    return path
+
+
+class TestScenarioExplore:
+    def test_explore_space_file_prints_front(self, space_file, capsys):
+        assert main(["scenario", "explore", str(space_file),
+                     "--objectives", "energy_saving,latency"]) == 0
+        captured = capsys.readouterr().out
+        assert "sampler 'grid' selected 6 of 6" in captured
+        assert "Pareto front" in captured
+        assert "energy_saving" in captured and "latency" in captured
+
+    def test_explore_store_makes_reruns_incremental(self, space_file,
+                                                    tmp_path, capsys):
+        store = tmp_path / "store.jsonl"
+        argv = ["scenario", "explore", str(space_file),
+                "--objectives", "energy_saving,latency",
+                "--store", str(store)]
+        assert main(argv) == 0
+        assert "executed 6 campaign(s), reused 0" in capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        assert "executed 0 campaign(s), reused 6" in capsys.readouterr().out
+
+    def test_explore_resume_requires_existing_store(self, space_file,
+                                                    tmp_path, capsys):
+        assert main(["scenario", "explore", str(space_file),
+                     "--store", str(tmp_path / "missing.jsonl"),
+                     "--resume"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_explore_scenario_file_plus_axis_flags(self, scenario_file,
+                                                   capsys):
+        assert main(["scenario", "explore", str(scenario_file),
+                     "--axis", "slots=2,5", "--backend", "greedy",
+                     "--trials", "1",
+                     "--objectives", "latency,miss", "--all"]) == 0
+        captured = capsys.readouterr().out
+        assert "selected 2 of 2" in captured
+        assert "front" in captured
+
+    def test_explore_axis_flag_overrides_same_target_file_axis(
+        self, space_file, capsys
+    ):
+        # The space file names the slots axis "B"; a CLI --axis
+        # addressing the same *target* must replace it, not stack a
+        # second transform over the same field (which would multiply
+        # the grid with no-op duplicates).
+        assert main(["scenario", "explore", str(space_file),
+                     "--axis", "slots=2",
+                     "--objectives", "energy_saving,latency"]) == 0
+        captured = capsys.readouterr().out
+        assert "selected 2 of 2" in captured  # payload axis x 1, not 6
+        assert "slots" in captured and " B " not in captured
+
+    def test_explore_axis_flag_overrides_file_axis_by_name(
+        self, space_file, capsys
+    ):
+        # `--axis B=2` must re-value the file's Axis("B", "slots", ...)
+        # — the override keeps the matched axis's target, so users can
+        # address the axis by the name every table prints.
+        assert main(["scenario", "explore", str(space_file),
+                     "--axis", "B=2",
+                     "--objectives", "energy_saving,latency"]) == 0
+        captured = capsys.readouterr().out
+        assert "selected 2 of 2" in captured  # payload axis x pinned B
+
+    def test_explore_candidate_without_simulation_is_clean_error(
+        self, space_file, capsys
+    ):
+        # Nulling the simulation via a whole-field axis must be the
+        # CLI's `error:` + exit 2, not an AssertionError traceback.
+        assert main(["scenario", "explore", str(space_file),
+                     "--axis", "simulation=null",
+                     "--objectives", "latency"]) == 2
+        assert "SimulationSpec" in capsys.readouterr().err
+
+    def test_explore_adaptive_sampler(self, space_file, capsys):
+        assert main(["scenario", "explore", str(space_file),
+                     "--sampler", "adaptive",
+                     "--objectives", "energy_saving,latency"]) == 0
+        assert "sampler 'adaptive' selected 3 of 6" in \
+            capsys.readouterr().out
+
+    def test_explore_without_axes_is_an_error(self, scenario_file, capsys):
+        assert main(["scenario", "explore", str(scenario_file)]) == 2
+        assert "no axes to explore" in capsys.readouterr().err
+
+    def test_explore_unknown_objective_is_an_error(self, space_file, capsys):
+        assert main(["scenario", "explore", str(space_file),
+                     "--objectives", "nonsense"]) == 2
+        assert "unknown objective" in capsys.readouterr().err
+
+    def test_explore_json_output(self, space_file, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        assert main(["scenario", "explore", str(space_file),
+                     "--objectives", "energy_saving,latency",
+                     "--sampler", "random", "--samples", "2",
+                     "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["space_size"] == 6
+        assert len(payload["candidates"]) == 2
+        assert payload["front"]
+
+
+class TestSweepCompatibility:
+    """`scenario sweep` must stay bit-identical across the sweep()
+    deprecation (the CLI path never calls the shim)."""
+
+    def test_sweep_output_matches_experiment_table(self, scenario_file,
+                                                   workload_file, capsys):
+        from repro.api import Experiment
+        from repro.cli import _load_scenario_file
+
+        assert main(["scenario", "sweep", str(scenario_file),
+                     str(workload_file), "--no-simulate"]) == 0
+        cli_out = capsys.readouterr().out
+
+        experiment = Experiment([
+            _load_scenario_file(str(scenario_file)),
+            _load_scenario_file(str(workload_file)),
+        ])
+        expected = experiment.run(simulate=False).table()
+        assert expected in cli_out
+
+    def test_sweep_emits_no_deprecation_warning(self, scenario_file,
+                                                recwarn, capsys):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert main(["scenario", "sweep", str(scenario_file),
+                         "--no-simulate"]) == 0
+        capsys.readouterr()
