@@ -1,6 +1,6 @@
-"""Monte-Carlo campaign throughput: compiled fast path vs. reference.
+"""Monte-Carlo campaign throughput: vectorized vs fast vs reference.
 
-Two performance claims, both *mechanism, not results*:
+Three performance claims, all *mechanism, not results*:
 
 * **Engine**: the compiled round-program fast path (``engine="fast"``,
   see ``repro.runtime.compiled`` / ``repro.mc.fastpath``) must deliver
@@ -8,6 +8,12 @@ Two performance claims, both *mechanism, not results*:
   the same campaign — while producing **bit-identical** aggregated
   statistics (the fast path shares the reference's random stream, so
   this is an equality of numbers, not a statistical comparison).
+* **Vectorized kernel**: the tensor engine (``engine="vectorized"``,
+  see ``repro.mc.vectorized``) must deliver **>= 3x trials/sec** over
+  the *fast* engine on the same campaign — while staying
+  *distribution-equivalent* (it draws from numpy streams, so the
+  comparison is the statistical harness of ``repro.mc.equivalence``,
+  not equality).
 * **Pooling**: running the same campaign over the trial pool must not
   change a single number, synthesis must happen once per distinct
   config however many trials execute, and on machines with >= 6
@@ -18,8 +24,8 @@ Two performance claims, both *mechanism, not results*:
 The headline numbers land in ``BENCH_mc_campaign.json`` (via the
 ``bench_record`` fixture) so the repository's perf trajectory is
 machine-readable.  CI smokes this path with ``MC_BENCH_TRIALS=2`` so
-it cannot rot; the 5x bar is asserted at ``MC_BENCH_TRIALS >= 100``
-(the default 200).
+it cannot rot; the 5x and 3x bars are asserted at
+``MC_BENCH_TRIALS >= 100`` (the default 200).
 """
 
 import os
@@ -30,7 +36,7 @@ import pytest
 from repro.analysis import format_table
 from repro.api import LossSpec, Scenario, SimulationSpec
 from repro.core import SchedulingConfig
-from repro.mc import run_campaign
+from repro.mc import assert_distribution_equivalent, run_campaign
 from repro.workloads import industrial_mode
 
 TRIALS = int(os.environ.get("MC_BENCH_TRIALS", "200"))
@@ -81,23 +87,40 @@ def test_bench_mc_campaign(benchmark, tmp_path, capsys, bench_record):
                                engine="fast")
     t_fast_pooled = time.monotonic() - started
 
-    # The engines must agree on every number, and pooling must not
-    # change a single one either.
+    started = time.monotonic()
+    vectorized = run_campaign(scenario, jobs=1, cache_dir=cache_dir,
+                              engine="vectorized")
+    t_vectorized = time.monotonic() - started
+
+    # The scalar engines must agree on every number, and pooling must
+    # not change a single one either.
     assert fast.points[0].trials == reference.points[0].trials
     reference_stats = reference.points[0].stats.to_dict()
     for result in (fast, ref_pooled, fast_pooled):
         assert result.points[0].stats.to_dict() == reference_stats
     assert reference.ok and fast.ok
 
+    # The vectorized engine draws from numpy streams — its contract is
+    # distribution equivalence against the exact engines, checked with
+    # the same harness the equivalence suite gates on.
+    assert vectorized.engines == {scenario.name: "vectorized"}
+    assert vectorized.ok
+    if TRIALS >= 20:  # below that the Wilson intervals span everything
+        assert_distribution_equivalent(
+            vectorized.points[0], fast.points[0], label="bench"
+        )
+
     # Synthesis once per distinct config: the warm-up solved the one
     # distinct problem; every timed pass did zero solver work, despite
     # executing TRIALS trials each.
-    for result in (reference, fast, ref_pooled, fast_pooled):
+    for result in (reference, fast, ref_pooled, fast_pooled, vectorized):
         assert result.stats.modes_synthesized == 0
         assert result.stats.cache_hits == 1
 
     engine_speedup = t_reference / t_fast if t_fast else float("inf")
     pool_speedup = t_reference / t_ref_pooled if t_ref_pooled else float("inf")
+    vectorized_speedup = t_fast / t_vectorized if t_vectorized \
+        else float("inf")
     stats = fast.points[0].stats
     bench_record(
         "mc_campaign",
@@ -105,11 +128,16 @@ def test_bench_mc_campaign(benchmark, tmp_path, capsys, bench_record):
         jobs=JOBS,
         reference_seconds=t_reference,
         fast_seconds=t_fast,
+        vectorized_seconds=t_vectorized,
         reference_pooled_seconds=t_ref_pooled,
         fast_pooled_seconds=t_fast_pooled,
         reference_trials_per_sec=TRIALS / t_reference if t_reference else None,
         fast_trials_per_sec=TRIALS / t_fast if t_fast else None,
+        vectorized_trials_per_sec=(
+            TRIALS / t_vectorized if t_vectorized else None
+        ),
         engine_speedup=engine_speedup,
+        vectorized_speedup=vectorized_speedup,
         pool_speedup=pool_speedup,
         bit_identical=True,
     )
@@ -128,9 +156,13 @@ def test_bench_mc_campaign(benchmark, tmp_path, capsys, bench_record):
             (f"fast (j={JOBS})", round(t_fast_pooled, 2),
              round(TRIALS / t_fast_pooled, 1) if t_fast_pooled
              else float("inf")),
+            ("vectorized (j=1)", round(t_vectorized, 2),
+             round(TRIALS / t_vectorized, 1) if t_vectorized
+             else float("inf")),
         ]
         print(format_table(["engine", "time [s]", "trials/s"], rows))
         print(f"engine speedup: {engine_speedup:.2f}x   "
+              f"vectorized speedup: {vectorized_speedup:.2f}x   "
               f"pool speedup: {pool_speedup:.2f}x   "
               f"miss {stats.miss}   collisions {stats.collisions}")
 
@@ -142,6 +174,15 @@ def test_bench_mc_campaign(benchmark, tmp_path, capsys, bench_record):
         assert engine_speedup >= 5.0, (
             f"fast engine only {engine_speedup:.2f}x faster than the "
             f"reference ({t_reference:.2f}s -> {t_fast:.2f}s, "
+            f"{TRIALS} trials)"
+        )
+        # The vectorized kernel's bar: >= 3x over the *fast* engine
+        # (the ISSUE's floor; the design target is 10x, which the
+        # recorded vectorized_speedup tracks).  Like the 5x bar, only
+        # meaningful once trial work dominates fixed costs.
+        assert vectorized_speedup >= 3.0, (
+            f"vectorized engine only {vectorized_speedup:.2f}x faster "
+            f"than fast ({t_fast:.2f}s -> {t_vectorized:.2f}s, "
             f"{TRIALS} trials)"
         )
 

@@ -298,8 +298,12 @@ class Experiment:
             sweep: ``{loss_param: [values, ...]}`` grid evaluated per
                 scenario.
             engine: ``"fast"`` (compiled round programs, trace-free
-                accumulation, automatic fallback) or ``"reference"``
-                (the object-level simulator); bit-identical results.
+                accumulation, automatic fallback), ``"vectorized"``
+                (all trials of a grid point as batched tensor
+                programs — distribution-equivalent, falls back
+                ``vectorized -> fast -> reference``), or
+                ``"reference"`` (the object-level simulator;
+                bit-identical to ``fast``).
 
         Returns:
             A :class:`repro.mc.CampaignResult`.

@@ -10,8 +10,11 @@ Commands:
 * ``scenario mc``   — run a Monte-Carlo campaign over a scenario file
   (``--trials/--seeds/--sweep``, see :mod:`repro.mc`) and print the
   aggregated statistics table; ``--engine fast`` (default) executes
-  trials over compiled round programs, ``--engine reference`` over the
-  object-level simulator (bit-identical, for cross-checks);
+  trials over compiled round programs, ``--engine vectorized`` batches
+  all trials of a grid point into tensor programs
+  (distribution-equivalent, prints the engine actually used after
+  fallback), ``--engine reference`` over the object-level simulator
+  (bit-identical to fast, for cross-checks);
 * ``scenario explore`` — design-space exploration (see
   :mod:`repro.dse`): search a parameter space (a space file, or a
   scenario file plus ``--axis`` flags) for its Pareto-optimal
@@ -292,6 +295,10 @@ def _cmd_scenario_mc(args: argparse.Namespace) -> int:
         f"campaign {scenario.name!r}: {len(result.points)} grid point(s), "
         f"backend {scenario.effective_config.backend!r}"
     )
+    used = result.engines.get(scenario.name)
+    if used is not None:
+        note = "" if used == args.engine else f" (requested {args.engine})"
+        print(f"trial engine: {used}{note}")
     print(result.table())
     print(f"engine: {result.stats}")
     failures = 0
@@ -709,14 +716,18 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also print the per-flow deadline-miss tables")
     mc.add_argument("--json", default=None, metavar="FILE",
                     help="write the aggregated statistics as JSON")
-    mc.add_argument("--engine", choices=["fast", "reference"],
+    mc.add_argument("--engine", choices=["fast", "vectorized", "reference"],
                     default="fast",
                     help="trial engine: 'fast' runs compiled round "
                          "programs (trace-free, falls back to the "
                          "reference simulator for unsupported "
-                         "features); 'reference' always walks the "
-                         "object-level simulator (bit-identical "
-                         "results, mainly for cross-checks)")
+                         "features); 'vectorized' batches all trials "
+                         "of a grid point into tensor programs "
+                         "(distribution-equivalent, falls back "
+                         "vectorized->fast->reference); 'reference' "
+                         "always walks the object-level simulator "
+                         "(bit-identical to 'fast', mainly for "
+                         "cross-checks)")
     mc.add_argument("--no-warm-start", action="store_true",
                     help="disable the demand-bound warm start (campaigns "
                          "default to warm starts ON; schedules are "
@@ -794,9 +805,12 @@ def build_parser() -> argparse.ArgumentParser:
              "the store file is missing)",
     )
     explore.add_argument(
-        "--engine", choices=["fast", "reference"], default="fast",
-        help="trial engine (bit-identical; 'fast' compiles round "
-             "programs, default)",
+        "--engine", choices=["fast", "vectorized", "reference"],
+        default="fast",
+        help="trial engine ('fast' compiles round programs, default; "
+             "'vectorized' batches trials into tensor programs, "
+             "distribution-equivalent; 'reference' is bit-identical "
+             "to 'fast')",
     )
     explore.add_argument(
         "--all", action="store_true",

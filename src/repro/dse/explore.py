@@ -388,7 +388,9 @@ def explore(
         store: Result store — a :class:`ResultStore`, a path (suffix
             selects JSONL vs. SQLite), or ``None`` for in-memory.
             Stored evaluations are **reused, not re-run**.
-        engine: Trial engine (``fast``/``reference``, bit-identical).
+        engine: Trial engine (``fast``/``reference`` are bit-identical;
+            ``vectorized`` batches trials into tensor programs and is
+            distribution-equivalent).
         batch_size: Candidates per evaluation batch — the durability
             granularity of the store.
 

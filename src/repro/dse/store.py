@@ -21,7 +21,11 @@ because a torn final line is detected and ignored).
 
 The trial engine is deliberately **not** part of the key: the fast and
 reference engines are bit-identical (asserted by ``tests/mc``), so
-results transfer between them.
+results transfer between them.  The vectorized engine is only
+*distribution-equivalent* (``tests/mc/test_equivalence.py``): reusing a
+store across it and the scalar engines mixes statistically compatible
+but not bit-equal estimates — fine for exploration, worth knowing for
+exact reproduction.
 """
 
 from __future__ import annotations

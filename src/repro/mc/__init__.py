@@ -39,6 +39,7 @@ from .campaign import (
     run_campaign,
     run_campaigns,
 )
+from .equivalence import EquivalenceError, assert_distribution_equivalent
 from .fastpath import run_program, supports_loss_kind
 from .stats import (
     CampaignStats,
@@ -47,17 +48,22 @@ from .stats import (
     percentile,
     wilson_interval,
 )
+from .vectorized import run_trials_vectorized, unroll_timeline
 
 __all__ = [
     "CampaignResult",
     "CampaignStats",
     "DistSummary",
+    "EquivalenceError",
     "PointResult",
     "RateEstimate",
+    "assert_distribution_equivalent",
     "percentile",
     "run_campaign",
     "run_campaigns",
     "run_program",
+    "run_trials_vectorized",
     "supports_loss_kind",
+    "unroll_timeline",
     "wilson_interval",
 ]

@@ -52,7 +52,13 @@ from ..engine.cache import ScheduleCache
 from ..engine.trials import TrialPool
 from ..io.serialize import mode_to_dict, schedule_to_dict
 from ..runtime.loss import build_loss, reseeded
-from ..runtime.trial import ENGINES, TrialResult, build_context, execute_trial
+from ..runtime.trial import (
+    ENGINES,
+    TrialResult,
+    build_context,
+    execute_trial,
+    execute_trial_batch,
+)
 from .stats import CampaignStats
 
 
@@ -87,12 +93,16 @@ class CampaignResult:
         stats: Engine counters — ``modes_synthesized`` equals the
             number of *distinct* synthesis problems, however many
             trials ran.
+        engines: Trial engine actually used per scenario, after the
+            ``vectorized -> fast -> reference`` fallback ladder —
+            e.g. ``{"baseline": "vectorized"}``.
     """
 
     points: List[PointResult] = field(default_factory=list)
     schedules: Dict[str, Dict[str, ModeSchedule]] = field(default_factory=dict)
     reports: Dict[str, Dict[str, VerificationReport]] = field(default_factory=dict)
     stats: EngineStats = field(default_factory=EngineStats)
+    engines: Dict[str, str] = field(default_factory=dict)
 
     def __iter__(self):
         return iter(self.points)
@@ -132,6 +142,7 @@ class CampaignResult:
             "points": [point.to_dict() for point in self.points],
             "verified": self.verified,
             "ok": self.ok,
+            "trial_engines": dict(self.engines),
             "engine": {
                 "cache_hits": self.stats.cache_hits,
                 "cache_misses": self.stats.cache_misses,
@@ -285,8 +296,14 @@ def run_campaigns(
             scenario into a compiled round program once per worker
             (via the trial pool's context cache) and runs trials
             trace-free, falling back to the reference simulator for
-            unsupported features; ``"reference"`` always walks the
-            object-level simulator.  Results are bit-identical.
+            unsupported features; ``"vectorized"`` additionally
+            executes all trials of a grid point as batched tensor
+            programs (distribution-equivalent to the other engines,
+            not bit-identical; falls back ``vectorized -> fast ->
+            reference``); ``"reference"`` always walks the
+            object-level simulator.  ``fast`` and ``reference``
+            results are bit-identical; :attr:`CampaignResult.engines`
+            records what actually ran.
 
     Returns:
         A :class:`CampaignResult`; scenarios whose schedules fail
@@ -353,29 +370,58 @@ def run_campaigns(
         contexts[scenario.name] = scenario_context(scenario, schedules)
         scenario_seeds = seeds_by_scenario[scenario.name]
         for point_index, point in enumerate(points):
-            for trial_index, seed in enumerate(scenario_seeds):
-                tasks.append((
-                    scenario.name,
-                    {
-                        "scenario": scenario.name,
-                        "point": point_index,
-                        "trial": trial_index,
-                        "seed": seed,
-                        "loss": _point_loss(scenario, point, seed),
-                        "engine": engine,
-                    },
-                ))
+            if engine == "vectorized":
+                # The vectorized kernel amortizes tensor setup over
+                # many trials, so a grid point becomes a few *batch*
+                # tasks (one per worker share) instead of one task per
+                # trial.  Per-trial seeding keeps results identical
+                # however the batches are cut.
+                indexed = list(enumerate(scenario_seeds))
+                shares = max(1, min(jobs, len(indexed)))
+                size = (len(indexed) + shares - 1) // shares
+                for lo in range(0, len(indexed), size):
+                    tasks.append((
+                        scenario.name,
+                        {
+                            "scenario": scenario.name,
+                            "point": point_index,
+                            "trials": indexed[lo : lo + size],
+                            "loss": _point_loss(scenario, point, seed=None),
+                            "engine": engine,
+                        },
+                    ))
+            else:
+                for trial_index, seed in enumerate(scenario_seeds):
+                    tasks.append((
+                        scenario.name,
+                        {
+                            "scenario": scenario.name,
+                            "point": point_index,
+                            "trial": trial_index,
+                            "seed": seed,
+                            "loss": _point_loss(scenario, point, seed),
+                            "engine": engine,
+                        },
+                    ))
 
     # Phase 2 — evaluation: every trial of every scenario and grid
     # point drains through one shared pool.
-    pool = TrialPool(build_context, execute_trial, contexts, jobs=jobs)
+    executor = execute_trial_batch if engine == "vectorized" else execute_trial
+    pool = TrialPool(build_context, executor, contexts, jobs=jobs)
     outcomes = pool.map(tasks)
 
-    # Phase 3 — aggregation, grouped by (scenario, grid point).
-    grouped: Dict[Tuple[str, int], List[TrialResult]] = {}
+    # Phase 3 — aggregation, grouped by (scenario, grid point).  Batch
+    # outcomes flatten to the same per-trial payload shape first.
+    flat: List[dict] = []
     for outcome in outcomes:
+        flat.extend(outcome.get("results", [outcome]))
+    grouped: Dict[Tuple[str, int], List[TrialResult]] = {}
+    for outcome in flat:
         key = (outcome["scenario"], outcome["point"])
         grouped.setdefault(key, []).append(TrialResult.from_dict(outcome))
+        used = outcome.get("engine_used")
+        if used is not None:
+            result.engines[outcome["scenario"]] = used
     for scenario in scenarios:
         if scenario.name not in contexts:
             continue

@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core.modes import Mode
 from ..net.topology import Topology, build_topology
 from .deployment import ModeDeployment, build_deployment
-from .loss import build_loss
+from .loss import SEEDABLE_KINDS, build_loss, reseeded
 from .simulator import ModeRequest, NodePolicy, RadioTiming, RuntimeSimulator
 from .trace import Trace
 
@@ -166,6 +166,10 @@ class TrialContext:
     _compile_error: Optional[str] = field(
         default=None, repr=False, compare=False
     )
+    _timeline: object = field(default=False, repr=False, compare=False)
+    _timeline_error: Optional[str] = field(
+        default=None, repr=False, compare=False
+    )
 
     def compiled(self):
         """The compiled :class:`~repro.runtime.compiled.SystemProgram`,
@@ -191,6 +195,34 @@ class TrialContext:
     def compile_error(self) -> Optional[str]:
         """Why :meth:`compiled` returned ``None`` (``None`` otherwise)."""
         return self._compile_error
+
+    def timeline(self):
+        """The unrolled deterministic :class:`~repro.mc.vectorized.Timeline`
+        of the scenario, or ``None`` when the scenario does not compile
+        or the vectorized kernel does not support it
+        (:attr:`timeline_error` then says why).  Computed once per
+        context, like :meth:`compiled`."""
+        if self._timeline is False:
+            program = self.compiled()
+            if program is None:
+                self._timeline = None
+                self._timeline_error = self._compile_error
+            else:
+                from ..mc.vectorized import VectorizeError, unroll_timeline
+
+                try:
+                    self._timeline = unroll_timeline(
+                        program, self.duration, self.mode_requests
+                    )
+                except VectorizeError as exc:
+                    self._timeline = None
+                    self._timeline_error = str(exc)
+        return self._timeline
+
+    @property
+    def timeline_error(self) -> Optional[str]:
+        """Why :meth:`timeline` returned ``None`` (``None`` otherwise)."""
+        return self._timeline_error
 
 
 def build_context(data: dict) -> TrialContext:
@@ -257,19 +289,45 @@ def build_context(data: dict) -> TrialContext:
 #: Trial engines ``run_trial`` accepts.  ``fast`` compiles the scenario
 #: into a round program and accumulates the summary trace-free — and
 #: transparently falls back to ``reference`` for anything the compiler
-#: or its loss samplers do not support.  ``reference`` always walks the
-#: full object-level simulator.  Both produce bit-identical results.
-ENGINES = ("fast", "reference")
+#: or its loss samplers do not support.  ``vectorized`` additionally
+#: replaces the per-trial loop with tensor sampling and reduction
+#: (:mod:`repro.mc.vectorized`) — distribution-equivalent, not
+#: bit-identical, and falling back ``vectorized -> fast -> reference``.
+#: ``reference`` always walks the full object-level simulator.
+#: ``fast`` and ``reference`` produce bit-identical results; ``fast``
+#: is the default.
+ENGINES = ("fast", "vectorized", "reference")
 
 
-def trial_engine(context: TrialContext, loss_kind: Optional[str]) -> str:
-    """Which engine ``engine="fast"`` will actually execute.
+def trial_engine(
+    context: TrialContext,
+    loss_kind: Optional[str],
+    engine: str = "fast",
+) -> str:
+    """Which engine a trial requested with ``engine`` actually executes.
 
-    Returns ``"fast"`` when the scenario compiles, the loss kind has a
-    fast-path sampler, and the beacon host resolves to a compiled node
-    index; ``"reference"`` otherwise — the automatic fallback
-    :func:`run_trial` applies.
+    ``engine="fast"`` resolves to ``"fast"`` when the scenario
+    compiles, the loss kind has a fast-path sampler, and the beacon
+    host resolves to a compiled node index; ``"reference"`` otherwise.
+    ``engine="vectorized"`` resolves to ``"vectorized"`` when, in
+    addition, the loss kind has a vector sampler and the round timeline
+    unrolls (beacon-gated policy); anything unsupported falls through
+    the same ladder to ``"fast"``, then ``"reference"``.
+    ``engine="reference"`` is always itself.
     """
+    if engine == "reference":
+        return "reference"
+    if engine == "vectorized":
+        from ..mc.vectorized import supports_loss_kind as vector_supports
+
+        if (
+            vector_supports(loss_kind)
+            and context.timeline() is not None
+            and context.compiled().resolve_host(context.host_node) is not None
+        ):
+            return "vectorized"
+        # fall through to the fast engine's own fallback rules
+
     from ..mc.fastpath import supports_loss_kind
 
     if not supports_loss_kind(loss_kind):
@@ -303,20 +361,36 @@ def run_trial(
         loss_params: Loss model parameters.
         engine: ``"fast"`` (compiled round program, trace-free
             accumulation; automatic fallback to the reference
-            simulator for unsupported scenario features) or
-            ``"reference"`` (the object-level simulator).  The two are
-            bit-identical wherever the fast path runs.
+            simulator for unsupported scenario features),
+            ``"vectorized"`` (tensor sampling and reduction over the
+            unrolled round timeline — distribution-equivalent to the
+            other engines, not bit-identical, falling back
+            ``vectorized -> fast -> reference``), or ``"reference"``
+            (the object-level simulator).  ``fast`` and ``reference``
+            are bit-identical wherever the fast path runs.
     """
     if engine not in ENGINES:
         raise ValueError(
             f"engine must be one of {', '.join(ENGINES)}, got {engine!r}"
         )
+    resolved = trial_engine(context, loss_kind, engine)
+    if resolved == "vectorized":
+        from ..mc.vectorized import run_trials_vectorized
+
+        params = dict(loss_params or {})
+        seed = params.pop("seed", None) if loss_kind in SEEDABLE_KINDS else None
+        return run_trials_vectorized(
+            context,
+            loss_kind,
+            params if loss_kind is not None else None,
+            [seed],
+        )[0]
     loss = (
         build_loss(loss_kind, loss_params, context.topology)
         if loss_kind is not None
         else None
     )
-    if engine == "fast" and trial_engine(context, loss_kind) == "fast":
+    if resolved == "fast":
         from ..mc.fastpath import build_sampler, run_program
 
         program = context.compiled()
@@ -348,20 +422,81 @@ def execute_trial(context: TrialContext, task: dict) -> dict:
     """Pool entry point: run the trial described by ``task``.
 
     ``task`` carries ``loss`` (``{"kind", "params"}`` or ``None``) and
-    optionally ``engine`` (``"fast"``/``"reference"``, default fast),
-    plus opaque bookkeeping keys (``trial``, ``seed``, ``point``) that
-    are echoed into the result so the aggregator can group answers
-    without relying on completion order.
+    optionally ``engine`` (one of :data:`ENGINES`, default fast), plus
+    opaque bookkeeping keys (``trial``, ``seed``, ``point``) that are
+    echoed into the result so the aggregator can group answers without
+    relying on completion order.  ``engine_used`` records the engine
+    the fallback ladder actually resolved to.
     """
     loss = task.get("loss")
+    kind = loss["kind"] if loss is not None else None
+    engine = task.get("engine", "fast")
     result = run_trial(
         context,
-        loss["kind"] if loss is not None else None,
+        kind,
         loss.get("params") if loss is not None else None,
-        engine=task.get("engine", "fast"),
+        engine=engine,
     )
     payload = result.to_dict()
+    payload["engine_used"] = (
+        trial_engine(context, kind, engine) if engine in ENGINES else engine
+    )
     for key in ("trial", "seed", "point", "scenario"):
         if key in task:
             payload[key] = task[key]
     return payload
+
+
+def execute_trial_batch(context: TrialContext, task: dict) -> dict:
+    """Pool entry point: run a whole batch of trials in one call.
+
+    The vectorized engine amortizes its tensor setup over many trials,
+    so the campaign layer groups the trials of a grid point into batch
+    tasks: ``task`` carries ``loss`` (the grid point's **base**
+    description, without a per-trial seed), ``engine``, and ``trials``
+    — a list of ``(trial_index, seed)`` pairs.  When the fallback
+    ladder resolves to a scalar engine the batch degrades gracefully
+    to per-trial execution with the established per-trial reseeding,
+    so results are bit-identical to the per-trial task path.
+
+    Returns ``{"scenario", "point", "engine_used", "results"}`` with
+    one :meth:`TrialResult.to_dict` payload per trial (bookkeeping
+    keys echoed into each), in input order.
+    """
+    loss = task.get("loss")
+    kind = loss["kind"] if loss is not None else None
+    base_params = dict(loss.get("params") or {}) if loss is not None else None
+    engine = task.get("engine", "fast")
+    trials = task["trials"]
+    resolved = trial_engine(context, kind, engine)
+
+    if resolved == "vectorized":
+        from ..mc.vectorized import run_trials_vectorized
+
+        results = run_trials_vectorized(
+            context, kind, base_params, [seed for _trial, seed in trials]
+        )
+    else:
+        results = []
+        for _trial, seed in trials:
+            params = base_params
+            if kind is not None and seed is not None:
+                params = reseeded(kind, base_params, seed)
+            results.append(run_trial(context, kind, params, engine=resolved))
+
+    payloads = []
+    for (trial_index, seed), result in zip(trials, results):
+        payload = result.to_dict()
+        payload["trial"] = trial_index
+        payload["seed"] = seed
+        payload["engine_used"] = resolved
+        for key in ("point", "scenario"):
+            if key in task:
+                payload[key] = task[key]
+        payloads.append(payload)
+    return {
+        "scenario": task.get("scenario"),
+        "point": task.get("point"),
+        "engine_used": resolved,
+        "results": payloads,
+    }

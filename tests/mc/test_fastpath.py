@@ -355,4 +355,8 @@ class TestCampaignEngines:
                          "params": {"beacon_loss": 0.2, "seed": 5}}}
         fast = execute_trial(context, dict(task, engine="fast"))
         reference = execute_trial(context, dict(task, engine="reference"))
+        # Payloads now carry the engine that actually ran; the trial
+        # numbers themselves must still be bit-identical.
+        assert fast.pop("engine_used") == "fast"
+        assert reference.pop("engine_used") == "reference"
         assert fast == reference
