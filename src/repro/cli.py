@@ -24,6 +24,13 @@ Commands:
   (JSONL, or SQLite by suffix) so repeated invocations are
   incremental and ``--resume`` continues an interrupted run without
   re-executing completed campaigns;
+* ``serve`` — run the toolkit as a long-running HTTP service (see
+  :mod:`repro.serve` and docs/SERVICE.md): an async job queue with
+  admission control drains submissions through the synthesis and
+  Monte-Carlo fast paths, deduplicating identical work across requests
+  (in-flight attachment + a shared persistent ``--store``);
+* ``scenario submit`` — submit a scenario file to a running ``repro
+  serve`` daemon and (by default) follow its event stream until done;
 * ``verify``   — re-verify every schedule in a system file;
 * ``simulate`` — execute a system file for a given duration and print
   trace statistics;
@@ -453,6 +460,101 @@ def _cmd_scenario_explore(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+# -- service commands --------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServiceApp, ServiceConfig
+
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            jobs=args.jobs,
+            store=args.store,
+            cache_dir=args.cache_dir,
+            cache_entries=args.cache_entries,
+            cache_bytes=args.cache_bytes,
+            max_queued=args.max_queued,
+            max_inflight=args.max_inflight,
+            max_trials=args.max_trials,
+            trial_batch=args.trial_batch,
+            engine=args.engine,
+            drain_timeout=args.drain_timeout,
+        )
+        app = ServiceApp(config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return app.run()
+
+
+def _cmd_scenario_submit(args: argparse.Namespace) -> int:
+    from .serve.client import ServiceClient, ServiceError, ServiceUnavailable
+
+    scenario = _apply_overrides(_load_scenario_file(args.scenario), args)
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        job = client.submit(
+            scenario,
+            trials=args.trials,
+            seeds=args.seeds,
+            engine=args.engine,
+            client=args.client,
+        )
+        print(
+            f"job {job['id']}: {job['state']}"
+            + (" (served from store)" if job.get("cached") else "")
+        )
+        if args.no_wait or job["state"] in ("done", "failed", "cancelled"):
+            final = job
+        else:
+            for event in client.events(job["id"]):
+                line = f"  event {event['seq']}: {event['state']}"
+                if "trials_done" in event:
+                    line += (
+                        f" [{event['trials_done']}/"
+                        f"{event.get('trials_total', '?')} trials]"
+                    )
+                if event.get("error"):
+                    line += f" — {event['error']}"
+                print(line)
+            final = client.job(job["id"])
+    except ServiceUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            f"hint: is a daemon running? start one with "
+            f"`repro serve --port <port>`",
+            file=sys.stderr,
+        )
+        return 2
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if final["state"] == "done" and final.get("result"):
+        result = final["result"]
+        print(
+            f"done: total latency {result.get('total_latency', 0.0):.3f}, "
+            f"{result.get('rounds', 0)} round(s)"
+        )
+        stats = result.get("stats")
+        if stats:
+            delivery = stats.get("delivery") or {}
+            if "rate" in delivery:
+                print(f"  delivery rate: {delivery['rate']:.4f}")
+            print(f"  trials: {stats.get('n_trials', 0)}")
+    elif final["state"] == "failed":
+        print(f"failed: {final.get('error')}", file=sys.stderr)
+    if args.json is not None:
+        Path(args.json).write_text(
+            json.dumps(final, indent=2, sort_keys=True)
+        )
+        print(f"wrote {args.json}")
+    return {"done": 0, "cancelled": 3}.get(final["state"], 1)
+
+
 # -- legacy shims ------------------------------------------------------------
 
 
@@ -829,6 +931,96 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_flags(explore)
     explore.set_defaults(func=_cmd_scenario_explore)
 
+    submit = scenario_sub.add_parser(
+        "submit",
+        help="submit a scenario to a running `repro serve` daemon and "
+             "follow its event stream",
+    )
+    submit.add_argument("scenario",
+                        help="scenario JSON (or legacy workload spec)")
+    submit.add_argument("--url", default="http://127.0.0.1:8080",
+                        help="daemon base URL (default %(default)s)")
+    submit.add_argument("-t", "--trials", type=_positive_int, default=None,
+                        help="trials (default: the scenario's "
+                             "simulation.trials)")
+    submit.add_argument("--seeds", type=_seed_list, default=None,
+                        help="comma-separated explicit trial seeds "
+                             "(override --trials)")
+    submit.add_argument("--engine",
+                        choices=["fast", "vectorized", "reference"],
+                        default=None,
+                        help="trial engine override (default: the "
+                             "daemon's --engine)")
+    submit.add_argument("--client", default=None,
+                        help="client label shown in the daemon's job list")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print the job id and return immediately "
+                             "instead of streaming events")
+    submit.add_argument("--timeout", type=_positive_float, default=300.0,
+                        help="per-request socket timeout in seconds "
+                             "(default %(default)s)")
+    submit.add_argument("--json", default=None, metavar="FILE",
+                        help="write the final job record as JSON")
+    submit.add_argument("--backend", default=None,
+                        choices=list(available_backends()),
+                        help="solver backend override")
+    submit.add_argument("--time-limit", type=_positive_float, default=None,
+                        help="per-ILP wall-clock limit in seconds (> 0)")
+    submit.set_defaults(func=_cmd_scenario_submit)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the toolkit as a long-running HTTP service with an "
+             "async job queue, admission control, and cross-request "
+             "dedup (repro.serve; see docs/SERVICE.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="listen address (default %(default)s)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port; 0 picks a free one, printed on "
+                            "the 'listening on' line (default %(default)s)")
+    serve.add_argument("--workers", type=_positive_int, default=2,
+                       help="queue worker threads = concurrent executions "
+                            "(default %(default)s)")
+    serve.add_argument("-j", "--jobs", type=_positive_int, default=1,
+                       help="trial worker processes in the resident pool; "
+                            "1 runs trials in the worker thread "
+                            "(default %(default)s)")
+    serve.add_argument("--store", default=None, metavar="FILE",
+                       help="persistent result store (SQLite for "
+                            ".sqlite/.db suffixes, JSONL otherwise); "
+                            "shared with `scenario explore --store`, and "
+                            "the daemon resumes from it after a restart")
+    serve.add_argument("--cache-dir", default=None,
+                       help="persistent schedule cache directory shared "
+                            "by all requests")
+    serve.add_argument("--cache-entries", type=_positive_int, default=None,
+                       help="schedule-cache LRU bound: max entries")
+    serve.add_argument("--cache-bytes", type=_positive_int, default=None,
+                       help="schedule-cache LRU bound: max total bytes")
+    serve.add_argument("--max-queued", type=_positive_int, default=64,
+                       help="admission: executions allowed to wait before "
+                            "submissions get HTTP 429 (default %(default)s)")
+    serve.add_argument("--max-inflight", type=_positive_int, default=None,
+                       help="executions running at once (default: "
+                            "--workers)")
+    serve.add_argument("--max-trials", type=_positive_int, default=100_000,
+                       help="admission: per-job trial budget; bigger "
+                            "requests get HTTP 429 (default %(default)s)")
+    serve.add_argument("--trial-batch", type=_positive_int, default=16,
+                       help="trials per execution batch — the progress "
+                            "and cancellation granularity "
+                            "(default %(default)s)")
+    serve.add_argument("--engine",
+                       choices=["fast", "vectorized", "reference"],
+                       default="fast",
+                       help="default trial engine for submissions that "
+                            "name none (default %(default)s)")
+    serve.add_argument("--drain-timeout", type=_positive_float, default=60.0,
+                       help="seconds a graceful shutdown waits for "
+                            "admitted jobs (default %(default)s)")
+    serve.set_defaults(func=_cmd_serve)
+
     synth = sub.add_parser(
         "synth", help="[deprecated: use `scenario run`] synthesize schedules"
     )
@@ -885,6 +1077,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        # Ctrl-C: pools have already been shut down on the way up
+        # (TrialPool.map terminates its workers, which ignore SIGINT),
+        # so no worker tracebacks land on the terminal — just report
+        # and exit with the interactive-interrupt convention.
+        print("interrupted", file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # `repro ... | head` closed the pipe; exit quietly (the
+        # conventional 128 + SIGPIPE code) without a traceback.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 141
     except (
         ScenarioError,
         SerializationError,

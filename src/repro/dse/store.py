@@ -33,6 +33,7 @@ from __future__ import annotations
 import hashlib
 import json
 import sqlite3
+import threading
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Sequence
 
@@ -81,7 +82,14 @@ def candidate_key(
 
 
 class ResultStore:
-    """Interface of a persistent key -> record evaluation store."""
+    """Interface of a persistent key -> record evaluation store.
+
+    Stores are **thread-safe**: every backend serializes its writes
+    through one lock, so many worker threads (the ``repro.serve``
+    daemon's job queue, concurrent explorations sharing one store) can
+    append to the same store without torn lines or ``database is
+    locked`` failures.
+    """
 
     #: Backend label for tables and logs.
     backend = "memory"
@@ -89,6 +97,7 @@ class ResultStore:
     def __init__(self, path: Optional[Path] = None) -> None:
         self.path = path
         self._records: Dict[str, dict] = {}
+        self._lock = threading.Lock()
 
     def get(self, key: str) -> Optional[dict]:
         """The stored record, or ``None`` for unseen keys."""
@@ -96,7 +105,8 @@ class ResultStore:
 
     def put(self, key: str, record: dict) -> None:
         """Persist one record durably (visible to a process crash)."""
-        self._records[key] = dict(record)
+        with self._lock:
+            self._records[key] = dict(record)
 
     def keys(self) -> Iterator[str]:
         return iter(self._records)
@@ -162,26 +172,58 @@ class JsonlStore(ResultStore):
             self._records[key] = record
 
     def put(self, key: str, record: dict) -> None:
-        super().put(key, record)
         line = json.dumps({"key": key, **record}, sort_keys=True)
-        self._file.write(line + "\n")
-        self._file.flush()
+        with self._lock:
+            self._records[key] = dict(record)
+            self._file.write(line + "\n")
+            self._file.flush()
 
     def close(self) -> None:
-        if not self._file.closed:
-            self._file.close()
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
 
 
 class SqliteStore(ResultStore):
-    """SQLite backend: one ``results(key PRIMARY KEY, record)`` table."""
+    """SQLite backend: one ``results(key PRIMARY KEY, record)`` table.
+
+    Built for *shared* use — the serve daemon and parallel exploration
+    shards append to one store file concurrently:
+
+    * the database runs in **WAL mode** (readers never block the
+      writer, and vice versa; WAL needs no exclusive lock per commit),
+      falling back silently to the default journal on filesystems that
+      cannot memory-map the WAL index;
+    * a ``busy_timeout`` makes *cross-process* writers queue behind
+      each other instead of failing with ``database is locked``;
+    * an instance may be used from any thread (``check_same_thread``
+      off, all statement execution behind the store lock).
+    """
 
     backend = "sqlite"
+
+    #: How long a writer waits for a competing process's lock (ms).
+    BUSY_TIMEOUT_MS = 30_000
 
     def __init__(self, path: "str | Path") -> None:
         super().__init__(Path(path))
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._connection = sqlite3.connect(str(self.path))
+        self._connection = sqlite3.connect(
+            str(self.path),
+            timeout=self.BUSY_TIMEOUT_MS / 1000.0,
+            check_same_thread=False,
+        )
         try:
+            self._connection.execute(
+                f"PRAGMA busy_timeout = {self.BUSY_TIMEOUT_MS}"
+            )
+            # WAL is persistent (a property of the database file); it
+            # may be refused on e.g. network filesystems, in which case
+            # the journal stays at its default and only cross-process
+            # concurrency degrades.
+            self.journal_mode = self._connection.execute(
+                "PRAGMA journal_mode = WAL"
+            ).fetchone()[0]
             self._connection.execute(
                 "CREATE TABLE IF NOT EXISTS results ("
                 "  key TEXT PRIMARY KEY,"
@@ -204,16 +246,42 @@ class SqliteStore(ResultStore):
                 ) from None
 
     def put(self, key: str, record: dict) -> None:
-        super().put(key, record)
-        self._connection.execute(
-            "INSERT INTO results (key, record) VALUES (?, ?) "
-            "ON CONFLICT(key) DO UPDATE SET record = excluded.record",
-            (key, json.dumps(record, sort_keys=True)),
-        )
-        self._connection.commit()
+        with self._lock:
+            self._records[key] = dict(record)
+            self._connection.execute(
+                "INSERT INTO results (key, record) VALUES (?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET record = excluded.record",
+                (key, json.dumps(record, sort_keys=True)),
+            )
+            self._connection.commit()
+
+    def refresh(self) -> int:
+        """Re-read records another process appended since open.
+
+        Returns how many keys were added or changed.  The serve daemon
+        calls this on restart-resume sanity checks; explorations that
+        share a store across shards call it at merge points.
+        """
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT key, record FROM results"
+            ).fetchall()
+            changed = 0
+            for key, text in rows:
+                try:
+                    record = json.loads(text)
+                except json.JSONDecodeError:
+                    raise StoreError(
+                        f"{self.path}: corrupt record under key {key!r}"
+                    ) from None
+                if self._records.get(key) != record:
+                    self._records[key] = record
+                    changed += 1
+            return changed
 
     def close(self) -> None:
-        self._connection.close()
+        with self._lock:
+            self._connection.close()
 
 
 #: File suffixes routed to the SQLite backend.

@@ -17,6 +17,7 @@ version-incompatible files are treated as misses and removed.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
@@ -39,9 +40,13 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
 
     def __str__(self) -> str:
-        return f"{self.hits} hit(s), {self.misses} miss(es), {self.stores} store(s)"
+        text = f"{self.hits} hit(s), {self.misses} miss(es), {self.stores} store(s)"
+        if self.evictions:
+            text += f", {self.evictions} eviction(s)"
+        return text
 
 
 class ScheduleCache:
@@ -55,10 +60,35 @@ class ScheduleCache:
     so a cached schedule verifies exactly like a freshly synthesized one.
     Per-run solver statistics (``solve_stats``) are not part of the
     schedule image and are absent on cached copies.
+
+    Size policy: a long-lived cache (the ``repro serve`` daemon keeps
+    one resident across every request) must not grow without bound, so
+    ``max_entries`` / ``max_bytes`` cap it with LRU eviction — every
+    hit refreshes an entry's file mtime, and :meth:`put` evicts the
+    stalest entries until both limits hold again (the entry just
+    written is never evicted).  Eviction is safe by construction:
+    entries are pure content-addressed functions of their problem, so
+    an evicted-then-recomputed schedule is bit-identical to the one
+    that was dropped.
     """
 
-    def __init__(self, cache_dir: str | Path) -> None:
+    def __init__(
+        self,
+        cache_dir: str | Path,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1 (or None), got {max_entries!r}"
+            )
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(
+                f"max_bytes must be >= 1 (or None), got {max_bytes!r}"
+            )
         self.cache_dir = Path(cache_dir)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.stats = CacheStats()
 
     def key(self, mode: Mode, config: SchedulingConfig) -> str:
@@ -85,6 +115,10 @@ class ScheduleCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:
+            pass  # entry raced an eviction/clear; the hit still stands
         return schedule
 
     def put(
@@ -105,7 +139,65 @@ class ScheduleCache:
         tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
         tmp.replace(path)
         self.stats.stores += 1
+        if self.max_entries is not None or self.max_bytes is not None:
+            self._evict(keep=path.name)
         return key
+
+    def _evict(self, keep: str) -> None:
+        """Drop least-recently-used entries until the limits hold."""
+        entries = []
+        for entry in self.cache_dir.glob("*.json"):
+            try:
+                stat = entry.stat()
+            except OSError:
+                continue  # concurrently removed
+            entries.append((stat.st_mtime_ns, entry.name, entry, stat.st_size))
+        entries.sort()  # oldest mtime first; name breaks ties deterministically
+        count = len(entries)
+        total = sum(size for _, _, _, size in entries)
+        for _, name, entry, size in entries:
+            over_entries = (
+                self.max_entries is not None and count > self.max_entries
+            )
+            over_bytes = self.max_bytes is not None and total > self.max_bytes
+            if not (over_entries or over_bytes):
+                break
+            if name == keep:
+                continue  # never evict the entry this put just wrote
+            try:
+                entry.unlink()
+            except OSError:
+                continue
+            count -= 1
+            total -= size
+            self.stats.evictions += 1
+
+    def usage(self) -> dict:
+        """Current size and traffic counters, as one JSON-ready dict.
+
+        The ``cache stats`` accessor for dashboards and the serve
+        daemon's ``/stats`` endpoint: entry/byte usage against the
+        configured limits plus the hit/miss/store/eviction counters.
+        """
+        entries = 0
+        total = 0
+        if self.cache_dir.is_dir():
+            for entry in self.cache_dir.glob("*.json"):
+                try:
+                    total += entry.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        return {
+            "entries": entries,
+            "bytes": total,
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "stores": self.stats.stores,
+            "evictions": self.stats.evictions,
+        }
 
     def clear(self) -> int:
         """Delete all entries; returns how many were removed."""

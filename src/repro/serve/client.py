@@ -1,0 +1,176 @@
+"""A small stdlib client for the service API.
+
+Wraps :mod:`urllib.request` — the same no-dependency constraint as the
+server — and is what ``repro scenario submit`` and the tests speak.
+Every method raises :class:`ServiceError` with the server's JSON error
+body on a 4xx/5xx, or :class:`ServiceUnavailable` when the daemon
+cannot be reached at all (connection refused / reset), so callers can
+distinguish "bad request" from "no service running".
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator, List, Optional, Sequence
+
+from ..api.scenario import Scenario
+
+
+class ServiceError(RuntimeError):
+    """A 4xx/5xx answer from the service; carries the JSON error body."""
+
+    def __init__(self, status: int, error: str, reason: str) -> None:
+        super().__init__(f"HTTP {status} [{error}]: {reason}")
+        self.status = status
+        self.error = error
+        self.reason = reason
+
+
+class ServiceUnavailable(ConnectionError):
+    """The daemon did not answer at all (refused / reset / timeout)."""
+
+
+class ServiceClient:
+    """Talk to one ``repro serve`` daemon.
+
+    Args:
+        base_url: ``http://host:port`` of the daemon.
+        timeout: Socket timeout per request, seconds.  The event stream
+            uses it per *read*, not for the whole stream.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                return json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+            except Exception:
+                body = {}
+            raise ServiceError(
+                exc.code,
+                body.get("error", "http_error"),
+                body.get("reason", str(exc)),
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceUnavailable(
+                f"service at {self.base_url} unreachable: {exc.reason}"
+            ) from None
+        except (ConnectionError, socket.timeout) as exc:
+            raise ServiceUnavailable(
+                f"service at {self.base_url} unreachable: {exc}"
+            ) from None
+
+    # -- API -------------------------------------------------------------
+    def submit(
+        self,
+        scenario: Scenario,
+        trials: Optional[int] = None,
+        seeds: Optional[Sequence[int]] = None,
+        engine: Optional[str] = None,
+        client: Optional[str] = None,
+    ) -> dict:
+        payload: dict = {"scenario": scenario.to_dict()}
+        if trials is not None:
+            payload["trials"] = trials
+        if seeds is not None:
+            payload["seeds"] = list(seeds)
+        if engine is not None:
+            payload["engine"] = engine
+        if client is not None:
+            payload["client"] = client
+        return self._request("POST", "/jobs", payload)
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(
+        self, state: Optional[str] = None, client: Optional[str] = None
+    ) -> List[dict]:
+        query = []
+        if state is not None:
+            query.append(f"state={state}")
+        if client is not None:
+            query.append(f"client={client}")
+        suffix = f"?{'&'.join(query)}" if query else ""
+        return self._request("GET", f"/jobs{suffix}")["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown")
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        """Stream a job's NDJSON events until its terminal event.
+
+        Yields each event dict as the daemon emits it; the iterator
+        ends when the job reaches a terminal state.
+        """
+        url = f"{self.base_url}/jobs/{job_id}/events"
+        request = urllib.request.Request(
+            url, headers={"Accept": "application/x-ndjson"}
+        )
+        try:
+            reply = urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+            except Exception:
+                body = {}
+            raise ServiceError(
+                exc.code,
+                body.get("error", "http_error"),
+                body.get("reason", str(exc)),
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceUnavailable(
+                f"service at {self.base_url} unreachable: {exc.reason}"
+            ) from None
+        with reply:
+            for raw in reply:
+                line = raw.decode("utf-8").strip()
+                if line:
+                    yield json.loads(line)
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll: float = 0.1
+    ) -> dict:
+        """Poll until the job is terminal; returns the final record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']!r} after {timeout}s"
+                )
+            time.sleep(poll)

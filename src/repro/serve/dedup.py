@@ -1,0 +1,138 @@
+"""Cross-request dedup: one execution per distinct problem, ever.
+
+Identity is **content-addressed**: a submission's key is the same
+SHA-256 the design-space explorer uses
+(:func:`repro.dse.store.candidate_key` over the canonical scenario
+image + resolved trial seeds), so
+
+* two clients POSTing the same Scenario JSON — byte-different files,
+  identical content — get the same key;
+* a result computed by ``scenario explore`` against the same store is
+  served to a service client without executing anything, and vice
+  versa (the record schemas are shared, see :data:`repro.dse.store
+  .STORE_SCHEMA`);
+* keys survive restarts, which is the whole restart-resume story: the
+  daemon comes back up, clients re-submit, the store answers.
+
+Two dedup layers, checked in order at admission:
+
+1. **Completed work** — the shared :class:`~repro.dse.store.ResultStore`
+   already has the key: the job goes ``queued -> done`` immediately.
+2. **In-flight work** — an :class:`Execution` with the key is queued or
+   running: the new job *attaches* to it and mirrors its transitions;
+   the campaign still runs exactly once.
+
+Cancellation interacts with attachment the only safe way: each job
+cancels individually, and the underlying execution is only told to
+stop when **no** attached job still wants the answer.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from ..api.scenario import Scenario
+from ..dse.store import candidate_key
+
+
+def job_key(scenario: Scenario, seeds: Sequence[Optional[int]]) -> str:
+    """The content identity of one service submission.
+
+    Equal to :func:`repro.dse.store.candidate_key` with an empty axis
+    assignment — service jobs and base-scenario exploration candidates
+    share identity, so their stores interoperate.
+    """
+    return candidate_key(scenario, {}, seeds)
+
+
+class Execution:
+    """One underlying run, shared by every job attached to it."""
+
+    def __init__(
+        self,
+        key: str,
+        scenario: Scenario,
+        seeds: List[Optional[int]],
+        engine: str,
+        job_id: str,
+    ) -> None:
+        self.key = key
+        self.scenario = scenario
+        self.seeds = seeds
+        self.engine = engine
+        self.job_ids: List[str] = [job_id]
+        self._active = {job_id}
+        self.cancel = threading.Event()
+        self.lock = threading.Lock()
+
+    def attach(self, job_id: str) -> None:
+        with self.lock:
+            self.job_ids.append(job_id)
+            self._active.add(job_id)
+
+    def detach(self, job_id: str) -> bool:
+        """Drop one job's interest; returns True when none remains.
+
+        The last detach sets :attr:`cancel`, which the executing worker
+        polls between trial batches — an execution nobody is waiting
+        for stops within one batch.
+        """
+        with self.lock:
+            self._active.discard(job_id)
+            if not self._active:
+                self.cancel.set()
+                return True
+            return False
+
+    def active_jobs(self) -> List[str]:
+        with self.lock:
+            return [jid for jid in self.job_ids if jid in self._active]
+
+
+class DedupIndex:
+    """The in-flight ``key -> Execution`` map, plus traffic counters."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, Execution] = {}
+        self._lock = threading.Lock()
+        # Counters are part of the service's /stats contract.
+        self.store_hits = 0
+        self.attached = 0
+        self.executions = 0
+
+    def lookup(self, key: str) -> Optional[Execution]:
+        with self._lock:
+            return self._inflight.get(key)
+
+    def register(self, execution: Execution) -> None:
+        with self._lock:
+            self._inflight[execution.key] = execution
+            self.executions += 1
+
+    def release(self, execution: Execution) -> None:
+        """Remove a finished/cancelled execution from the in-flight map."""
+        with self._lock:
+            if self._inflight.get(execution.key) is execution:
+                del self._inflight[execution.key]
+
+    def count_store_hit(self) -> None:
+        with self._lock:
+            self.store_hits += 1
+
+    def count_attach(self) -> None:
+        with self._lock:
+            self.attached += 1
+
+    def inflight_count(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "in_flight": len(self._inflight),
+                "executions": self.executions,
+                "attached": self.attached,
+                "store_hits": self.store_hits,
+            }

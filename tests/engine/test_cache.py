@@ -176,3 +176,119 @@ class TestEngineCaching:
         hit_engine = SynthesisEngine(config_a, cache=cache)
         hit_engine.synthesize(mode)
         assert hit_engine.stats.cache_hits == 1
+
+
+class TestSizePolicy:
+    """Satellite of the serve PR: LRU bounds for a resident daemon."""
+
+    def modes(self, count):
+        return [
+            Mode(f"lru-{i}", [closed_loop_pipeline(
+                f"app{i}", period=20 + 10 * i, deadline=20 + 10 * i,
+                num_hops=1,
+            )])
+            for i in range(count)
+        ]
+
+    def fill(self, cache, config, count):
+        from repro.core import synthesize
+
+        schedules = []
+        for mode in self.modes(count):
+            schedule = synthesize(mode, config)
+            cache.put(mode, config, schedule)
+            schedules.append(schedule)
+        return schedules
+
+    def test_invalid_bounds_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ScheduleCache(tmp_path / "c", max_entries=0)
+        with pytest.raises(ValueError):
+            ScheduleCache(tmp_path / "c", max_bytes=0)
+
+    def test_unbounded_by_default(self, tmp_path, config):
+        cache = ScheduleCache(tmp_path / "c")
+        self.fill(cache, config, 5)
+        assert cache.usage()["entries"] == 5
+        assert cache.stats.evictions == 0
+
+    def test_max_entries_evicts_oldest(self, tmp_path, config):
+        import os
+        import time
+
+        cache = ScheduleCache(tmp_path / "c", max_entries=2)
+        modes = self.modes(3)
+        from repro.core import synthesize
+
+        for i, mode in enumerate(modes):
+            cache.put(mode, config, synthesize(mode, config))
+            # mtime resolution can be coarse; force distinct stamps.
+            path = cache.cache_dir / f"{cache.key(mode, config)}.json"
+            stamp = time.time() - (len(modes) - i)
+            os.utime(path, (stamp, stamp))
+            cache._evict(keep=path.name)
+        usage = cache.usage()
+        assert usage["entries"] == 2
+        assert cache.stats.evictions >= 1
+        # The oldest entry (mode 0) is the one gone.
+        assert cache.get(modes[0], config) is None
+        assert cache.get(modes[2], config) is not None
+
+    def test_hit_refreshes_recency(self, tmp_path, config):
+        import os
+
+        cache = ScheduleCache(tmp_path / "c", max_entries=2)
+        modes = self.modes(3)
+        from repro.core import synthesize
+
+        schedules = [synthesize(mode, config) for mode in modes]
+        cache.put(modes[0], config, schedules[0])
+        cache.put(modes[1], config, schedules[1])
+        # Backdate both, then HIT mode 0 — it becomes most recent.
+        for mode, age in ((modes[0], 100), (modes[1], 50)):
+            path = cache.cache_dir / f"{cache.key(mode, config)}.json"
+            stat = path.stat()
+            os.utime(path, (stat.st_atime - age, stat.st_mtime - age))
+        assert cache.get(modes[0], config) is not None
+        cache.put(modes[2], config, schedules[2])
+        # mode 1 (now the stalest) was evicted, mode 0 survived.
+        assert cache.get(modes[1], config) is None
+        assert cache.get(modes[0], config) is not None
+
+    def test_max_bytes_bound(self, tmp_path, config):
+        cache = ScheduleCache(tmp_path / "c", max_bytes=1)
+        self.fill(cache, config, 2)
+        usage = cache.usage()
+        # Even a 1-byte bound never evicts the entry just written.
+        assert usage["entries"] == 1
+        assert cache.stats.evictions == 1
+
+    def test_evicted_entry_recomputes_bit_identical(self, tmp_path, config):
+        from repro.core import synthesize
+
+        cache = ScheduleCache(tmp_path / "c", max_entries=1)
+        modes = self.modes(2)
+        first = synthesize(modes[0], config)
+        cache.put(modes[0], config, first)
+        cache.put(modes[1], config, synthesize(modes[1], config))
+        assert cache.get(modes[0], config) is None  # evicted
+        recomputed = synthesize(modes[0], config)
+        cache.put(modes[0], config, recomputed)
+        restored = cache.get(modes[0], config)
+        assert restored is not None
+        from repro.io import schedule_to_dict
+
+        assert schedule_to_dict(restored) == schedule_to_dict(first)
+
+    def test_usage_accessor(self, tmp_path, config):
+        cache = ScheduleCache(tmp_path / "c", max_entries=4, max_bytes=10**6)
+        self.fill(cache, config, 2)
+        cache.get(self.modes(1)[0], config)
+        usage = cache.usage()
+        assert usage["entries"] == 2
+        assert usage["bytes"] > 0
+        assert usage["max_entries"] == 4
+        assert usage["max_bytes"] == 10**6
+        assert usage["stores"] == 2
+        assert usage["hits"] == 1
+        assert usage["evictions"] == 0

@@ -1,0 +1,187 @@
+"""ResidentPool: the daemon-lifetime trial executor, and SIGINT policy.
+
+The batch-mode :class:`~repro.engine.trials.TrialPool` is exercised
+end-to-end by the campaign tests (tests/mc); this module covers what
+the serve PR added — the resident executor with per-chunk context
+shipping and bounded worker-side context caching, plus the
+interrupt-handling helpers.
+"""
+
+import signal
+import threading
+from collections import OrderedDict
+
+import pytest
+
+from repro.engine.trials import (
+    ResidentPool,
+    TrialPool,
+    _ignore_sigint,
+    _resident_context,
+    default_chunk_size,
+)
+
+
+# Module-level (picklable by reference) context builder and task runner.
+BUILD_CALLS = []
+
+
+def build_ctx(data: dict) -> dict:
+    BUILD_CALLS.append(data["key"])
+    return {"base": data["base"]}
+
+
+def run_task(ctx: dict, task: dict) -> dict:
+    return {"value": ctx["base"] + task["x"]}
+
+
+@pytest.fixture(autouse=True)
+def _reset_build_calls():
+    BUILD_CALLS.clear()
+    yield
+
+
+class TestResidentPoolInProcess:
+    def test_runs_tasks_in_order(self):
+        with ResidentPool(build_ctx, run_task, jobs=1) as pool:
+            results = pool.run(
+                "k1", {"key": "k1", "base": 10},
+                [{"x": i} for i in range(5)],
+            )
+        assert [r["value"] for r in results] == [10, 11, 12, 13, 14]
+
+    def test_context_built_once_per_key(self):
+        with ResidentPool(build_ctx, run_task, jobs=1) as pool:
+            pool.run("k1", {"key": "k1", "base": 0}, [{"x": 1}])
+            pool.run("k1", {"key": "k1", "base": 0}, [{"x": 2}])
+            pool.run("k2", {"key": "k2", "base": 0}, [{"x": 3}])
+        assert BUILD_CALLS == ["k1", "k2"]
+
+    def test_context_cache_is_bounded_lru(self):
+        with ResidentPool(build_ctx, run_task, jobs=1, max_contexts=2) as pool:
+            for key in ("a", "b", "c"):  # 'a' falls out
+                pool.run(key, {"key": key, "base": 0}, [{"x": 0}])
+            pool.run("b", {"key": "b", "base": 0}, [{"x": 0}])  # still hot
+            pool.run("a", {"key": "a", "base": 0}, [{"x": 0}])  # rebuilt
+        assert BUILD_CALLS == ["a", "b", "c", "a"]
+
+    def test_empty_tasks(self):
+        with ResidentPool(build_ctx, run_task, jobs=1) as pool:
+            assert pool.run("k", {"key": "k", "base": 0}, []) == []
+
+    def test_closed_pool_refuses_work(self):
+        pool = ResidentPool(build_ctx, run_task, jobs=1)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.run("k", {"key": "k", "base": 0}, [{"x": 1}])
+
+    def test_close_is_idempotent(self):
+        pool = ResidentPool(build_ctx, run_task, jobs=1)
+        pool.close()
+        pool.close()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResidentPool(build_ctx, run_task, jobs=0)
+        with pytest.raises(ValueError):
+            ResidentPool(build_ctx, run_task, max_contexts=0)
+
+    def test_thread_safe_concurrent_runs(self):
+        errors = []
+        with ResidentPool(build_ctx, run_task, jobs=1) as pool:
+            def worker(base):
+                try:
+                    results = pool.run(
+                        f"k{base}", {"key": f"k{base}", "base": base},
+                        [{"x": i} for i in range(20)],
+                    )
+                    assert [r["value"] for r in results] == [
+                        base + i for i in range(20)
+                    ]
+                except Exception as exc:
+                    errors.append(repr(exc))
+
+            threads = [
+                threading.Thread(target=worker, args=(b,)) for b in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+        assert not errors, errors
+
+
+class TestResidentPoolMultiprocess:
+    def test_pooled_results_match_in_process(self):
+        tasks = [{"x": i} for i in range(17)]
+        with ResidentPool(build_ctx, run_task, jobs=1) as solo:
+            expected = solo.run("k", {"key": "k", "base": 5}, tasks)
+        with ResidentPool(build_ctx, run_task, jobs=2) as pool:
+            pooled = pool.run("k", {"key": "k", "base": 5}, tasks)
+        assert pooled == expected
+
+    def test_executor_survives_across_runs(self):
+        with ResidentPool(build_ctx, run_task, jobs=2) as pool:
+            pool.run("k", {"key": "k", "base": 0}, [{"x": 1}])
+            executor = pool._executor
+            assert executor is not None
+            pool.run("k", {"key": "k", "base": 0}, [{"x": 2}])
+            assert pool._executor is executor  # same processes, reused
+
+
+class TestResidentContextLRU:
+    def test_eviction_order(self):
+        cache: OrderedDict = OrderedDict()
+        for key in ("a", "b", "c"):
+            _resident_context(
+                cache, lambda data: data["key"], key, {"key": key}, 2
+            )
+        assert list(cache) == ["b", "c"]
+
+    def test_hit_moves_to_end(self):
+        cache: OrderedDict = OrderedDict()
+        for key in ("a", "b"):
+            _resident_context(
+                cache, lambda data: data["key"], key, {"key": key}, 2
+            )
+        _resident_context(cache, lambda data: data["key"], "a", {"key": "a"}, 2)
+        _resident_context(cache, lambda data: data["key"], "c", {"key": "c"}, 2)
+        assert list(cache) == ["a", "c"]
+
+
+class TestSigintPolicy:
+    def test_ignore_sigint_sets_sig_ign(self):
+        previous = signal.getsignal(signal.SIGINT)
+        try:
+            _ignore_sigint()
+            assert signal.getsignal(signal.SIGINT) is signal.SIG_IGN
+        finally:
+            signal.signal(signal.SIGINT, previous)
+
+    def test_ignore_sigint_tolerates_non_main_thread(self):
+        failures = []
+
+        def in_thread():
+            try:
+                _ignore_sigint()  # signal.signal raises ValueError here
+            except Exception as exc:
+                failures.append(repr(exc))
+
+        thread = threading.Thread(target=in_thread)
+        thread.start()
+        thread.join(timeout=10)
+        assert not failures, failures
+
+
+class TestChunkSizing:
+    def test_resident_run_honors_chunk_size(self):
+        with ResidentPool(build_ctx, run_task, jobs=2) as pool:
+            results = pool.run(
+                "k", {"key": "k", "base": 0},
+                [{"x": i} for i in range(10)], chunk_size=3,
+            )
+        assert [r["value"] for r in results] == list(range(10))
+
+    def test_default_chunk_size_still_covers_all_tasks(self):
+        size = default_chunk_size(10, 2)
+        assert 1 <= size <= 10

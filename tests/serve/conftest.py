@@ -1,0 +1,60 @@
+"""Shared fixtures of the service tests.
+
+Sized for speed, like the dse fixtures: a one-mode 2-hop pipeline on
+the greedy backend with short trials — a full submit -> synthesize ->
+simulate -> done round trip takes tens of milliseconds, so even the
+eight-client acceptance test stays comfortably fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import LossSpec, RadioSpec, Scenario, SimulationSpec
+from repro.core import Mode, SchedulingConfig
+from repro.serve import ServiceApp, ServiceConfig
+from repro.workloads import closed_loop_pipeline
+
+
+def make_scenario(name: str = "svc", period: float = 2000.0) -> Scenario:
+    """A small, fully-featured scenario (radio + loss + simulation)."""
+    return Scenario(
+        name=name,
+        modes=[Mode("normal", [closed_loop_pipeline(
+            "loop", period=period, deadline=period, num_hops=2, wcet=1.0)])],
+        config=SchedulingConfig(round_length=50.0, slots_per_round=5,
+                                max_round_gap=None, backend="greedy"),
+        radio=RadioSpec(payload_bytes=10, diameter=4),
+        loss=LossSpec("bernoulli", {"beacon_loss": 0.05, "data_loss": 0.05,
+                                    "seed": 1}),
+        simulation=SimulationSpec(duration=4000.0, trials=2, seed=7),
+    )
+
+
+@pytest.fixture
+def scenario() -> Scenario:
+    return make_scenario()
+
+
+@pytest.fixture
+def synth_only_scenario() -> Scenario:
+    """A scenario without a simulation phase (synthesis-only jobs)."""
+    base = make_scenario("synth-only")
+    import dataclasses
+
+    return dataclasses.replace(base, simulation=None, loss=None)
+
+
+@pytest.fixture
+def app(tmp_path):
+    """A started in-process service on a free port, torn down after."""
+    service = ServiceApp(ServiceConfig(
+        port=0,
+        workers=2,
+        store=str(tmp_path / "serve.sqlite"),
+        trial_batch=2,
+        engine="fast",
+    ))
+    service.start()
+    yield service
+    service.shutdown()

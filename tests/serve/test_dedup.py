@@ -1,0 +1,91 @@
+"""Content-addressed identity and in-flight execution sharing."""
+
+import dataclasses
+
+from repro.dse.store import candidate_key
+from repro.serve.dedup import DedupIndex, Execution, job_key
+
+from .conftest import make_scenario
+
+
+class TestJobKey:
+    def test_equals_dse_candidate_key(self):
+        """Service jobs and dse base candidates share identity — that is
+        what makes their stores interoperable."""
+        scenario = make_scenario()
+        assert job_key(scenario, [1, 2]) == candidate_key(scenario, {}, [1, 2])
+
+    def test_content_addressed_not_object_addressed(self):
+        a = make_scenario()
+        b = make_scenario()
+        assert a is not b
+        assert job_key(a, [1]) == job_key(b, [1])
+
+    def test_sensitive_to_seeds(self):
+        scenario = make_scenario()
+        assert job_key(scenario, [1]) != job_key(scenario, [2])
+
+    def test_sensitive_to_scenario_content(self):
+        a = make_scenario()
+        b = dataclasses.replace(a, name="other")
+        assert job_key(a, [1]) != job_key(b, [1])
+
+
+class TestExecution:
+    def make(self):
+        scenario = make_scenario()
+        return Execution("key", scenario, [1, 2], "fast", "job-a")
+
+    def test_initial_job_attached(self):
+        execution = self.make()
+        assert execution.active_jobs() == ["job-a"]
+
+    def test_attach_detach(self):
+        execution = self.make()
+        execution.attach("job-b")
+        assert execution.active_jobs() == ["job-a", "job-b"]
+        assert execution.detach("job-a") is False
+        assert not execution.cancel.is_set()
+        assert execution.active_jobs() == ["job-b"]
+
+    def test_last_detach_cancels(self):
+        execution = self.make()
+        execution.attach("job-b")
+        execution.detach("job-a")
+        assert execution.detach("job-b") is True
+        assert execution.cancel.is_set()
+        assert execution.active_jobs() == []
+
+
+class TestDedupIndex:
+    def test_register_lookup_release(self):
+        index = DedupIndex()
+        execution = Execution("key", make_scenario(), [1], "fast", "job-a")
+        assert index.lookup("key") is None
+        index.register(execution)
+        assert index.lookup("key") is execution
+        assert index.inflight_count() == 1
+        index.release(execution)
+        assert index.lookup("key") is None
+
+    def test_release_is_idempotent_and_identity_checked(self):
+        index = DedupIndex()
+        first = Execution("key", make_scenario(), [1], "fast", "job-a")
+        index.register(first)
+        replacement = Execution("key", make_scenario(), [1], "fast", "job-b")
+        index.register(replacement)
+        index.release(first)  # stale release must not evict the newer one
+        assert index.lookup("key") is replacement
+
+    def test_stats_counters(self):
+        index = DedupIndex()
+        index.register(Execution("key", make_scenario(), [1], "fast", "j"))
+        index.count_attach()
+        index.count_store_hit()
+        index.count_store_hit()
+        assert index.stats() == {
+            "in_flight": 1,
+            "executions": 1,
+            "attached": 1,
+            "store_hits": 2,
+        }

@@ -1,0 +1,199 @@
+"""End-to-end service acceptance tests (the ISSUE's criteria).
+
+1. Eight concurrent identical clients share ONE execution: exactly one
+   campaign runs, every client gets byte-identical results, and every
+   job's NDJSON event stream is in state-machine order.
+2. A daemon under SIGTERM drains gracefully (exit 0) and a restarted
+   daemon over the same store serves re-submissions without executing
+   any new campaign.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import ServiceApp, ServiceConfig
+from repro.serve.client import ServiceClient
+from repro.serve.jobs import STATE_ORDER
+
+from .conftest import make_scenario
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestEightClients:
+    def test_eight_concurrent_identical_submissions_one_campaign(
+        self, tmp_path
+    ):
+        app = ServiceApp(ServiceConfig(
+            port=0, workers=2, trial_batch=2,
+            store=str(tmp_path / "acc.sqlite"),
+        ))
+        app.start()
+        try:
+            scenario = make_scenario("acceptance")
+            barrier = threading.Barrier(8)
+            finals = [None] * 8
+            streams = [None] * 8
+            errors = []
+
+            def one_client(index):
+                try:
+                    client = ServiceClient(app.url, timeout=60.0)
+                    barrier.wait(timeout=30)
+                    job = client.submit(
+                        scenario, trials=6, client=f"client-{index}"
+                    )
+                    streams[index] = list(client.events(job["id"]))
+                    finals[index] = client.job(job["id"])
+                except Exception as exc:  # surface in the main thread
+                    errors.append((index, repr(exc)))
+
+            threads = [
+                threading.Thread(target=one_client, args=(i,))
+                for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not errors, errors
+
+            # Every client finished with the SAME result.
+            assert all(final is not None for final in finals)
+            assert {final["state"] for final in finals} == {"done"}
+            results = [final["result"] for final in finals]
+            assert all(result == results[0] for result in results)
+            assert results[0]["stats"]["n_trials"] == 6
+
+            # Exactly one synthesis and one campaign ran for all eight.
+            stats = app.stats()
+            assert stats["admission"]["campaigns_executed"] == 1
+            assert stats["engine"]["modes_synthesized"] == 1
+            assert stats["admission"]["accepted"] == 8
+            shared = (
+                stats["dedup"]["attached"] + stats["dedup"]["store_hits"]
+            )
+            assert shared == 7  # everyone but the leader shared its work
+
+            # Every job's event stream is in state-machine order.
+            for events in streams:
+                assert events is not None and events
+                seqs = [event["seq"] for event in events]
+                assert seqs == list(range(len(events)))
+                orders = [STATE_ORDER[event["state"]] for event in events]
+                assert orders == sorted(orders)
+                assert events[-1]["state"] == "done"
+        finally:
+            app.shutdown()
+
+
+def start_daemon(store: Path, log_path: Path) -> "tuple[subprocess.Popen, str]":
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    # Count before launch: the log may hold lines from a previous daemon
+    # incarnation (the restart tests reuse it) — ours is the next one.
+    expected = log_path.read_text().count("listening on") + 1
+    log = open(log_path, "a")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--store", str(store), "--workers", "2", "--trial-batch", "2"],
+        env=env, stdout=log, stderr=log, cwd=str(REPO_ROOT),
+    )
+    try:
+        for _ in range(200):
+            matches = re.findall(
+                r"listening on (http://[\d.]+:\d+)", log_path.read_text()
+            )
+            if len(matches) >= expected:
+                return proc, matches[-1]
+            if proc.poll() is not None:
+                break
+            time.sleep(0.05)
+        raise AssertionError(
+            f"daemon did not come up:\n{log_path.read_text()}"
+        )
+    except BaseException:
+        proc.kill()
+        raise
+    finally:
+        log.close()
+
+
+class TestSigtermDrainAndRestart:
+    def test_drain_exit_0_then_restart_executes_nothing(self, tmp_path):
+        store = tmp_path / "restart.sqlite"
+        log_path = tmp_path / "daemon.log"
+        log_path.touch()
+        scenario = make_scenario("restartable")
+
+        proc, url = start_daemon(store, log_path)
+        try:
+            client = ServiceClient(url, timeout=60.0)
+            job = client.submit(scenario, trials=4)
+            done = client.wait(job["id"], timeout=120)
+            assert done["state"] == "done"
+            first_result = done["result"]
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        # Restart against the same store: the answer is already there.
+        proc, url = start_daemon(store, log_path)
+        try:
+            client = ServiceClient(url, timeout=60.0)
+            job = client.submit(scenario, trials=4)
+            assert job["state"] == "done"
+            assert job["cached"] is True
+            assert job["result"] == first_result
+            stats = client.stats()
+            assert stats["admission"]["campaigns_executed"] == 0
+            assert stats["engine"]["modes_synthesized"] == 0
+            assert stats["dedup"]["store_hits"] == 1
+            assert client.shutdown()["status"] == "draining"
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+    def test_sigterm_mid_job_finishes_admitted_work(self, tmp_path):
+        """Drain semantics: SIGTERM finishes what was admitted."""
+        store = tmp_path / "drain.sqlite"
+        log_path = tmp_path / "drain.log"
+        log_path.touch()
+        scenario = make_scenario("draining")
+
+        proc, url = start_daemon(store, log_path)
+        try:
+            client = ServiceClient(url, timeout=60.0)
+            job = client.submit(scenario, trials=4)
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        # The record made it to the store before exit.
+        from repro.dse.store import open_store
+        from repro.serve.dedup import job_key
+
+        reopened = open_store(store)
+        try:
+            record = reopened.get(job["key"])
+            assert record is not None
+            assert record["error"] is None
+            assert record["seeds"] and len(record["seeds"]) == 4
+            assert record["schema"] == "repro-dse/1"
+            assert job["key"] == job_key(scenario, record["seeds"])
+        finally:
+            reopened.close()

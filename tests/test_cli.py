@@ -540,3 +540,114 @@ class TestSweepCompatibility:
             assert main(["scenario", "sweep", str(scenario_file),
                          "--no-simulate"]) == 0
         capsys.readouterr()
+
+
+class TestInterrupt:
+    """Ctrl-C must exit 130 cleanly — no worker tracebacks (serve PR)."""
+
+    def scenario_path(self, tmp_path):
+        from tests.serve.conftest import make_scenario
+
+        scenario = make_scenario("interruptible")
+        path = tmp_path / "interruptible.scenario.json"
+        scenario.save(path)
+        return path
+
+    @pytest.mark.parametrize("jobs", ["1", "2"])
+    def test_mc_sigint_exits_130_without_tracebacks(self, tmp_path, jobs):
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        path = self.scenario_path(tmp_path)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parents[1] / "src"
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "scenario", "mc",
+             str(path), "--trials", "2000000", "--jobs", jobs],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, start_new_session=True,
+        )
+        try:
+            time.sleep(2.0)  # let it get into the trial loop
+            assert proc.poll() is None, "campaign finished too early"
+            os.kill(proc.pid, signal.SIGINT)
+            out, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 130, (out, err)
+        assert "interrupted" in err
+        assert "Traceback" not in err
+        assert "Traceback" not in out
+
+    def test_keyboard_interrupt_maps_to_130(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        def boom(args):
+            raise KeyboardInterrupt
+
+        parser = cli.build_parser()
+        monkeypatch.setattr(cli, "build_parser", lambda: parser)
+        args = parser.parse_args(["figures", "6"])
+        monkeypatch.setattr(args, "func", boom, raising=False)
+        monkeypatch.setattr(
+            parser, "parse_args", lambda argv=None: args
+        )
+        assert cli.main(["figures", "6"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+
+class TestServeCli:
+    def test_serve_rejects_bad_engine_via_argparse(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["serve", "--engine", "warp"])
+        assert err.value.code == 2
+
+    def test_submit_without_daemon_exits_2_with_hint(self, tmp_path, capsys):
+        from tests.serve.conftest import make_scenario
+
+        path = tmp_path / "s.scenario.json"
+        make_scenario().save(path)
+        rc = main([
+            "scenario", "submit", str(path),
+            "--url", "http://127.0.0.1:9", "--timeout", "2",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "unreachable" in captured.err
+        assert "repro serve" in captured.err
+
+    def test_submit_round_trip_against_embedded_daemon(
+        self, tmp_path, capsys
+    ):
+        from repro.serve import ServiceApp, ServiceConfig
+        from tests.serve.conftest import make_scenario
+
+        path = tmp_path / "s.scenario.json"
+        make_scenario().save(path)
+        with ServiceApp(ServiceConfig(port=0, trial_batch=2)) as app:
+            rc = main([
+                "scenario", "submit", str(path), "--url", app.url,
+                "--trials", "4", "--json", str(tmp_path / "job.json"),
+            ])
+            captured = capsys.readouterr()
+            assert rc == 0, captured.err
+            assert "done" in captured.out
+            final = json.loads((tmp_path / "job.json").read_text())
+            assert final["state"] == "done"
+            assert final["result"]["stats"]["n_trials"] == 4
+
+            # Resubmission is served from the daemon's store.
+            rc = main([
+                "scenario", "submit", str(path), "--url", app.url,
+                "--trials", "4",
+            ])
+            captured = capsys.readouterr()
+            assert rc == 0
+            assert "served from store" in captured.out
