@@ -46,7 +46,7 @@ from ..core.schedule import SchedulingConfig
 from ..milp.backends import get_backend
 from ..net import topology as topologies
 from ..net.topology import Topology
-from ..runtime.loss import LossModel, build_loss
+from ..runtime.loss import TOPOLOGY_LOSS_KINDS, LossModel, build_loss
 from ..runtime.simulator import NodePolicy, RadioTiming
 
 
@@ -95,8 +95,11 @@ class LossSpec:
 
     Kinds (see :func:`repro.runtime.loss.build_loss`): ``perfect``,
     ``bernoulli``, ``gilbert_elliott``, ``scripted_beacon``,
-    ``trace_replay``, and ``glossy`` (which needs the scenario to carry
-    a :class:`TopologySpec`).  ``params["seed"]`` accepts an integer, a
+    ``trace_replay``, ``matrix_trace``, ``time_varying``,
+    ``interference``, plus ``glossy`` and ``spatial`` (which need the
+    scenario to carry a :class:`TopologySpec` — ``spatial``
+    specifically one with node positions: ``grid2d`` or
+    ``uniform_random``).  ``params["seed"]`` accepts an integer, a
     ``random.Random``, a ``numpy.random.Generator``, or ``None``
     uniformly across all stochastic kinds; only integers and ``None``
     survive JSON round-trips.
@@ -315,11 +318,11 @@ class Scenario:
                         f"scenario {self.name!r}: mode request targets "
                         f"unknown mode {target!r}"
                     )
-        if self.loss is not None and self.loss.kind == "glossy":
+        if self.loss is not None and self.loss.kind in TOPOLOGY_LOSS_KINDS:
             if self.topology is None:
                 raise ScenarioError(
-                    f"scenario {self.name!r}: loss kind 'glossy' needs a "
-                    f"topology"
+                    f"scenario {self.name!r}: loss kind "
+                    f"{self.loss.kind!r} needs a topology"
                 )
 
     # -- builders --------------------------------------------------------

@@ -39,7 +39,11 @@ from .campaign import (
     run_campaign,
     run_campaigns,
 )
-from .equivalence import EquivalenceError, assert_distribution_equivalent
+from .equivalence import (
+    EquivalenceError,
+    assert_distribution_equivalent,
+    assert_engines_equivalent,
+)
 from .fastpath import run_program, supports_loss_kind
 from .stats import (
     CampaignStats,
@@ -58,6 +62,7 @@ __all__ = [
     "PointResult",
     "RateEstimate",
     "assert_distribution_equivalent",
+    "assert_engines_equivalent",
     "percentile",
     "run_campaign",
     "run_campaigns",

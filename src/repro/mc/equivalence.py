@@ -269,3 +269,120 @@ def assert_distribution_equivalent(
                 f"mode-change latency means differ: {mean_a:.6f} vs "
                 f"{mean_b:.6f} (no raw samples for a KS check)"
             )
+
+
+def assert_engines_equivalent(
+    scenario,
+    engines: Sequence[str] = ("vectorized", "fast", "reference"),
+    *,
+    trials: Optional[int] = None,
+    seeds: Optional[Sequence[int]] = None,
+    sweep=None,
+    cache=None,
+    cache_dir=None,
+    expect: Optional[dict] = None,
+    z: float = Z_STRICT,
+    radio_rtol: float = 0.05,
+    ks_c_alpha: float = 1.95,
+    label: str = "",
+) -> dict:
+    """Run one scenario on several engines and gate their agreement.
+
+    The one-call form of the harness: executes the campaign once per
+    engine (sharing a schedule cache, so synthesis happens once),
+    asserts :func:`assert_distribution_equivalent` for every engine
+    pair at every grid point, and optionally asserts which engine each
+    request actually *resolved* to after the ``vectorized -> fast ->
+    reference`` fallback ladder — the piece that catches a new loss
+    kind silently downgrading instead of vectorizing.
+
+    Args:
+        scenario: A :class:`repro.api.Scenario` with a simulation phase.
+        engines: Engine names to run and cross-compare.
+        trials: Trials per grid point (default: the scenario's).
+        seeds: Explicit per-trial seeds (common random numbers).
+        sweep: Loss-parameter grid, as in
+            :func:`repro.mc.campaign.run_campaign`.
+        cache: Schedule cache to share (one is created when neither
+            ``cache`` nor ``cache_dir`` is given).
+        cache_dir: Persistent cache directory.
+        expect: ``{requested_engine: resolved_engine}`` — assert the
+            ladder resolution, e.g. ``{"vectorized": "vectorized"}`` to
+            prove a kind really vectorizes, or ``{"vectorized":
+            "fast"}`` to pin an intentional, tested downgrade.
+        z / radio_rtol / ks_c_alpha: Forwarded to
+            :func:`assert_distribution_equivalent`.
+        label: Failure-message prefix (e.g. the loss kind).
+
+    Returns:
+        ``{engine: CampaignResult}`` for further inspection.
+
+    Raises:
+        EquivalenceError: the first failing pairwise check or ladder
+            expectation.
+    """
+    import tempfile
+
+    from ..engine.cache import ScheduleCache
+    from .campaign import run_campaign
+
+    if len(engines) < 2 and not expect:
+        raise ValueError("assert_engines_equivalent needs >= 2 engines")
+
+    prefix = f"{label}: " if label else ""
+    results = {}
+    with tempfile.TemporaryDirectory(prefix="repro-equiv-") as shared_dir:
+        if cache is None and cache_dir is None:
+            # Share one schedule cache across the engines: synthesis is
+            # identical per engine, so it should run exactly once.
+            cache = ScheduleCache(shared_dir)
+        for engine in engines:
+            results[engine] = run_campaign(
+                scenario,
+                trials=trials,
+                seeds=seeds,
+                sweep=sweep,
+                cache=cache,
+                cache_dir=cache_dir,
+                engine=engine,
+            )
+
+    if expect:
+        for requested, resolved in expect.items():
+            if requested not in results:
+                continue
+            used = results[requested].engines.get(scenario.name)
+            if used != resolved:
+                raise EquivalenceError(
+                    f"{prefix}engine {requested!r} resolved to {used!r}, "
+                    f"expected {resolved!r} (fallback ladder moved)"
+                )
+
+    names = list(results)
+    for i, name_a in enumerate(names):
+        for name_b in names[i + 1:]:
+            points_a = results[name_a].points
+            points_b = results[name_b].points
+            if len(points_a) != len(points_b):
+                raise EquivalenceError(
+                    f"{prefix}{name_a} vs {name_b}: grid sizes differ "
+                    f"({len(points_a)} vs {len(points_b)})"
+                )
+            for point_a, point_b in zip(points_a, points_b):
+                if point_a.point != point_b.point:
+                    raise EquivalenceError(
+                        f"{prefix}{name_a} vs {name_b}: grid points "
+                        f"diverge ({point_a.point} vs {point_b.point})"
+                    )
+                point_label = f"{prefix}{name_a} vs {name_b}"
+                if point_a.point:
+                    point_label += f" at {point_a.point}"
+                assert_distribution_equivalent(
+                    point_a,
+                    point_b,
+                    z=z,
+                    radio_rtol=radio_rtol,
+                    ks_c_alpha=ks_c_alpha,
+                    label=point_label,
+                )
+    return results

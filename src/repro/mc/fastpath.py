@@ -36,9 +36,14 @@ from ..runtime.compiled import SystemProgram, names_to_mask
 from ..runtime.loss import (
     BernoulliLoss,
     GilbertElliottLoss,
+    InterferenceLoss,
     LossModel,
+    MatrixTraceLoss,
     PerfectLinks,
     ScriptedBeaconLoss,
+    SpatialLoss,
+    TimeVaryingLoss,
+    TraceExhaustedError,
     TraceReplayLoss,
 )
 from ..runtime.simulator import EPS, ModeRequest, NodePolicy
@@ -188,32 +193,224 @@ class _TraceReplaySampler:
         self._full = program.full_mask
         self._beacon = [_mask_of(event, program) for event in model.beacon_events]
         self._data = [_mask_of(event, program) for event in model.data_events]
-        self._cycle = model.cycle
+        self._on_end = model.on_end
         self._beacon_cursor = model._beacon_cursor
         self._data_cursor = model._data_cursor
 
-    def _next(self, masks: List[int], cursor: int):
+    def _next(self, masks: List[int], cursor: int, label: str):
         if not masks:
+            if self._on_end == "error":
+                raise TraceExhaustedError(
+                    f"trace_replay: empty {label} trace with on_end='error'"
+                )
             return None, cursor
         if cursor >= len(masks):
-            if not self._cycle:
+            if self._on_end == "perfect":
                 return None, cursor
+            if self._on_end == "error":
+                raise TraceExhaustedError(
+                    f"trace_replay: {label} trace exhausted after "
+                    f"{len(masks)} events (on_end='error'); provide a "
+                    f"longer trace or choose on_end='wrap'/'perfect'"
+                )
             cursor = cursor % len(masks)
         return masks[cursor], cursor + 1
 
     def beacon_mask(self, host_index: int) -> int:
         event, self._beacon_cursor = self._next(
-            self._beacon, self._beacon_cursor
+            self._beacon, self._beacon_cursor, "beacon"
         )
         if event is None:
             return self._full
         return event | (1 << host_index)
 
     def data_mask(self, sender_index: int) -> int:
-        event, self._data_cursor = self._next(self._data, self._data_cursor)
+        event, self._data_cursor = self._next(
+            self._data, self._data_cursor, "data"
+        )
         if event is None:
             return self._full
         return event | (1 << sender_index)
+
+
+class _SpatialSampler:
+    """Bitmask twin of :class:`SpatialLoss`.
+
+    The PDR matrix is a construction-time constant; per flood the
+    sampler walks the source's precomputed per-receiver loss row in
+    node-index order (== sorted name order), consuming ``model._rng``
+    exactly like ``SpatialLoss._sample``: one draw per receiver whose
+    loss is ``> 0``, zero draws otherwise.
+    """
+
+    def __init__(self, model: SpatialLoss, program: SystemProgram) -> None:
+        self._random = model._rng.random
+        self._count = len(program.node_names)
+        pdr = model._pdr
+        # loss rows indexed [source][receiver] by compiled node index.
+        self._loss = [
+            [1.0 - pdr[src][dst] for dst in program.node_names]
+            for src in program.node_names
+        ]
+
+    def _sample(self, source_index: int) -> int:
+        mask = 1 << source_index
+        random = self._random
+        row = self._loss[source_index]
+        for index in range(self._count):
+            if index == source_index:
+                continue
+            loss = row[index]
+            if loss <= 0.0 or random() >= loss:
+                mask |= 1 << index
+        return mask
+
+    def beacon_mask(self, host_index: int) -> int:
+        return self._sample(host_index)
+
+    def data_mask(self, sender_index: int) -> int:
+        return self._sample(sender_index)
+
+
+class _MatrixTraceSampler:
+    """Bitmask twin of :class:`MatrixTraceLoss`.
+
+    Every trace entry is lowered once into per-source loss rows indexed
+    by compiled node index; the round cursor and the exhaustion policy
+    (``wrap``/``perfect``/``error``) mirror the model exactly —
+    including raising the model's own :class:`TraceExhaustedError`.
+    """
+
+    def __init__(self, model: MatrixTraceLoss, program: SystemProgram) -> None:
+        self._model = model
+        self._random = model._rng.random
+        self._full = program.full_mask
+        self._count = len(program.node_names)
+        self._on_end = model.on_end
+        names = program.node_names
+        self._losses = [
+            [
+                [1.0 - rows.get(src, {}).get(dst, default) for dst in names]
+                for src in names
+            ]
+            for rows, default in model._entries
+        ]
+        self._beacon_count = model._beacon_count
+
+    def _rows_for_round(self, round_index: int):
+        count = len(self._losses)
+        if round_index < count:
+            return self._losses[round_index]
+        if self._on_end == "wrap":
+            return self._losses[round_index % count]
+        if self._on_end == "error":
+            self._model.matrix_for_round(round_index)  # raises
+        return None
+
+    def _sample(self, source_index: int, round_index: int) -> int:
+        rows = self._rows_for_round(round_index)
+        if rows is None:
+            return self._full
+        mask = 1 << source_index
+        random = self._random
+        row = rows[source_index]
+        for index in range(self._count):
+            if index == source_index:
+                continue
+            loss = row[index]
+            if loss <= 0.0 or random() >= loss:
+                mask |= 1 << index
+        return mask
+
+    def beacon_mask(self, host_index: int) -> int:
+        round_index = self._beacon_count
+        self._beacon_count += 1
+        return self._sample(host_index, round_index)
+
+    def data_mask(self, sender_index: int) -> int:
+        return self._sample(sender_index, max(0, self._beacon_count - 1))
+
+
+class _TimeVaryingSampler:
+    """Bitmask twin of :class:`TimeVaryingLoss`.
+
+    Keeps its own round counter and calls the model's pure
+    ``loss_at`` so the float math — and therefore the draw-skip
+    decision at ``loss <= 0`` — is identical to the reference.
+    """
+
+    def __init__(self, model: TimeVaryingLoss, program: SystemProgram) -> None:
+        self._model = model
+        self._random = model._rng.random
+        self._count = len(program.node_names)
+        self._round = model._round
+
+    def _sample(self, loss: float, always_index: int) -> int:
+        mask = 1 << always_index
+        random = self._random
+        for index in range(self._count):
+            if index == always_index:
+                continue
+            if loss <= 0.0 or random() >= loss:
+                mask |= 1 << index
+        return mask
+
+    def beacon_mask(self, host_index: int) -> int:
+        round_index = self._round
+        self._round += 1
+        loss = self._model.loss_at(round_index, self._model.beacon_loss)
+        return self._sample(loss, host_index)
+
+    def data_mask(self, sender_index: int) -> int:
+        round_index = max(0, self._round - 1)
+        loss = self._model.loss_at(round_index, self._model.data_loss)
+        return self._sample(loss, sender_index)
+
+
+class _InterferenceSampler:
+    """Bitmask twin of :class:`InterferenceLoss`.
+
+    The jammer's duty-cycle state comes from the model's pure
+    ``jammed``; the per-node affected set is precomputed as a flag per
+    compiled node index.  Draw consumption mirrors the reference: one
+    draw per non-``always`` node whose effective loss is ``> 0``.
+    """
+
+    def __init__(self, model: InterferenceLoss, program: SystemProgram) -> None:
+        self._model = model
+        self._random = model._rng.random
+        self._count = len(program.node_names)
+        self._jam_loss = model.jam_loss
+        self._base_beacon = model.base_beacon_loss
+        self._base_data = model.base_data_loss
+        self._affected = [
+            model.affected is None or name in model.affected
+            for name in program.node_names
+        ]
+        self._round = model._round
+
+    def _sample(self, round_index: int, base: float, always_index: int) -> int:
+        mask = 1 << always_index
+        random = self._random
+        jammed = self._model.jammed(round_index)
+        affected = self._affected
+        jam_loss = self._jam_loss
+        for index in range(self._count):
+            if index == always_index:
+                continue
+            loss = jam_loss if jammed and affected[index] else base
+            if loss <= 0.0 or random() >= loss:
+                mask |= 1 << index
+        return mask
+
+    def beacon_mask(self, host_index: int) -> int:
+        round_index = self._round
+        self._round += 1
+        return self._sample(round_index, self._base_beacon, host_index)
+
+    def data_mask(self, sender_index: int) -> int:
+        round_index = max(0, self._round - 1)
+        return self._sample(round_index, self._base_data, sender_index)
 
 
 class _ModelSampler:
@@ -265,6 +462,10 @@ SAMPLER_BUILDERS: Dict[Optional[str], Callable] = {
     "scripted_beacon": _ScriptedBeaconSampler,
     "trace_replay": _TraceReplaySampler,
     "glossy": _ModelSampler,
+    "spatial": _SpatialSampler,
+    "matrix_trace": _MatrixTraceSampler,
+    "time_varying": _TimeVaryingSampler,
+    "interference": _InterferenceSampler,
 }
 
 

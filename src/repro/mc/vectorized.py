@@ -63,9 +63,14 @@ from ..runtime.compiled import SystemProgram, names_to_mask
 from ..runtime.loss import (
     BernoulliLoss,
     GilbertElliottLoss,
+    InterferenceLoss,
     LossModel,
+    MatrixTraceLoss,
     PerfectLinks,
     ScriptedBeaconLoss,
+    SpatialLoss,
+    TimeVaryingLoss,
+    TraceExhaustedError,
     TraceReplayLoss,
     build_loss,
 )
@@ -580,23 +585,38 @@ class _TraceReplayVector:
 
         beacon_rows = rows_of(model.beacon_events)
         data_rows = rows_of(model.data_events)
-        cycle = model.cycle
+        on_end = model.on_end
 
-        def walk(rows, cursor):
-            # TraceReplayLoss._next: past the end, cycle back (cursor
-            # modulo length) or fall open to perfect reception.
+        def walk(rows, cursor, label):
+            # TraceReplayLoss._next: past the end, wrap around (cursor
+            # modulo length), fall open to perfect reception, or raise
+            # the model's own TraceExhaustedError — deliberately *not*
+            # a VectorizeError, so the strict exhaustion policy fails
+            # identically on every engine instead of silently
+            # downgrading along the fallback ladder.
             if not rows:
+                if on_end == "error":
+                    raise TraceExhaustedError(
+                        f"trace_replay: empty {label} trace with "
+                        f"on_end='error'"
+                    )
                 return None, cursor
             if cursor >= len(rows):
-                if not cycle:
+                if on_end == "perfect":
                     return None, cursor
+                if on_end == "error":
+                    raise TraceExhaustedError(
+                        f"trace_replay: {label} trace exhausted after "
+                        f"{len(rows)} events (on_end='error'); provide a "
+                        f"longer trace or choose on_end='wrap'/'perfect'"
+                    )
                 cursor = cursor % len(rows)
             return rows[cursor], cursor + 1
 
         beacon = np.empty((timeline.num_rounds, nodes), dtype=bool)
         cursor = 0
         for r in range(timeline.num_rounds):
-            row, cursor = walk(beacon_rows, cursor)
+            row, cursor = walk(beacon_rows, cursor, "beacon")
             beacon[r] = True if row is None else row
         beacon[:, host_index] = True
 
@@ -604,7 +624,7 @@ class _TraceReplayVector:
         data = np.ones((timeline.num_slots, nodes), dtype=bool)
         cursor = 0
         for slot in np.flatnonzero(delivering):
-            row, cursor = walk(data_rows, cursor)
+            row, cursor = walk(data_rows, cursor, "data")
             if row is not None:
                 data[slot] = row
                 data[slot, timeline.slot_sender[slot]] = True
@@ -616,6 +636,217 @@ class _TraceReplayVector:
         trials = len(rngs)
         beacon = np.broadcast_to(self._beacon, (trials,) + self._beacon.shape)
         data = np.broadcast_to(self._data, (trials,) + self._data.shape)
+        return beacon, data
+
+
+class _SpatialVector:
+    """Tensor twin of :class:`SpatialLoss`.
+
+    The PDR matrix is a construction-time constant shared by every
+    trial; per trial the draw order is beacon uniforms ``(R, N)`` then
+    data uniforms ``(S, N)``, compared against the host's loss row
+    (beacons) and each slot sender's loss row (data).
+    """
+
+    def __init__(
+        self,
+        model: SpatialLoss,
+        program: SystemProgram,
+        timeline: Timeline,
+        host_index: int,
+    ) -> None:
+        names = program.node_names
+        pdr = model._pdr
+        loss = np.array(
+            [[1.0 - pdr[src][dst] for dst in names] for src in names],
+            dtype=np.float64,
+        )
+        self._beacon_loss = loss[host_index]  # (N,)
+        self._data_loss = loss[timeline.slot_sender]  # (S, N)
+        self._rounds = timeline.num_rounds
+        self._slots = timeline.num_slots
+        self._nodes = len(names)
+        self._host = host_index
+        self._senders = timeline.slot_sender
+
+    def sample(self, rngs: Sequence[np.random.Generator]):
+        trials = len(rngs)
+        beacon = np.empty((trials, self._rounds, self._nodes), dtype=bool)
+        data = np.empty((trials, self._slots, self._nodes), dtype=bool)
+        for t, rng in enumerate(rngs):
+            beacon[t] = (
+                rng.random((self._rounds, self._nodes))
+                >= self._beacon_loss[None, :]
+            )
+            data[t] = rng.random((self._slots, self._nodes)) >= self._data_loss
+        beacon[:, :, self._host] = True
+        data[:, np.arange(self._slots), self._senders] = True
+        return beacon, data
+
+
+class _MatrixTraceVector:
+    """Tensor twin of :class:`MatrixTraceLoss`.
+
+    The round cursor is deterministic (one advance per beacon), so the
+    whole wrap/perfect/error walk happens at construction, producing
+    per-round beacon loss rows ``(R, N)`` and per-slot data loss rows
+    ``(S, N)``.  ``on_end="error"`` raises the model's own
+    :class:`TraceExhaustedError` — deliberately *not* a
+    :class:`VectorizeError`, so the strict policy fails identically on
+    every engine instead of silently downgrading along the ladder.
+    """
+
+    def __init__(
+        self,
+        model: MatrixTraceLoss,
+        program: SystemProgram,
+        timeline: Timeline,
+        host_index: int,
+    ) -> None:
+        names = program.node_names
+        node_count = len(names)
+
+        def loss_row(round_index: int, source: str) -> np.ndarray:
+            entry = model.matrix_for_round(round_index)  # raises on error
+            if entry is None:
+                return np.zeros(node_count, dtype=np.float64)
+            rows, default = entry
+            row = rows.get(source, {})
+            return np.array(
+                [1.0 - row.get(dst, default) for dst in names],
+                dtype=np.float64,
+            )
+
+        host_name = names[host_index]
+        self._beacon_loss = np.stack([
+            loss_row(r, host_name) for r in range(timeline.num_rounds)
+        ]) if timeline.num_rounds else np.zeros((0, node_count))
+        self._data_loss = np.stack([
+            loss_row(int(timeline.slot_round[s]),
+                     names[int(timeline.slot_sender[s])])
+            for s in range(timeline.num_slots)
+        ]) if timeline.num_slots else np.zeros((0, node_count))
+        self._rounds = timeline.num_rounds
+        self._slots = timeline.num_slots
+        self._nodes = node_count
+        self._host = host_index
+        self._senders = timeline.slot_sender
+
+    def sample(self, rngs: Sequence[np.random.Generator]):
+        trials = len(rngs)
+        beacon = np.empty((trials, self._rounds, self._nodes), dtype=bool)
+        data = np.empty((trials, self._slots, self._nodes), dtype=bool)
+        for t, rng in enumerate(rngs):
+            beacon[t] = (
+                rng.random((self._rounds, self._nodes)) >= self._beacon_loss
+            )
+            data[t] = rng.random((self._slots, self._nodes)) >= self._data_loss
+        beacon[:, :, self._host] = True
+        data[:, np.arange(self._slots), self._senders] = True
+        return beacon, data
+
+
+class _TimeVaryingVector:
+    """Tensor twin of :class:`TimeVaryingLoss`.
+
+    The per-round modulation factor is deterministic; the model's pure
+    ``loss_at`` computes every round's effective loss once (identical
+    float math to the scalar engines), leaving per-trial work as plain
+    uniform comparisons.
+    """
+
+    def __init__(
+        self,
+        model: TimeVaryingLoss,
+        program: SystemProgram,
+        timeline: Timeline,
+        host_index: int,
+    ) -> None:
+        self._beacon_loss = np.array(
+            [model.loss_at(r, model.beacon_loss)
+             for r in range(timeline.num_rounds)],
+            dtype=np.float64,
+        )
+        data_loss_per_round = [
+            model.loss_at(r, model.data_loss)
+            for r in range(timeline.num_rounds)
+        ]
+        self._data_loss = np.array(
+            [data_loss_per_round[int(r)] for r in timeline.slot_round],
+            dtype=np.float64,
+        )
+        self._rounds = timeline.num_rounds
+        self._slots = timeline.num_slots
+        self._nodes = len(program.node_names)
+        self._host = host_index
+        self._senders = timeline.slot_sender
+
+    def sample(self, rngs: Sequence[np.random.Generator]):
+        trials = len(rngs)
+        beacon = np.empty((trials, self._rounds, self._nodes), dtype=bool)
+        data = np.empty((trials, self._slots, self._nodes), dtype=bool)
+        for t, rng in enumerate(rngs):
+            beacon[t] = (
+                rng.random((self._rounds, self._nodes))
+                >= self._beacon_loss[:, None]
+            )
+            data[t] = (
+                rng.random((self._slots, self._nodes))
+                >= self._data_loss[:, None]
+            )
+        beacon[:, :, self._host] = True
+        data[:, np.arange(self._slots), self._senders] = True
+        return beacon, data
+
+
+class _InterferenceVector:
+    """Tensor twin of :class:`InterferenceLoss`.
+
+    The jammer's duty cycle is deterministic: the model's pure
+    ``jammed`` yields a per-round indicator, outer-combined with the
+    affected-node mask into per-round, per-node loss matrices computed
+    once at construction.
+    """
+
+    def __init__(
+        self,
+        model: InterferenceLoss,
+        program: SystemProgram,
+        timeline: Timeline,
+        host_index: int,
+    ) -> None:
+        names = program.node_names
+        jammed = np.array(
+            [model.jammed(r) for r in range(timeline.num_rounds)], dtype=bool
+        )
+        affected = np.array(
+            [model.affected is None or name in model.affected
+             for name in names],
+            dtype=bool,
+        )
+        hit = jammed[:, None] & affected[None, :]  # (R, N)
+        self._beacon_loss = np.where(
+            hit, model.jam_loss, model.base_beacon_loss
+        )
+        data_loss_rounds = np.where(hit, model.jam_loss, model.base_data_loss)
+        self._data_loss = data_loss_rounds[timeline.slot_round]  # (S, N)
+        self._rounds = timeline.num_rounds
+        self._slots = timeline.num_slots
+        self._nodes = len(names)
+        self._host = host_index
+        self._senders = timeline.slot_sender
+
+    def sample(self, rngs: Sequence[np.random.Generator]):
+        trials = len(rngs)
+        beacon = np.empty((trials, self._rounds, self._nodes), dtype=bool)
+        data = np.empty((trials, self._slots, self._nodes), dtype=bool)
+        for t, rng in enumerate(rngs):
+            beacon[t] = (
+                rng.random((self._rounds, self._nodes)) >= self._beacon_loss
+            )
+            data[t] = rng.random((self._slots, self._nodes)) >= self._data_loss
+        beacon[:, :, self._host] = True
+        data[:, np.arange(self._slots), self._senders] = True
         return beacon, data
 
 
@@ -635,6 +866,10 @@ VECTOR_SAMPLERS: Dict[Optional[str], Callable] = {
     "gilbert_elliott": _GilbertElliottVector,
     "scripted_beacon": _ScriptedBeaconVector,
     "trace_replay": _TraceReplayVector,
+    "spatial": _SpatialVector,
+    "matrix_trace": _MatrixTraceVector,
+    "time_varying": _TimeVaryingVector,
+    "interference": _InterferenceVector,
 }
 
 

@@ -4,12 +4,16 @@ from .glossy import FloodResult, GlossySimulator
 from .topology import (
     Topology,
     TopologyError,
+    available_topology_kinds,
+    build_topology,
     diameter_line,
     grid,
+    grid2d,
     line,
     random_geometric,
     ring,
     star,
+    uniform_random,
 )
 
 __all__ = [
@@ -17,10 +21,14 @@ __all__ = [
     "GlossySimulator",
     "Topology",
     "TopologyError",
+    "available_topology_kinds",
+    "build_topology",
     "diameter_line",
     "grid",
+    "grid2d",
     "line",
     "random_geometric",
     "ring",
     "star",
+    "uniform_random",
 ]

@@ -4,6 +4,17 @@ TTW runs over an arbitrary multi-hop network (paper Fig. 1(a)); the
 only topology parameter entering the timing model is the network
 diameter ``H``.  This module builds common research topologies and
 computes hop distances used by the Glossy flood simulator.
+
+Two builders additionally place nodes in 2-D space — :func:`grid2d`
+(regular lattice) and :func:`uniform_random` (uniform placement in a
+square, linked within a communication range).  Their per-node
+coordinates live in :attr:`Topology.positions` and feed the
+position-derived propagation models (``spatial`` loss, see
+:mod:`repro.runtime.loss`).  Placement is a deterministic function of
+the builder parameters — including the seed — so a scenario file's
+``{"kind", "params"}`` topology description reproduces the *same*
+coordinates in every process; explicit ``positions`` parameters
+round-trip through scenario JSON unchanged.
 """
 
 from __future__ import annotations
@@ -13,6 +24,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
+
+from ..core.rng import make_rng
 
 
 class TopologyError(ValueError):
@@ -27,10 +40,15 @@ class Topology:
         graph: Undirected connectivity graph; nodes are string ids.
         host: The central host node (sends beacons, runs Algorithm 1
             offline).
+        positions: Optional per-node 2-D coordinates (meters) — set by
+            the spatial builders (:func:`grid2d`,
+            :func:`uniform_random`) and required by position-derived
+            loss models (``spatial``).
     """
 
     graph: nx.Graph
     host: str
+    positions: Optional[Dict[str, Tuple[float, float]]] = None
 
     def __post_init__(self) -> None:
         if self.host not in self.graph:
@@ -39,6 +57,28 @@ class Topology:
             raise TopologyError("empty topology")
         if not nx.is_connected(self.graph):
             raise TopologyError("topology must be connected")
+        if self.positions is not None:
+            missing = sorted(set(self.graph.nodes) - set(self.positions))
+            if missing:
+                raise TopologyError(
+                    f"positions missing for nodes: {missing}"
+                )
+            self.positions = {
+                name: (float(x), float(y))
+                for name, (x, y) in self.positions.items()
+                if name in self.graph
+            }
+
+    def distance(self, a: str, b: str) -> float:
+        """Euclidean distance between two placed nodes (meters)."""
+        if self.positions is None:
+            raise TopologyError(
+                f"topology has no node positions; build it with a spatial "
+                f"kind (grid2d, uniform_random) or pass explicit positions"
+            )
+        ax, ay = self.positions[a]
+        bx, by = self.positions[b]
+        return math.hypot(ax - bx, ay - by)
 
     @property
     def nodes(self) -> List[str]:
@@ -147,6 +187,107 @@ def diameter_line(diameter: int) -> Topology:
     return line(diameter + 1)
 
 
+def grid2d(rows: int, cols: int, spacing: float = 10.0) -> Topology:
+    """A rows x cols 4-connected lattice *with coordinates*.
+
+    Like :func:`grid` but every node ``n{r}_{c}`` is placed at
+    ``(r * spacing, c * spacing)`` meters, so position-derived loss
+    models (``spatial``) can compute per-link path loss.  Host at the
+    corner ``n0_0``.
+    """
+    if rows < 1 or cols < 1:
+        raise TopologyError("grid2d needs positive dimensions")
+    if spacing <= 0:
+        raise TopologyError(f"grid2d spacing must be > 0, got {spacing}")
+    graph = nx.grid_2d_graph(rows, cols)
+    positions = {
+        f"n{r}_{c}": (r * float(spacing), c * float(spacing))
+        for r, c in graph.nodes
+    }
+    graph = nx.relabel_nodes(graph, {(r, c): f"n{r}_{c}" for r, c in graph.nodes})
+    return Topology(graph=graph, host="n0_0", positions=positions)
+
+
+def uniform_random(
+    num_nodes: Optional[int] = None,
+    side: float = 100.0,
+    comm_range: float = 40.0,
+    seed: int = 1,
+    max_attempts: int = 50,
+    positions: Optional[Dict[str, Tuple[float, float]]] = None,
+    host: Optional[str] = None,
+) -> Topology:
+    """Uniform random placement in a ``side`` x ``side`` square (meters).
+
+    Nodes ``n0..n{k-1}`` are dropped uniformly at random and linked
+    when within ``comm_range`` meters; placement resamples (seed + attempt)
+    until the graph is connected.  Placement is a pure function of the
+    parameters, so rebuilding from a scenario file's ``kind``/``params``
+    reproduces identical coordinates in every process.
+
+    Passing ``positions`` (a ``{name: [x, y]}`` mapping, as persisted
+    through Scenario JSON) skips random placement and uses the given
+    coordinates verbatim — the round-trip path for externally surveyed
+    deployments.
+
+    Raises:
+        TopologyError: if no connected sample is found within
+            ``max_attempts`` (increase ``comm_range`` or ``side`` density).
+    """
+    if positions is not None:
+        placed = {
+            str(name): (float(x), float(y))
+            for name, (x, y) in positions.items()
+        }
+        if not placed:
+            raise TopologyError("uniform_random: positions must be non-empty")
+        graph = nx.Graph()
+        graph.add_nodes_from(placed)
+        names = sorted(placed)
+        for i, a in enumerate(names):
+            ax, ay = placed[a]
+            for b in names[i + 1:]:
+                bx, by = placed[b]
+                if math.hypot(ax - bx, ay - by) <= comm_range:
+                    graph.add_edge(a, b)
+        host_node = str(host) if host is not None else names[0]
+        return Topology(graph=graph, host=host_node, positions=placed)
+
+    if num_nodes is None:
+        raise TopologyError(
+            "uniform_random needs num_nodes (or explicit positions)"
+        )
+    if num_nodes < 1:
+        raise TopologyError("need at least one node")
+    if side <= 0 or comm_range <= 0:
+        raise TopologyError(
+            f"uniform_random needs side > 0 and comm_range > 0, got "
+            f"side={side}, comm_range={comm_range}"
+        )
+    names = [f"n{i}" for i in range(num_nodes)]
+    for attempt in range(max_attempts):
+        rng = make_rng(seed + attempt)
+        placed = {
+            name: (rng.uniform(0.0, side), rng.uniform(0.0, side))
+            for name in names
+        }
+        graph = nx.Graph()
+        graph.add_nodes_from(names)
+        for i, a in enumerate(names):
+            ax, ay = placed[a]
+            for b in names[i + 1:]:
+                bx, by = placed[b]
+                if math.hypot(ax - bx, ay - by) <= comm_range:
+                    graph.add_edge(a, b)
+        if num_nodes == 1 or nx.is_connected(graph):
+            host_node = str(host) if host is not None else "n0"
+            return Topology(graph=graph, host=host_node, positions=placed)
+    raise TopologyError(
+        f"no connected uniform_random placement with n={num_nodes}, "
+        f"side={side}, comm_range={comm_range} after {max_attempts} attempts"
+    )
+
+
 # -- the Scenario JSON boundary -----------------------------------------------
 
 _BUILDERS = {
@@ -156,6 +297,8 @@ _BUILDERS = {
     "ring": ring,
     "random_geometric": random_geometric,
     "diameter_line": diameter_line,
+    "grid2d": grid2d,
+    "uniform_random": uniform_random,
 }
 
 

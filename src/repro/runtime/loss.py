@@ -23,6 +23,14 @@ kind               behaviour
                    (:class:`TraceReplayLoss`)
 ``glossy``         per-slot simulated Glossy flood over a topology
                    (:class:`GlossyLoss`)
+``spatial``        position-derived per-link PDR matrix (log-distance
+                   path loss + waterfall, :class:`SpatialLoss`)
+``matrix_trace``   time-indexed per-link PDR matrices replayed round by
+                   round (:class:`MatrixTraceLoss`)
+``time_varying``   periodic/ramp modulation of base loss rates
+                   (:class:`TimeVaryingLoss`)
+``interference``   duty-cycled external jammer masking whole rounds
+                   (:class:`InterferenceLoss`)
 =================  =============================================================
 
 Seeding and determinism
@@ -42,11 +50,36 @@ those two values alone.
 
 from __future__ import annotations
 
+import json
+import math
 from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Set
 
 from ..core.rng import SeedLike, make_rng
 from ..net.glossy import GlossySimulator
 from ..net.topology import Topology
+
+
+class TraceExhaustedError(ValueError):
+    """A replayed trace ran out of events with ``on_end="error"``.
+
+    Raised by :class:`TraceReplayLoss` and :class:`MatrixTraceLoss`
+    when the simulation asks for a flood past the end of the recorded
+    sequence and the model was built with the strict exhaustion policy.
+    """
+
+
+#: Accepted values for the trace-exhaustion policy shared by
+#: :class:`TraceReplayLoss` and :class:`MatrixTraceLoss`.
+ON_END_CHOICES = ("wrap", "perfect", "error")
+
+
+def _validate_on_end(on_end: str) -> str:
+    if on_end not in ON_END_CHOICES:
+        raise ValueError(
+            f"on_end must be one of {', '.join(ON_END_CHOICES)}, "
+            f"got {on_end!r}"
+        )
+    return on_end
 
 
 class LossModel(Protocol):
@@ -160,9 +193,15 @@ class TraceReplayLoss:
     Args:
         beacon: One receiver list per beacon flood, in round order.
         data: One receiver list per data flood, in slot order.
-        cycle: When ``True`` (default) the sequences wrap around at the
-            end; when ``False`` floods past the end are received by
-            everyone (perfect links).
+        cycle: Legacy alias — ``True`` means ``on_end="wrap"``,
+            ``False`` means ``on_end="perfect"``.  Mutually exclusive
+            with ``on_end``.
+        on_end: What happens when a flood is requested past the end of
+            the recorded sequence: ``"wrap"`` (default) restarts from
+            the beginning, ``"perfect"`` falls open to lossless links,
+            ``"error"`` raises :class:`TraceExhaustedError` — the
+            strict mode for experiments where silently recycling a
+            trace would invalidate the paired comparison.
 
     The replay is deterministic and ignores seeding entirely.  Use
     :meth:`from_trace` to lift the events out of a recorded
@@ -173,10 +212,19 @@ class TraceReplayLoss:
         self,
         beacon: Sequence[Iterable[str]] = (),
         data: Sequence[Iterable[str]] = (),
-        cycle: bool = True,
+        cycle: Optional[bool] = None,
+        on_end: Optional[str] = None,
     ) -> None:
-        if not isinstance(cycle, bool):
+        if cycle is not None and not isinstance(cycle, bool):
             raise ValueError(f"cycle must be a boolean, got {cycle!r}")
+        if cycle is not None and on_end is not None:
+            raise ValueError(
+                "cycle and on_end are mutually exclusive; "
+                "use on_end ('wrap'|'perfect'|'error')"
+            )
+        if on_end is None:
+            on_end = "perfect" if cycle is False else "wrap"
+        self.on_end = _validate_on_end(on_end)
         for name, events in (("beacon", beacon), ("data", data)):
             if isinstance(events, (str, bytes)) or not hasattr(
                 events, "__iter__"
@@ -187,12 +235,17 @@ class TraceReplayLoss:
                 )
         self.beacon_events: List[Set[str]] = [set(event) for event in beacon]
         self.data_events: List[Set[str]] = [set(event) for event in data]
-        self.cycle = cycle
         self._beacon_cursor = 0
         self._data_cursor = 0
 
+    @property
+    def cycle(self) -> bool:
+        """Legacy view of the exhaustion policy (``on_end == "wrap"``)."""
+        return self.on_end == "wrap"
+
     @classmethod
-    def from_trace(cls, trace, cycle: bool = True) -> "TraceReplayLoss":
+    def from_trace(cls, trace, cycle: Optional[bool] = None,
+                   on_end: Optional[str] = None) -> "TraceReplayLoss":
         """Extract the reception events of a recorded simulation trace."""
         beacon = [sorted(record.beacon_receivers) for record in trace.rounds]
         data = [
@@ -200,20 +253,31 @@ class TraceReplayLoss:
             for record in trace.rounds
             for slot in record.slots
         ]
-        return cls(beacon=beacon, data=data, cycle=cycle)
+        return cls(beacon=beacon, data=data, cycle=cycle, on_end=on_end)
 
-    def _next(self, events: List[Set[str]], cursor: int) -> "tuple[Optional[Set[str]], int]":
+    def _next(self, events: List[Set[str]], cursor: int,
+              label: str) -> "tuple[Optional[Set[str]], int]":
         if not events:
+            if self.on_end == "error":
+                raise TraceExhaustedError(
+                    f"trace_replay: empty {label} trace with on_end='error'"
+                )
             return None, cursor
         if cursor >= len(events):
-            if not self.cycle:
+            if self.on_end == "perfect":
                 return None, cursor
+            if self.on_end == "error":
+                raise TraceExhaustedError(
+                    f"trace_replay: {label} trace exhausted after "
+                    f"{len(events)} events (on_end='error'); provide a "
+                    f"longer trace or choose on_end='wrap'/'perfect'"
+                )
             cursor = cursor % len(events)
         return events[cursor], cursor + 1
 
     def beacon_receivers(self, host: str, nodes: Set[str]) -> Set[str]:
         event, self._beacon_cursor = self._next(
-            self.beacon_events, self._beacon_cursor
+            self.beacon_events, self._beacon_cursor, "beacon"
         )
         if event is None:
             return set(nodes)
@@ -222,7 +286,9 @@ class TraceReplayLoss:
     def data_receivers(
         self, sender: str, nodes: Set[str], payload_bytes: int
     ) -> Set[str]:
-        event, self._data_cursor = self._next(self.data_events, self._data_cursor)
+        event, self._data_cursor = self._next(
+            self.data_events, self._data_cursor, "data"
+        )
         if event is None:
             return set(nodes)
         return (event & set(nodes)) | {sender}
@@ -356,12 +422,568 @@ class GlossyLoss:
         return result.received & set(nodes)
 
 
+def _validate_probability(name: str, p, *, allow_one: bool = True) -> float:
+    """Boundary-style check for a probability parameter."""
+    upper_ok = (p <= 1.0) if allow_one else (p < 1.0)
+    if not isinstance(p, (int, float)) or isinstance(p, bool) \
+            or not (0.0 <= p and upper_ok):
+        bound = "[0, 1]" if allow_one else "[0, 1)"
+        raise ValueError(f"{name} must be in {bound}, got {p!r}")
+    return float(p)
+
+
+class SpatialLoss:
+    """Position-derived loss: log-distance path loss -> per-link PDR.
+
+    The classic low-power-wireless propagation model ("Pister hack"):
+    received signal strength falls off log-linearly with distance,
+    optionally perturbed by per-link log-normal shadowing, and the
+    packet delivery ratio rises linearly across a waterfall region
+    around the radio's sensitivity threshold:
+
+    .. math::
+
+        RSSI(d) = P_{tx} - \\big(PL_0 + 10\\,n\\,\\log_{10}(d/d_0)\\big)
+                  + X_{\\sigma}
+
+        PDR = \\mathrm{clip}\\big((RSSI - S) / W,\\ 0,\\ 1\\big)
+
+    The entire PDR matrix is computed **once at construction** from the
+    topology's node positions; every flood then samples per-receiver
+    Bernoulli losses against the source's PDR row.  Shadowing draws come
+    from a *dedicated* stream (``shadowing_seed``) iterated in sorted
+    node-pair order, so the matrix is byte-identical across processes
+    and across trials — only the per-flood sampling is re-seeded by the
+    campaign layer.
+
+    Args:
+        topology: A topology with node ``positions`` (build it with the
+            ``grid2d`` or ``uniform_random`` kinds).
+        path_loss_exponent: ``n`` — 2.0 free space, 3-4 indoors.
+        reference_loss_db: ``PL_0``, path loss at ``reference_distance``.
+        reference_distance: ``d_0`` in meters (> 0).
+        tx_power_dbm: Transmit power ``P_tx``.
+        sensitivity_dbm: Radio sensitivity ``S`` — PDR hits 0 when the
+            RSSI falls to it.
+        waterfall_width_db: ``W`` — dB span over which PDR climbs 0 -> 1.
+        shadowing_db: Log-normal shadowing sigma (0 disables).
+        shadowing_seed: Seed of the dedicated shadowing stream.
+        symmetric: One shadowing draw per unordered pair (symmetric
+            links) vs. independent draws per direction.
+        seed: Per-flood sampling stream (re-seeded per MC trial).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        path_loss_exponent: float = 3.0,
+        reference_loss_db: float = 55.0,
+        reference_distance: float = 1.0,
+        tx_power_dbm: float = 0.0,
+        sensitivity_dbm: float = -90.0,
+        waterfall_width_db: float = 10.0,
+        shadowing_db: float = 0.0,
+        shadowing_seed: int = 0,
+        symmetric: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        if topology.positions is None:
+            raise ValueError(
+                "loss kind 'spatial' needs node positions; build the "
+                "topology with kind 'grid2d' or 'uniform_random' (or pass "
+                "explicit positions)"
+            )
+        if path_loss_exponent <= 0:
+            raise ValueError(
+                f"path_loss_exponent must be > 0, got {path_loss_exponent!r}"
+            )
+        if reference_distance <= 0:
+            raise ValueError(
+                f"reference_distance must be > 0, got {reference_distance!r}"
+            )
+        if waterfall_width_db <= 0:
+            raise ValueError(
+                f"waterfall_width_db must be > 0, got {waterfall_width_db!r}"
+            )
+        if shadowing_db < 0:
+            raise ValueError(
+                f"shadowing_db must be >= 0, got {shadowing_db!r}"
+            )
+        if not isinstance(symmetric, bool):
+            raise ValueError(f"symmetric must be a boolean, got {symmetric!r}")
+        self.topology = topology
+        self.path_loss_exponent = float(path_loss_exponent)
+        self.reference_loss_db = float(reference_loss_db)
+        self.reference_distance = float(reference_distance)
+        self.tx_power_dbm = float(tx_power_dbm)
+        self.sensitivity_dbm = float(sensitivity_dbm)
+        self.waterfall_width_db = float(waterfall_width_db)
+        self.shadowing_db = float(shadowing_db)
+        self.shadowing_seed = shadowing_seed
+        self.symmetric = symmetric
+        self._rng = make_rng(seed)
+        self._pdr = self._compute_pdr_matrix()
+
+    def pdr_from_distance(self, distance: float, shadow_db: float = 0.0) -> float:
+        """The deterministic PDR of a link of length ``distance`` meters."""
+        d = max(distance, self.reference_distance)
+        path_loss = self.reference_loss_db + 10.0 * self.path_loss_exponent \
+            * math.log10(d / self.reference_distance)
+        rssi = self.tx_power_dbm - path_loss + shadow_db
+        margin = rssi - self.sensitivity_dbm
+        return min(1.0, max(0.0, margin / self.waterfall_width_db))
+
+    def _compute_pdr_matrix(self) -> Dict[str, Dict[str, float]]:
+        # Shadowing draws iterate sorted node pairs — one draw per
+        # unordered pair when symmetric, one per ordered pair otherwise
+        # — from a stream independent of the trial seed, so the matrix
+        # is identical in every process (the sorted-node RNG rule).
+        names = sorted(self.topology.graph.nodes)
+        shadow_rng = make_rng(self.shadowing_seed, "shadowing_seed")
+        shadows: Dict[tuple, float] = {}
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                if self.shadowing_db > 0.0:
+                    draw = shadow_rng.gauss(0.0, self.shadowing_db)
+                else:
+                    draw = 0.0
+                shadows[(a, b)] = draw
+                if self.symmetric:
+                    shadows[(b, a)] = draw
+                elif self.shadowing_db > 0.0:
+                    shadows[(b, a)] = shadow_rng.gauss(0.0, self.shadowing_db)
+                else:
+                    shadows[(b, a)] = 0.0
+        matrix: Dict[str, Dict[str, float]] = {}
+        for a in names:
+            row: Dict[str, float] = {}
+            for b in names:
+                if a == b:
+                    row[b] = 1.0
+                    continue
+                row[b] = self.pdr_from_distance(
+                    self.topology.distance(a, b), shadows[(a, b)]
+                )
+            matrix[a] = row
+        return matrix
+
+    def pdr_matrix(self) -> Dict[str, Dict[str, float]]:
+        """A copy of the per-link PDR matrix (``matrix[src][dst]``)."""
+        return {src: dict(row) for src, row in self._pdr.items()}
+
+    def _sample(self, source: str, nodes: Set[str]) -> Set[str]:
+        received = {source} if source in nodes else set()
+        row = self._pdr[source]
+        for node in sorted(nodes):
+            if node == source:
+                continue
+            loss = 1.0 - row[node]
+            if loss <= 0.0 or self._rng.random() >= loss:
+                received.add(node)
+        return received
+
+    def beacon_receivers(self, host: str, nodes: Set[str]) -> Set[str]:
+        return self._sample(host, nodes)
+
+    def data_receivers(
+        self, sender: str, nodes: Set[str], payload_bytes: int
+    ) -> Set[str]:
+        return self._sample(sender, nodes)
+
+
+class MatrixTraceLoss:
+    """Time-indexed per-link PDR matrices replayed round by round.
+
+    The generalization of :class:`TraceReplayLoss` from recorded
+    receiver *sets* to recorded link *qualities*: entry ``t`` is a full
+    connectivity matrix ``{src: {dst: pdr}}`` describing round ``t``,
+    loaded inline or from a JSONL file (one matrix per line, optionally
+    wrapped as ``{"pdr": {...}, "default": p}``).  Each beacon advances
+    the round cursor; that round's matrix then governs both the beacon
+    flood and every data flood of the round.
+
+    Unlike raw trace replay, the matrices are *sampled*, not replayed
+    verbatim — the model is stochastic (``seed`` re-seeded per trial)
+    with time-varying per-link parameters, matching how testbed
+    connectivity datasets (per-link PDR measured per time window) are
+    published.
+
+    Args:
+        matrices: Inline list of matrices (mutually exclusive with
+            ``path``).
+        path: JSONL file with one matrix per line.
+        on_end: Exhaustion policy past the last matrix: ``"wrap"``
+            (default), ``"perfect"``, or ``"error"``
+            (:class:`TraceExhaustedError`).
+        default_pdr: PDR for links absent from a matrix (file-level
+            ``"default"`` overrides per line).
+        seed: Per-flood sampling stream (re-seeded per MC trial).
+    """
+
+    def __init__(
+        self,
+        matrices: Optional[Sequence[dict]] = None,
+        path: Optional[str] = None,
+        on_end: str = "wrap",
+        default_pdr: float = 1.0,
+        seed: SeedLike = None,
+    ) -> None:
+        self.on_end = _validate_on_end(on_end)
+        self.default_pdr = _validate_probability("default_pdr", default_pdr)
+        if (matrices is None) == (path is None):
+            raise ValueError(
+                "matrix_trace needs exactly one of 'matrices' (inline) "
+                "or 'path' (JSONL file)"
+            )
+        if path is not None:
+            matrices = self._load_jsonl(path)
+        self._entries: List[tuple] = [
+            self._normalize(index, entry) for index, entry in
+            enumerate(matrices)
+        ]
+        if not self._entries:
+            raise ValueError("matrix_trace needs at least one matrix")
+        self._rng = make_rng(seed)
+        self._beacon_count = 0
+
+    @staticmethod
+    def _load_jsonl(path: str) -> List[dict]:
+        entries = []
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                for line_no, line in enumerate(handle, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entries.append(json.loads(line))
+                    except json.JSONDecodeError as exc:
+                        raise ValueError(
+                            f"matrix_trace: invalid JSON on line {line_no} "
+                            f"of {path!r}: {exc}"
+                        ) from None
+        except OSError as exc:
+            raise ValueError(
+                f"matrix_trace: cannot read path {path!r}: {exc}"
+            ) from None
+        return entries
+
+    def _normalize(self, index: int, entry) -> tuple:
+        """Validate one matrix -> ``(rows, default)``."""
+        if not isinstance(entry, dict):
+            raise ValueError(
+                f"matrix_trace: matrix {index} must be an object, "
+                f"got {entry!r}"
+            )
+        default = self.default_pdr
+        rows_in = entry
+        if "pdr" in entry and isinstance(entry.get("pdr"), dict):
+            rows_in = entry["pdr"]
+            if "default" in entry:
+                default = _validate_probability(
+                    f"matrix {index} default", entry["default"]
+                )
+        rows: Dict[str, Dict[str, float]] = {}
+        for src, row in rows_in.items():
+            if not isinstance(row, dict):
+                raise ValueError(
+                    f"matrix_trace: matrix {index} row {src!r} must map "
+                    f"receivers to PDR values, got {row!r}"
+                )
+            rows[str(src)] = {
+                str(dst): _validate_probability(
+                    f"matrix {index} pdr[{src}][{dst}]", p
+                )
+                for dst, p in row.items()
+            }
+        return rows, default
+
+    def matrix_for_round(self, round_index: int) -> Optional[tuple]:
+        """The ``(rows, default)`` entry governing ``round_index``.
+
+        ``None`` means perfect links (the ``"perfect"`` policy past the
+        end of the trace).  Raises :class:`TraceExhaustedError` under
+        ``on_end="error"``.
+        """
+        count = len(self._entries)
+        if round_index < count:
+            return self._entries[round_index]
+        if self.on_end == "wrap":
+            return self._entries[round_index % count]
+        if self.on_end == "error":
+            raise TraceExhaustedError(
+                f"matrix_trace: trace exhausted after {count} matrices "
+                f"(round {round_index}, on_end='error'); provide a longer "
+                f"trace or choose on_end='wrap'/'perfect'"
+            )
+        return None
+
+    def _sample(self, source: str, nodes: Set[str],
+                round_index: int) -> Set[str]:
+        received = {source} if source in nodes else set()
+        entry = self.matrix_for_round(round_index)
+        if entry is None:
+            return set(nodes) | received
+        rows, default = entry
+        row = rows.get(source, {})
+        for node in sorted(nodes):
+            if node == source:
+                continue
+            loss = 1.0 - row.get(node, default)
+            if loss <= 0.0 or self._rng.random() >= loss:
+                received.add(node)
+        return received
+
+    def beacon_receivers(self, host: str, nodes: Set[str]) -> Set[str]:
+        round_index = self._beacon_count
+        self._beacon_count += 1
+        return self._sample(host, nodes, round_index)
+
+    def data_receivers(
+        self, sender: str, nodes: Set[str], payload_bytes: int
+    ) -> Set[str]:
+        # Data floods belong to the round opened by the latest beacon.
+        round_index = max(0, self._beacon_count - 1)
+        return self._sample(sender, nodes, round_index)
+
+
+class TimeVaryingLoss:
+    """Base loss rates modulated over time — periodic or ramp.
+
+    Models the slow link-quality dynamics real deployments see
+    (day/night cycles, charging equipment, people movement): the
+    configured ``beacon_loss``/``data_loss`` rates are scaled by a
+    time-dependent factor and clamped to ``[0, 1]``:
+
+    * ``shape="periodic"``: ``factor(t) = 1 + amplitude * sin(2 pi t /
+      period)`` — loss oscillates around its base rate;
+    * ``shape="ramp"``: factor climbs linearly from ``scale_start`` to
+      ``scale_end`` over ``ramp_rounds`` rounds, then holds — a
+      degrading (or recovering) channel.
+
+    The round counter advances once per beacon; a round's data floods
+    use that round's factor.  :meth:`loss_at` is the pure time->loss
+    function the fast and vectorized engines reuse verbatim.
+
+    Args:
+        beacon_loss: Base beacon flood-miss probability.
+        data_loss: Base data flood-miss probability.
+        shape: ``"periodic"`` or ``"ramp"``.
+        period: Oscillation period in rounds (periodic).
+        amplitude: Relative oscillation amplitude (periodic).
+        ramp_rounds: Rounds to traverse the ramp (ramp).
+        scale_start: Factor at round 0 (ramp).
+        scale_end: Factor from ``ramp_rounds`` on (ramp).
+        seed: Per-flood sampling stream (re-seeded per MC trial).
+    """
+
+    SHAPES = ("periodic", "ramp")
+
+    def __init__(
+        self,
+        beacon_loss: float = 0.0,
+        data_loss: float = 0.0,
+        shape: str = "periodic",
+        period: int = 20,
+        amplitude: float = 0.5,
+        ramp_rounds: int = 100,
+        scale_start: float = 0.0,
+        scale_end: float = 1.0,
+        seed: SeedLike = None,
+    ) -> None:
+        self.beacon_loss = _validate_probability(
+            "beacon_loss", beacon_loss, allow_one=False
+        )
+        self.data_loss = _validate_probability(
+            "data_loss", data_loss, allow_one=False
+        )
+        if shape not in self.SHAPES:
+            raise ValueError(
+                f"shape must be one of {', '.join(self.SHAPES)}, "
+                f"got {shape!r}"
+            )
+        if not isinstance(period, int) or isinstance(period, bool) \
+                or period < 1:
+            raise ValueError(f"period must be an integer >= 1, got {period!r}")
+        if not isinstance(amplitude, (int, float)) or isinstance(
+                amplitude, bool) or amplitude < 0:
+            raise ValueError(f"amplitude must be >= 0, got {amplitude!r}")
+        if not isinstance(ramp_rounds, int) or isinstance(ramp_rounds, bool) \
+                or ramp_rounds < 1:
+            raise ValueError(
+                f"ramp_rounds must be an integer >= 1, got {ramp_rounds!r}"
+            )
+        for name, value in (("scale_start", scale_start),
+                            ("scale_end", scale_end)):
+            if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                    or value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value!r}")
+        self.shape = shape
+        self.period = period
+        self.amplitude = float(amplitude)
+        self.ramp_rounds = ramp_rounds
+        self.scale_start = float(scale_start)
+        self.scale_end = float(scale_end)
+        self._rng = make_rng(seed)
+        self._round = 0
+
+    def factor(self, round_index: int) -> float:
+        """The loss-scaling factor of round ``round_index`` (pure)."""
+        if self.shape == "periodic":
+            return 1.0 + self.amplitude * math.sin(
+                2.0 * math.pi * round_index / self.period
+            )
+        frac = min(1.0, round_index / self.ramp_rounds)
+        return self.scale_start + (self.scale_end - self.scale_start) * frac
+
+    def loss_at(self, round_index: int, base: float) -> float:
+        """Effective loss probability at ``round_index`` (pure, clamped)."""
+        return min(1.0, max(0.0, base * self.factor(round_index)))
+
+    def _sample(self, nodes: Set[str], loss: float, always: str) -> Set[str]:
+        received = {always} if always in nodes else set()
+        for node in sorted(nodes):
+            if node == always:
+                continue
+            if loss <= 0.0 or self._rng.random() >= loss:
+                received.add(node)
+        return received
+
+    def beacon_receivers(self, host: str, nodes: Set[str]) -> Set[str]:
+        round_index = self._round
+        self._round += 1
+        loss = self.loss_at(round_index, self.beacon_loss)
+        return self._sample(nodes, loss, always=host)
+
+    def data_receivers(
+        self, sender: str, nodes: Set[str], payload_bytes: int
+    ) -> Set[str]:
+        round_index = max(0, self._round - 1)
+        loss = self.loss_at(round_index, self.data_loss)
+        return self._sample(nodes, loss, always=sender)
+
+
+class InterferenceLoss:
+    """Duty-cycled external jammer masking whole rounds.
+
+    A periodic interferer (Wi-Fi beacons, a competing network, the EWSN
+    dependability-competition jammer) is active ``burst`` rounds out of
+    every ``period``, starting at ``offset``.  While active, every
+    affected node suffers ``jam_loss`` on all floods; otherwise the base
+    rates apply.  :meth:`jammed` is the pure round->state function the
+    fast and vectorized engines reuse verbatim.
+
+    Args:
+        period: Jammer duty-cycle period in rounds (>= 1).
+        burst: Jammed rounds per period (``0 <= burst <= period``).
+        offset: Round index at which the first burst starts.
+        jam_loss: Flood-miss probability of affected nodes while jammed.
+        base_beacon_loss: Beacon loss outside bursts (and for
+            unaffected nodes).
+        base_data_loss: Data loss outside bursts (and for unaffected
+            nodes).
+        affected: Node names in the jammer's footprint; ``None`` means
+            every node.
+        seed: Per-flood sampling stream (re-seeded per MC trial).
+    """
+
+    def __init__(
+        self,
+        period: int = 10,
+        burst: int = 3,
+        offset: int = 0,
+        jam_loss: float = 1.0,
+        base_beacon_loss: float = 0.0,
+        base_data_loss: float = 0.0,
+        affected: Optional[Iterable[str]] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        if not isinstance(period, int) or isinstance(period, bool) \
+                or period < 1:
+            raise ValueError(f"period must be an integer >= 1, got {period!r}")
+        if not isinstance(burst, int) or isinstance(burst, bool) \
+                or not 0 <= burst <= period:
+            raise ValueError(
+                f"burst must be an integer in [0, period={period}], "
+                f"got {burst!r}"
+            )
+        if not isinstance(offset, int) or isinstance(offset, bool):
+            raise ValueError(f"offset must be an integer, got {offset!r}")
+        self.jam_loss = _validate_probability("jam_loss", jam_loss)
+        self.base_beacon_loss = _validate_probability(
+            "base_beacon_loss", base_beacon_loss, allow_one=False
+        )
+        self.base_data_loss = _validate_probability(
+            "base_data_loss", base_data_loss, allow_one=False
+        )
+        if affected is not None and (
+            isinstance(affected, (str, bytes))
+            or not hasattr(affected, "__iter__")
+        ):
+            raise ValueError(
+                f"affected must be a list of node names or null, "
+                f"got {affected!r}"
+            )
+        self.period = period
+        self.burst = burst
+        self.offset = offset
+        self.affected = None if affected is None else frozenset(
+            str(node) for node in affected
+        )
+        self._rng = make_rng(seed)
+        self._round = 0
+
+    def jammed(self, round_index: int) -> bool:
+        """Whether the jammer is active in round ``round_index`` (pure)."""
+        return ((round_index - self.offset) % self.period) < self.burst
+
+    def node_loss(self, node: str, round_index: int, base: float) -> float:
+        """Effective loss of ``node`` in ``round_index`` (pure)."""
+        if self.jammed(round_index) and (
+            self.affected is None or node in self.affected
+        ):
+            return self.jam_loss
+        return base
+
+    def _sample(self, nodes: Set[str], round_index: int, base: float,
+                always: str) -> Set[str]:
+        received = {always} if always in nodes else set()
+        for node in sorted(nodes):
+            if node == always:
+                continue
+            loss = self.node_loss(node, round_index, base)
+            if loss <= 0.0 or self._rng.random() >= loss:
+                received.add(node)
+        return received
+
+    def beacon_receivers(self, host: str, nodes: Set[str]) -> Set[str]:
+        round_index = self._round
+        self._round += 1
+        return self._sample(nodes, round_index, self.base_beacon_loss,
+                            always=host)
+
+    def data_receivers(
+        self, sender: str, nodes: Set[str], payload_bytes: int
+    ) -> Set[str]:
+        round_index = max(0, self._round - 1)
+        return self._sample(nodes, round_index, self.base_data_loss,
+                            always=sender)
+
+
 # -- the Scenario JSON boundary -----------------------------------------------
 
 #: Loss kinds whose realization is controlled by a ``seed`` parameter.
 #: The Monte-Carlo campaign layer re-seeds exactly these per trial;
 #: the others are deterministic and replay identically every trial.
-SEEDABLE_KINDS = frozenset({"bernoulli", "gilbert_elliott", "glossy"})
+SEEDABLE_KINDS = frozenset({
+    "bernoulli", "gilbert_elliott", "glossy",
+    "spatial", "matrix_trace", "time_varying", "interference",
+})
+
+#: Loss kinds that need a topology at construction time (``build_loss``
+#: refuses them without one; ``Scenario.validate`` enforces it at the
+#: JSON boundary).
+TOPOLOGY_LOSS_KINDS = frozenset({"glossy", "spatial"})
 
 #: kind -> (constructor, needs_topology)
 _LOSS_KINDS = {
@@ -371,6 +993,10 @@ _LOSS_KINDS = {
     "scripted_beacon": (ScriptedBeaconLoss, False),
     "trace_replay": (TraceReplayLoss, False),
     "glossy": (GlossyLoss, True),
+    "spatial": (SpatialLoss, True),
+    "matrix_trace": (MatrixTraceLoss, False),
+    "time_varying": (TimeVaryingLoss, False),
+    "interference": (InterferenceLoss, False),
 }
 
 

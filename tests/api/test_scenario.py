@@ -99,6 +99,18 @@ class TestValidation:
                 simulation=SimulationSpec(duration=10.0, policy="psychic")
             ).validate()
 
+    def test_spatial_loss_needs_topology(self):
+        with pytest.raises(ScenarioError, match="spatial"):
+            two_mode_scenario(
+                loss=LossSpec("spatial", {"shadowing_db": 3.0})
+            ).validate()
+
+    def test_spatial_loss_with_topology_passes(self):
+        two_mode_scenario(
+            topology=TopologySpec("grid2d", {"rows": 2, "cols": 2}),
+            loss=LossSpec("spatial", {"shadowing_db": 3.0}),
+        ).validate()
+
 
 class TestSpecBuilders:
     def test_loss_kinds_build(self):
@@ -170,6 +182,29 @@ class TestRoundTrip:
     def test_not_a_scenario_rejected(self):
         with pytest.raises(SerializationError, match="not a scenario"):
             Scenario.from_dict({"kind": "system"})
+
+    def test_positions_survive_json(self, tmp_path):
+        """Per-node coordinates persist through Scenario JSON and
+        rebuild the identical spatial topology."""
+        positions = {"n0": [0.0, 0.0], "n1": [12.0, 0.0], "n2": [12.0, 9.0]}
+        scenario = two_mode_scenario(
+            topology=TopologySpec(
+                "uniform_random",
+                {"positions": positions, "comm_range": 20.0},
+            ),
+            loss=LossSpec("spatial", {"shadowing_db": 2.0,
+                                      "shadowing_seed": 7}),
+        )
+        path = tmp_path / "spatial.scenario.json"
+        scenario.save(path)
+        reloaded = Scenario.load(path)
+        reloaded.validate()
+        topo = reloaded.topology.build()
+        assert topo.positions == {
+            "n0": (0.0, 0.0), "n1": (12.0, 0.0), "n2": (12.0, 9.0)
+        }
+        assert reloaded.loss.build(topo).pdr_matrix() == \
+            scenario.loss.build(scenario.topology.build()).pdr_matrix()
 
     def test_config_fields_survive(self):
         config = SchedulingConfig(

@@ -184,6 +184,54 @@ class TestCheckMessageService:
         )
         assert problems == []
 
+    def test_solver_slack_on_window_boundary_verifies(self):
+        # Regression: HiGHS (big-M ~10x hyperperiod vs mm = 1e-4 gives
+        # a badly scaled matrix) returned offsets/deadlines off a
+        # demand-window boundary by ~1.08e-5 — within its own scaled
+        # feasibility tolerance, but past the old TIME_EPS of 1e-6, so
+        # a solver-feasible schedule was reported as a (C2) violation.
+        # Exact numbers from the discovered workload (seed=11098,
+        # 2 apps x 5 tasks, 1 slot/round): the round at t=4 ends
+        # 1.08e-5 *after* instance 0's deadline as the solver placed
+        # it, which the verifier must absorb as solver noise.
+        problems = check_message_service(
+            offset=3.999999999998077,
+            deadline=0.999989190275852,
+            period=40.0,
+            hyperperiod=40.0,
+            allocated_round_starts=[4.0],
+            round_length=1.0,
+            leftover=0,
+        )
+        assert problems == []
+        # Same run, leftover flavour: o ~= p and o + d > p, with the
+        # serving round's end 1.08e-5 past the wrapped boundary.
+        problems = check_message_service(
+            offset=39.99999891902738,
+            deadline=1.9999902712463609,
+            period=40.0,
+            hyperperiod=40.0,
+            allocated_round_starts=[1.0],
+            round_length=1.0,
+            leftover=1,
+        )
+        assert problems == []
+
+    def test_past_mm_boundary_still_violates(self):
+        # The absorption above must not mask real violations: at the
+        # formulation's own granularity (mm = 1e-4) a deadline overrun
+        # is genuine and must still be flagged.
+        problems = check_message_service(
+            offset=4.0,
+            deadline=1.0 - 2e-4,
+            period=40.0,
+            hyperperiod=40.0,
+            allocated_round_starts=[4.0],
+            round_length=1.0,
+            leftover=0,
+        )
+        assert any("(C2)" in p for p in problems)
+
     def test_non_multiple_hyperperiod_reported(self):
         problems = check_message_service(
             offset=0.0,

@@ -20,7 +20,13 @@ import dataclasses
 
 import pytest
 
-from repro.api import LossSpec, RadioSpec, Scenario, SimulationSpec
+from repro.api import (
+    LossSpec,
+    RadioSpec,
+    Scenario,
+    SimulationSpec,
+    TopologySpec,
+)
 from repro.api.experiment import synthesize_scenarios
 from repro.core import Mode, SchedulingConfig
 from repro.core.app_model import Application
@@ -28,6 +34,7 @@ from repro.mc import (
     CampaignStats,
     EquivalenceError,
     assert_distribution_equivalent,
+    assert_engines_equivalent,
     run_campaign,
 )
 from repro.mc.campaign import scenario_context
@@ -106,6 +113,32 @@ VECTOR_LOSS_MATRIX = [
     ("trace_replay",
      {"beacon": [["n1"], ["n0", "n1", "n2"], []],
       "data": [["n0", "n1", "n2"], ["n2"]], "cycle": True}, True),
+]
+
+#: Node coordinates for the spatial kind — names match the workload's
+#: nodes; 9-14 m links sit on the PDR waterfall at -92 dBm sensitivity.
+POSITIONS = {
+    "n0": [0.0, 0.0], "n1": [12.0, 0.0], "n2": [12.0, 9.0], "n3": [0.0, 14.0],
+}
+SPATIAL_TOPOLOGY = TopologySpec(
+    "uniform_random", {"positions": POSITIONS, "comm_range": 40.0}
+)
+
+#: The connectivity-layer loss kinds: (kind, params, scenario extras).
+CONNECTIVITY_MATRIX = [
+    ("spatial",
+     {"shadowing_db": 3.0, "shadowing_seed": 5, "sensitivity_dbm": -92.0},
+     {"topology": SPATIAL_TOPOLOGY}),
+    ("matrix_trace",
+     {"matrices": [{"pdr": {}, "default": 0.9},
+                   {"pdr": {"n0": {"n2": 0.3}}, "default": 0.7}],
+      "on_end": "wrap"}, {}),
+    ("time_varying",
+     {"beacon_loss": 0.05, "data_loss": 0.15, "shape": "periodic",
+      "period": 10, "amplitude": 0.8}, {}),
+    ("interference",
+     {"period": 8, "burst": 3, "jam_loss": 0.9, "base_data_loss": 0.05,
+      "affected": ["n1", "n2"]}, {}),
 ]
 
 
@@ -227,6 +260,86 @@ class TestVectorizedEquivalence:
     def test_rejects_foreign_types(self):
         with pytest.raises(TypeError, match="CampaignStats or PointResult"):
             assert_distribution_equivalent({"miss": 0.1}, CampaignStats())
+
+
+class TestConnectivityEquivalence:
+    """Every connectivity kind × both policies × seeds × all three
+    engines, through the shared :func:`assert_engines_equivalent`
+    harness (which also pins where the fallback ladder resolves)."""
+
+    @pytest.mark.parametrize(
+        "kind,params,extras", CONNECTIVITY_MATRIX,
+        ids=[row[0] for row in CONNECTIVITY_MATRIX],
+    )
+    @pytest.mark.parametrize("policy", ["beacon_gated", "local_belief"])
+    @pytest.mark.parametrize("seed", [11, 23])
+    def test_three_engines_equivalent(
+        self, kind, params, extras, policy, seed, tmp_path
+    ):
+        scenario = campaign_scenario(
+            kind, params, trials=100, seed=seed, **extras
+        )
+        scenario = dataclasses.replace(
+            scenario,
+            simulation=dataclasses.replace(scenario.simulation, policy=policy),
+        )
+        # The tensor kernel only models beacon gating; the ablation
+        # policy resolves one rung down (to the bit-exact fast engine).
+        resolved = "vectorized" if policy == "beacon_gated" else "fast"
+        assert_engines_equivalent(
+            scenario,
+            ("vectorized", "fast", "reference"),
+            cache_dir=tmp_path / "cache",
+            expect={"vectorized": resolved,
+                    "fast": "fast",
+                    "reference": "reference"},
+            label=f"{kind}/{policy}",
+        )
+
+
+class TestConnectivityHarnessHasTeeth:
+    """Deliberately broken connectivity campaigns must be *flagged*."""
+
+    def spatial_point(self, tmp_path, tag, **params):
+        base = {"shadowing_db": 3.0, "shadowing_seed": 5,
+                "sensitivity_dbm": -92.0}
+        scenario = campaign_scenario(
+            "spatial", dict(base, **params), trials=200,
+            topology=SPATIAL_TOPOLOGY,
+        )
+        return run_campaign(
+            scenario, cache_dir=tmp_path / f"cache-{tag}",
+            engine="vectorized",
+        ).points[0]
+
+    def test_flags_mis_scaled_pdr_matrix(self, tmp_path):
+        """A 6 dB transmit-power drop rescales every link's PDR — the
+        miss-rate compatibility check must notice."""
+        nominal = self.spatial_point(tmp_path, "nominal")
+        weak = self.spatial_point(tmp_path, "weak", tx_power_dbm=-6.0)
+        with pytest.raises(EquivalenceError, match="incompatible"):
+            assert_distribution_equivalent(weak, nominal)
+
+    def test_flags_dropped_interference_mask(self, tmp_path):
+        """Silently dropping the jammer mask (burst=0) makes the
+        channel clean — the harness must flag it against the jammed
+        campaign."""
+        def point(tag, burst):
+            scenario = campaign_scenario(
+                "interference",
+                {"period": 8, "burst": burst, "jam_loss": 0.9,
+                 "base_data_loss": 0.05},
+                trials=200,
+            )
+            return run_campaign(
+                scenario, cache_dir=tmp_path / f"cache-{tag}",
+                engine="vectorized",
+            ).points[0]
+
+        jammed = point("jammed", 3)
+        unjammed = point("unjammed", 0)
+        with pytest.raises(EquivalenceError, match="incompatible"):
+            assert_distribution_equivalent(unjammed, jammed)
 
 
 class TestHarnessHasTeeth:

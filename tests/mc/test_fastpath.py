@@ -84,6 +84,12 @@ def assert_engines_identical(context, kind, params):
     return reference
 
 
+#: Coordinates for the spatial kind — names match the workload's nodes,
+#: with 9-14 m links sitting on the PDR waterfall at -92 dBm sensitivity.
+POSITIONS = {
+    "n0": [0.0, 0.0], "n1": [12.0, 0.0], "n2": [12.0, 9.0], "n3": [0.0, 14.0],
+}
+
 #: (loss kind, params-per-seed factory, scenario extras) matrix rows.
 LOSS_MATRIX = [
     ("perfect", lambda seed: {}, {}),
@@ -100,6 +106,23 @@ LOSS_MATRIX = [
     ("glossy",
      lambda seed: {"link_success": 0.9, "seed": seed},
      {"topology": TopologySpec("line", {"num_nodes": 4})}),
+    ("spatial",
+     lambda seed: {"shadowing_db": 3.0, "shadowing_seed": 5,
+                   "sensitivity_dbm": -92.0, "seed": seed},
+     {"topology": TopologySpec(
+         "uniform_random", {"positions": POSITIONS, "comm_range": 40.0})}),
+    ("matrix_trace",
+     lambda seed: {"matrices": [{"pdr": {}, "default": 0.9},
+                                {"pdr": {"n0": {"n2": 0.3}}, "default": 0.7}],
+                   "on_end": "wrap", "seed": seed}, {}),
+    ("time_varying",
+     lambda seed: {"beacon_loss": 0.05, "data_loss": 0.15,
+                   "shape": "periodic", "period": 10, "amplitude": 0.8,
+                   "seed": seed}, {}),
+    ("interference",
+     lambda seed: {"period": 8, "burst": 3, "jam_loss": 0.9,
+                   "base_data_loss": 0.05, "affected": ["n1", "n2"],
+                   "seed": seed}, {}),
 ]
 
 

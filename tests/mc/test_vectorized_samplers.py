@@ -301,3 +301,103 @@ class TestRegistry:
     def test_none_means_perfect(self):
         assert supports_loss_kind(None)
         assert VECTOR_SAMPLERS[None] is VECTOR_SAMPLERS["perfect"]
+
+
+class TestConnectivityVectors:
+    """The connectivity kinds' tensor twins: forced bits and the
+    degenerate (lossless / blackout) channels, without synthesis."""
+
+    def spatial_model(self, spread):
+        from repro.net import build_topology
+        from repro.runtime.loss import SpatialLoss
+
+        positions = {
+            name: [index * spread, 0.0] for index, name in enumerate(NODES)
+        }
+        topology = build_topology(
+            "uniform_random",
+            {"positions": positions, "comm_range": max(spread * 10, 1.0)},
+        )
+        return SpatialLoss(topology, sensitivity_dbm=-92.0)
+
+    def test_spatial_close_positions_lossless(self):
+        from repro.mc.vectorized import _SpatialVector
+
+        timeline = fake_timeline(20, 40)
+        sampler = _SpatialVector(
+            self.spatial_model(0.5), fake_program(), timeline, HOST
+        )
+        beacon, data = sampler.sample(trial_rngs(3, 2))
+        assert beacon.all() and data.all()
+
+    def test_spatial_far_positions_only_forced_bits(self):
+        from repro.mc.vectorized import _SpatialVector
+
+        timeline = fake_timeline(20, 40)
+        sampler = _SpatialVector(
+            self.spatial_model(500.0), fake_program(), timeline, HOST
+        )
+        beacon, data = sampler.sample(trial_rngs(3, 2))
+        trials = beacon.shape[0]
+        assert beacon[:, :, HOST].all()
+        assert beacon.sum() == trials * timeline.num_rounds  # host bits only
+        assert data[:, np.arange(timeline.num_slots),
+                    timeline.slot_sender].all()
+        assert data.sum() == trials * timeline.num_slots  # sender bits only
+
+    def test_matrix_trace_degenerate_channels(self):
+        from repro.mc.vectorized import _MatrixTraceVector
+        from repro.runtime.loss import MatrixTraceLoss
+
+        timeline = fake_timeline(6, 12)
+        open_channel = _MatrixTraceVector(
+            MatrixTraceLoss(matrices=[{"pdr": {}, "default": 1.0}]),
+            fake_program(), timeline, HOST,
+        )
+        beacon, data = open_channel.sample(trial_rngs(5, 2))
+        assert beacon.all() and data.all()
+
+        closed = _MatrixTraceVector(
+            MatrixTraceLoss(matrices=[{"pdr": {}, "default": 0.0}]),
+            fake_program(), timeline, HOST,
+        )
+        beacon, data = closed.sample(trial_rngs(5, 2))
+        assert beacon[:, :, HOST].all()
+        assert np.delete(beacon, HOST, axis=2).sum() == 0
+
+    def test_time_varying_scaled_to_zero_is_lossless(self):
+        from repro.mc.vectorized import _TimeVaryingVector
+        from repro.runtime.loss import TimeVaryingLoss
+
+        model = TimeVaryingLoss(
+            beacon_loss=0.5, data_loss=0.5, shape="ramp",
+            ramp_rounds=5, scale_start=0.0, scale_end=0.0,
+        )
+        sampler = _TimeVaryingVector(
+            model, fake_program(), fake_timeline(10, 20), HOST
+        )
+        beacon, data = sampler.sample(trial_rngs(9, 2))
+        assert beacon.all() and data.all()
+
+    def test_interference_blackout_rounds(self):
+        from repro.mc.vectorized import _InterferenceVector
+        from repro.runtime.loss import InterferenceLoss
+
+        timeline = fake_timeline(8, 16)
+        model = InterferenceLoss(period=2, burst=1, jam_loss=1.0)
+        sampler = _InterferenceVector(model, fake_program(), timeline, HOST)
+        beacon, data = sampler.sample(trial_rngs(13, 2))
+        jammed_rounds = np.array([model.jammed(r) for r in range(8)])
+        free = np.delete(beacon, HOST, axis=2)
+        # Jammed rounds: nothing but the forced host bit gets through.
+        assert free[:, jammed_rounds, :].sum() == 0
+        # Clear rounds at base loss 0: everyone hears everything.
+        assert free[:, ~jammed_rounds, :].all()
+        for slot in range(timeline.num_slots):
+            cells = data[:, slot, :]
+            if jammed_rounds[timeline.slot_round[slot]]:
+                # Only the forced sender bit survives a jammed round.
+                assert cells[:, timeline.slot_sender[slot]].all()
+                assert cells.sum() == cells.shape[0]
+            else:
+                assert cells.all()

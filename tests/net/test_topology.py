@@ -5,12 +5,15 @@ import pytest
 from repro.net import (
     Topology,
     TopologyError,
+    build_topology,
     diameter_line,
     grid,
+    grid2d,
     line,
     random_geometric,
     ring,
     star,
+    uniform_random,
 )
 
 
@@ -98,6 +101,104 @@ class TestDiameterLine:
     def test_invalid(self):
         with pytest.raises(TopologyError):
             diameter_line(0)
+
+
+class TestGrid2d:
+    def test_positions_and_graph(self):
+        topo = grid2d(2, 3, spacing=5.0)
+        assert topo.num_nodes == 6
+        assert topo.host == "n0_0"
+        assert topo.positions["n0_0"] == (0.0, 0.0)
+        assert topo.positions["n1_2"] == (5.0, 10.0)
+        # 4-connected lattice, same structure as the coordinate-free grid.
+        assert topo.diameter == grid(2, 3).diameter
+
+    def test_distance(self):
+        topo = grid2d(2, 2, spacing=3.0)
+        assert topo.distance("n0_0", "n0_1") == pytest.approx(3.0)
+        assert topo.distance("n0_0", "n1_1") == pytest.approx(18.0 ** 0.5)
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            grid2d(0, 3)
+        with pytest.raises(TopologyError, match="spacing"):
+            grid2d(2, 2, spacing=0.0)
+
+    def test_via_json_boundary(self):
+        topo = build_topology("grid2d", {"rows": 2, "cols": 2, "spacing": 10.0})
+        assert set(topo.positions) == {"n0_0", "n0_1", "n1_0", "n1_1"}
+
+
+class TestUniformRandom:
+    def test_seed_determinism(self):
+        t1 = uniform_random(8, side=60.0, comm_range=35.0, seed=4)
+        t2 = uniform_random(8, side=60.0, comm_range=35.0, seed=4)
+        assert t1.positions == t2.positions
+        assert sorted(t1.graph.edges) == sorted(t2.graph.edges)
+
+    def test_connected(self):
+        topo = uniform_random(10, side=50.0, comm_range=30.0, seed=1)
+        import networkx as nx
+
+        assert nx.is_connected(topo.graph)
+
+    def test_edges_respect_range(self):
+        topo = uniform_random(10, side=80.0, comm_range=30.0, seed=2)
+        for a, b in topo.graph.edges:
+            assert topo.distance(a, b) <= 30.0
+        non_edges = [
+            (a, b)
+            for a in topo.nodes for b in topo.nodes
+            if a < b and not topo.graph.has_edge(a, b)
+        ]
+        for a, b in non_edges:
+            assert topo.distance(a, b) > 30.0
+
+    def test_explicit_positions_round_trip(self):
+        """Coordinates persisted through Scenario JSON rebuild verbatim."""
+        positions = {"n0": [0.0, 0.0], "n1": [10.0, 0.0], "n2": [10.0, 8.0]}
+        topo = build_topology(
+            "uniform_random", {"positions": positions, "comm_range": 12.0}
+        )
+        assert topo.positions == {
+            "n0": (0.0, 0.0), "n1": (10.0, 0.0), "n2": (10.0, 8.0)
+        }
+        assert topo.host == "n0"
+        assert topo.graph.has_edge("n0", "n1")
+        assert not topo.graph.has_edge("n0", "n2")  # dist ~12.81 > 12.0
+
+    def test_explicit_positions_edges(self):
+        positions = {"a": [0.0, 0.0], "b": [20.0, 0.0], "c": [40.0, 0.0]}
+        topo = build_topology(
+            "uniform_random",
+            {"positions": positions, "comm_range": 25.0, "host": "b"},
+        )
+        assert topo.host == "b"
+        assert topo.graph.has_edge("a", "b")
+        assert topo.graph.has_edge("b", "c")
+        assert not topo.graph.has_edge("a", "c")
+
+    def test_needs_num_nodes_or_positions(self):
+        with pytest.raises(TopologyError, match="num_nodes"):
+            uniform_random()
+
+    def test_impossible_range_raises(self):
+        with pytest.raises(TopologyError, match="no connected"):
+            uniform_random(20, side=1000.0, comm_range=5.0, max_attempts=3)
+
+
+class TestPositionsValidation:
+    def test_missing_position_rejected(self):
+        import networkx as nx
+
+        graph = nx.path_graph(3)
+        graph = nx.relabel_nodes(graph, {i: f"n{i}" for i in range(3)})
+        with pytest.raises(TopologyError, match="positions missing"):
+            Topology(graph=graph, host="n0", positions={"n0": (0.0, 0.0)})
+
+    def test_distance_requires_positions(self):
+        with pytest.raises(TopologyError, match="no node positions"):
+            line(3).distance("n0", "n1")
 
 
 class TestValidation:

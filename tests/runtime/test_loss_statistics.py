@@ -234,8 +234,9 @@ class TestJsonBoundary:
 
     def test_kind_registry_is_complete(self):
         assert available_loss_kinds() == (
-            "bernoulli", "gilbert_elliott", "glossy", "perfect",
-            "scripted_beacon", "trace_replay",
+            "bernoulli", "gilbert_elliott", "glossy", "interference",
+            "matrix_trace", "perfect", "scripted_beacon", "spatial",
+            "time_varying", "trace_replay",
         )
 
     def test_builds_every_kind(self):
