@@ -68,5 +68,10 @@ def pytest_sessionfinish(session, exitstatus):
             "cpu_count": os.cpu_count(),
         }
         document.update(fields)
+        # Every document states how many workers actually ran, so a
+        # reader comparing trajectories across machines can tell a
+        # real regression from a smaller runner.  Benchmarks that pool
+        # record their own count; everything else is single-process.
+        document.setdefault("effective_workers", 1)
         path = out_dir / f"BENCH_{name}.json"
         path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")

@@ -79,6 +79,7 @@ def test_bench_parallel_synthesis(benchmark, tmp_path, capsys, bench_record):
         modes=NUM_MODES,
         sweep_passes=SWEEP_PASSES,
         jobs=jobs,
+        effective_workers=jobs,
         sequential_seconds=t_seq,
         engine_seconds=t_engine,
         speedup=t_seq / t_engine if t_engine else None,

@@ -50,7 +50,15 @@ def exploration_table(result) -> str:
 
 
 def front_rows(result) -> List[Dict[str, object]]:
-    """One dict per Pareto-front point, sorted by the first objective."""
+    """One dict per Pareto-front point, sorted by the first objective.
+
+    Besides the assignment and the objective values, each row records
+    the evaluation's provenance: ``campaigns`` (MC campaigns spent on
+    the candidate — 0 means the result came for free from an analytic
+    bound or a failed synthesis) and ``source_shard`` (the distributed
+    shard that executed it, ``-`` for single-process runs), so
+    saved-campaign claims are auditable straight from the report.
+    """
     first = result.objectives[0]
     rows = []
     for candidate in sorted(
@@ -59,6 +67,9 @@ def front_rows(result) -> List[Dict[str, object]]:
         row: Dict[str, object] = dict(candidate.assignment)
         for objective in result.objectives:
             row[objective.name] = candidate.values[objective.name]
+        row["campaigns"] = candidate.evaluation.campaigns
+        shard = candidate.evaluation.shard
+        row["source_shard"] = shard if shard is not None else "-"
         rows.append(row)
     return rows
 

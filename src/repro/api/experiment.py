@@ -332,6 +332,7 @@ class Experiment:
         store=None,
         engine: str = "fast",
         batch_size: Optional[int] = None,
+        shards: int = 1,
     ):
         """Explore a design space over this experiment's pool and cache.
 
@@ -341,28 +342,54 @@ class Experiment:
         :class:`~repro.dse.space.Space` (axes over scenario fields —
         slots per round, payload, loss grids, backends, ...) for its
         Pareto-optimal configurations: a sampler selects candidates
-        (``grid``, ``random``, ``halton``, or the adaptive
-        ``adaptive`` successive-halving strategy), each candidate runs
-        one Monte-Carlo campaign through the shared pool/cache, and
-        the measured objective vectors yield an exact multi-objective
-        Pareto front.  A persistent ``store`` (JSONL or SQLite path)
-        makes the exploration resumable: completed candidates are
-        never re-executed.  See :func:`repro.dse.explore` for the
-        full parameter set and :doc:`docs/EXPLORATION.md` for a
-        worked example.
+        (``grid``, ``random``, ``halton``, the adaptive ``adaptive``
+        successive-halving strategy, or the model-guided
+        ``surrogate``), each candidate runs one Monte-Carlo campaign
+        through the shared pool/cache, and the measured objective
+        vectors yield an exact multi-objective Pareto front.  A
+        persistent ``store`` (JSONL or SQLite path) makes the
+        exploration resumable: completed candidates are never
+        re-executed.  ``shards > 1`` fans candidate evaluation out
+        over a work-stealing pool of shard processes
+        (:func:`repro.dse.explore_sharded`; requires a persistent
+        store).  See :func:`repro.dse.explore` for the full parameter
+        set and :doc:`docs/EXPLORATION.md` for a worked example.
 
         Returns:
             A :class:`repro.dse.ExplorationResult`.
         """
         from ..dse import DEFAULT_BATCH_SIZE, DEFAULT_OBJECTIVES
         from ..dse import explore as run_exploration
+        from ..dse import explore_sharded
 
+        objectives = (
+            objectives if objectives is not None else DEFAULT_OBJECTIVES
+        )
+        batch_size = (
+            batch_size if batch_size is not None else DEFAULT_BATCH_SIZE
+        )
+        if shards > 1:
+            return explore_sharded(
+                space,
+                shards=shards,
+                sampler=sampler,
+                objectives=objectives,
+                trials=trials,
+                seeds=seeds,
+                samples=samples,
+                jobs=self.jobs,
+                cache_dir=(
+                    self.cache.cache_dir if self.cache is not None else None
+                ),
+                warm_start=self.warm_start,
+                store=store,
+                engine=engine,
+                batch_size=batch_size,
+            )
         return run_exploration(
             space,
             sampler=sampler,
-            objectives=(
-                objectives if objectives is not None else DEFAULT_OBJECTIVES
-            ),
+            objectives=objectives,
             trials=trials,
             seeds=seeds,
             samples=samples,
@@ -371,9 +398,7 @@ class Experiment:
             warm_start=self.warm_start,
             store=store,
             engine=engine,
-            batch_size=(
-                batch_size if batch_size is not None else DEFAULT_BATCH_SIZE
-            ),
+            batch_size=batch_size,
         )
 
     def _simulate(

@@ -18,12 +18,17 @@ Commands:
 * ``scenario explore`` — design-space exploration (see
   :mod:`repro.dse`): search a parameter space (a space file, or a
   scenario file plus ``--axis`` flags) for its Pareto-optimal
-  configurations with ``--sampler grid|random|halton|adaptive``,
-  evaluating candidates through Monte-Carlo campaigns and printing
-  the front table; ``--store FILE`` persists every evaluation
-  (JSONL, or SQLite by suffix) so repeated invocations are
-  incremental and ``--resume`` continues an interrupted run without
-  re-executing completed campaigns;
+  configurations with ``--sampler
+  grid|random|halton|adaptive|surrogate``, evaluating candidates
+  through Monte-Carlo campaigns and printing the front table;
+  ``--store FILE`` persists every evaluation (JSONL, or SQLite by
+  suffix) so repeated invocations are incremental and ``--resume``
+  continues an interrupted run without re-executing completed
+  campaigns; ``--shards N`` fans evaluation out over a work-stealing
+  pool of shard processes appending to partitioned store segments;
+* ``store merge`` — merge partitioned store segments
+  (``store.part-<n>``) into the main store, deduping by candidate key
+  (newest wins) — recovers a killed distributed exploration;
 * ``serve`` — run the toolkit as a long-running HTTP service (see
   :mod:`repro.serve` and docs/SERVICE.md): an async job queue with
   admission control drains submissions through the synthesis and
@@ -395,7 +400,7 @@ def _load_space_file(path: str, args: argparse.Namespace):
 
 
 def _cmd_scenario_explore(args: argparse.Namespace) -> int:
-    from .dse import explore, get_sampler
+    from .dse import explore, explore_sharded, get_sampler
 
     try:
         space = _load_space_file(args.space, args)
@@ -407,20 +412,38 @@ def _cmd_scenario_explore(args: argparse.Namespace) -> int:
                     f"--resume: store {args.store!r} does not exist yet "
                     f"(drop --resume to start a fresh exploration)"
                 )
+        if args.shards > 1 and args.store is None:
+            raise ValueError("--shards needs --store FILE (the shard "
+                             "segments and claim table derive from it)")
         sampler = get_sampler(args.sampler, samples=args.samples,
                               seed=args.sampler_seed)
-        result = explore(
-            space,
-            sampler=sampler,
-            objectives=args.objectives,
-            trials=args.trials,
-            seeds=args.seeds,
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            warm_start=not args.no_warm_start,
-            store=args.store,
-            engine=args.engine,
-        )
+        if args.shards > 1:
+            result = explore_sharded(
+                space,
+                shards=args.shards,
+                sampler=sampler,
+                objectives=args.objectives,
+                trials=args.trials,
+                seeds=args.seeds,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                warm_start=not args.no_warm_start,
+                store=args.store,
+                engine=args.engine,
+            )
+        else:
+            result = explore(
+                space,
+                sampler=sampler,
+                objectives=args.objectives,
+                trials=args.trials,
+                seeds=args.seeds,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                warm_start=not args.no_warm_start,
+                store=args.store,
+                engine=args.engine,
+            )
     except ValueError as exc:  # Space/Sampler/Objective/Exploration errors
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -430,6 +453,7 @@ def _cmd_scenario_explore(args: argparse.Namespace) -> int:
         f"selected {len(result.candidates)} of {result.space_size} grid "
         f"point(s), objectives "
         f"{','.join(obj.name for obj in result.objectives)}"
+        + (f", {result.shards} shard(s)" if result.shards > 1 else "")
     )
     print(
         f"executed {result.executed} campaign(s), reused {result.reused} "
@@ -458,6 +482,32 @@ def _cmd_scenario_explore(args: argparse.Namespace) -> int:
         )
         print(f"wrote {args.json}")
     return 1 if failures else 0
+
+
+def _cmd_store_merge(args: argparse.Namespace) -> int:
+    from .dse import discover_parts, merge_stores
+
+    try:
+        parts = args.parts or None
+        if parts is None and not discover_parts(args.store):
+            print(f"no segments to merge into {args.store}")
+            return 0
+        report = merge_stores(
+            args.store,
+            parts=parts,
+            delete_parts=not args.keep_parts,
+        )
+    except ValueError as exc:  # StoreError
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"merged {len(report.parts)} segment(s) into {report.target}: "
+        f"{report.examined} record(s) examined, {report.merged} new, "
+        f"{report.updated} updated, {report.ignored} already current"
+    )
+    for part in report.parts:
+        print(f"  {part}" + ("" if args.keep_parts else " (deleted)"))
+    return 0
 
 
 # -- service commands --------------------------------------------------------
@@ -863,20 +913,31 @@ def build_parser() -> argparse.ArgumentParser:
              "candidate); pass '' to clear the space file's deriver",
     )
     explore.add_argument(
-        "--sampler", choices=["grid", "random", "halton", "adaptive"],
+        "--sampler",
+        choices=["grid", "random", "halton", "adaptive", "surrogate"],
         default="grid",
         help="candidate selection: exhaustive grid (default), seeded "
-             "uniform sample, low-discrepancy halton sample, or the "
-             "adaptive successive-halving pruner over analytic bounds",
+             "uniform sample, low-discrepancy halton sample, the "
+             "adaptive successive-halving pruner over analytic bounds, "
+             "or the model-guided surrogate (ridge regression + "
+             "expected improvement vs. the measured front)",
     )
     explore.add_argument(
         "--samples", type=_positive_int, default=None,
         help="candidate budget: random/halton draw size (default 16), "
-             "adaptive survivor target (default: half the grid)",
+             "adaptive survivor target and surrogate campaign budget "
+             "(default: half the grid)",
     )
     explore.add_argument(
         "--sampler-seed", type=int, default=None,
-        help="seed of the random sampler (default 0)",
+        help="seed of the random/surrogate sampler (default 0)",
+    )
+    explore.add_argument(
+        "--shards", type=_positive_int, default=1,
+        help="fan candidate evaluation out over this many shard "
+             "processes with work stealing (requires --store; each "
+             "shard appends to its own store.part-<n> segment, merged "
+             "back after every round; default %(default)s = in-process)",
     )
     explore.add_argument(
         "--objectives", type=_objective_list,
@@ -1068,6 +1129,35 @@ def build_parser() -> argparse.ArgumentParser:
     gantt.add_argument("-m", "--mode", default=None)
     gantt.add_argument("-w", "--width", type=int, default=72)
     gantt.set_defaults(func=_cmd_gantt)
+
+    store = sub.add_parser(
+        "store",
+        help="result-store maintenance (repro.dse stores)",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    merge = store_sub.add_parser(
+        "merge",
+        help="merge partitioned store segments (store.part-<n>) into "
+             "the main store, deduping by candidate key (newest wins) "
+             "— recovers the completed work of a killed distributed "
+             "exploration",
+    )
+    merge.add_argument(
+        "store", metavar="STORE",
+        help="the main result store (JSONL or SQLite by suffix); "
+             "created if missing",
+    )
+    merge.add_argument(
+        "parts", nargs="*", metavar="PART",
+        help="segment files to merge (default: every "
+             "<stem>.part-<n><suffix> sibling of STORE)",
+    )
+    merge.add_argument(
+        "--keep-parts", action="store_true",
+        help="leave the segment files in place (default: delete each "
+             "segment after a successful merge)",
+    )
+    merge.set_defaults(func=_cmd_store_merge)
 
     return parser
 

@@ -10,16 +10,22 @@ first-class, resumable workflow:
   plus typed axes over its fields (slots, payload, loss grids,
   backends, ...), JSON round-trippable;
 * samplers — exhaustive :class:`GridSampler`, seeded
-  :class:`RandomSampler`, low-discrepancy :class:`HaltonSampler`, and
-  the adaptive :class:`SuccessiveHalvingSampler` that prunes
-  analytically dominated configurations before spending MC trials;
+  :class:`RandomSampler`, low-discrepancy :class:`HaltonSampler`, the
+  adaptive :class:`SuccessiveHalvingSampler` that prunes analytically
+  dominated configurations before spending MC trials, and the
+  model-guided :class:`SurrogateSampler` (ridge regression over the
+  axis grid, expected-improvement acquisition vs. the measured front);
 * :class:`Objective` registry + exact Pareto machinery
   (:func:`pareto_front`, :func:`dominance_rank`);
 * :func:`open_store` — persistent JSONL/SQLite result stores keyed by
   content hash, making every exploration incremental and resumable;
 * :func:`explore` — the driver; also reachable as
   ``Experiment.explore()`` and ``python -m repro.cli scenario
-  explore``.
+  explore``;
+* :func:`explore_sharded` — the same exploration fanned out over a
+  work-stealing pool of shard processes, each appending to its own
+  partitioned store segment (``--shards`` on the CLI); segments merge
+  with :func:`merge_stores` / ``repro store merge``.
 
 Quickstart::
 
@@ -35,6 +41,7 @@ Quickstart::
     print(result.front_table())
 """
 
+from .distributed import explore_sharded
 from .explore import (
     DEFAULT_BATCH_SIZE,
     CandidateResult,
@@ -78,12 +85,17 @@ from .store import (
     STORE_SCHEMA,
     JsonlStore,
     MemoryStore,
+    MergeReport,
     ResultStore,
     SqliteStore,
     StoreError,
     candidate_key,
+    discover_parts,
+    merge_stores,
     open_store,
+    part_path,
 )
+from .surrogate import SurrogateSampler, analytic_front, expected_improvement
 
 __all__ = [
     "Axis",
@@ -97,6 +109,7 @@ __all__ = [
     "HaltonSampler",
     "JsonlStore",
     "MemoryStore",
+    "MergeReport",
     "Objective",
     "ObjectiveError",
     "RandomSampler",
@@ -109,6 +122,8 @@ __all__ = [
     "SqliteStore",
     "StoreError",
     "SuccessiveHalvingSampler",
+    "SurrogateSampler",
+    "analytic_front",
     "apply_target",
     "available_derivers",
     "available_objectives",
@@ -116,14 +131,19 @@ __all__ = [
     "available_transforms",
     "candidate_key",
     "crowding_spread",
+    "discover_parts",
     "dominance_rank",
     "dominates",
+    "expected_improvement",
     "explore",
     "explore_scenario",
+    "explore_sharded",
     "get_objective",
     "get_sampler",
+    "merge_stores",
     "open_store",
     "pareto_front",
+    "part_path",
     "register_deriver",
     "register_objective",
     "register_transform",

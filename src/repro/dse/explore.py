@@ -115,6 +115,8 @@ class ExplorationResult:
         space_size: Full grid size of the explored space.
         store_path: Path of the backing store (``None`` in-memory).
         elapsed: Wall-clock seconds of the evaluation phase.
+        shards: Worker processes the evaluation was partitioned over
+            (1 for single-process exploration).
     """
 
     objectives: Tuple[Objective, ...]
@@ -127,6 +129,7 @@ class ExplorationResult:
     space_size: int = 0
     store_path: Optional[str] = None
     elapsed: float = 0.0
+    shards: int = 1
 
     def __iter__(self):
         return iter(self.candidates)
@@ -165,6 +168,7 @@ class ExplorationResult:
         return {
             "sampler": self.sampler,
             "space_size": self.space_size,
+            "shards": self.shards,
             "objectives": [
                 {"name": obj.name, "direction": obj.direction}
                 for obj in self.objectives
@@ -202,6 +206,11 @@ def _record_of(evaluation: Evaluation) -> dict:
         "rounds": evaluation.rounds,
         "elapsed": evaluation.elapsed,
         "error": evaluation.error,
+        "campaigns": evaluation.campaigns,
+        "shard": evaluation.shard,
+        # Wall-clock write stamp — the merge tool's "newest wins"
+        # tiebreak when partitioned segments disagree on a key.
+        "written_at": time.time(),
     }
 
 
@@ -229,6 +238,12 @@ def _evaluation_from_record(
         cached=True,
         elapsed=0.0,
         error=record.get("error"),
+        # Pre-provenance records (schema unchanged: the fields are
+        # additive) default to one spent campaign for healthy results.
+        campaigns=record.get(
+            "campaigns", 0 if record.get("error") else 1
+        ),
+        shard=record.get("shard"),
     )
 
 
@@ -284,11 +299,17 @@ def _evaluate_batch(
     warm_start: bool,
     stats: EngineStats,
     engine: str,
+    pool=None,
+    shard: Optional[int] = None,
 ) -> List[Evaluation]:
     """Evaluate one batch of candidates; one Evaluation per input.
 
     A batch-wide :class:`InfeasibleError` triggers per-candidate
     re-evaluation so only the genuinely infeasible candidates fail.
+    ``pool`` (a :class:`~repro.engine.trials.ResidentPool`) lets a
+    long-lived caller — the exploration shards — reuse one executor
+    and its worker-side context caches across many batches; ``shard``
+    labels the produced evaluations for provenance.
     """
     started = time.perf_counter()
     scenarios = [scenario for scenario, _, _ in batch]
@@ -302,6 +323,7 @@ def _evaluate_batch(
             warm_start=warm_start,
             stats=stats,
             engine=engine,
+            pool=pool,
         )
     except InfeasibleError as exc:
         if len(batch) == 1:
@@ -312,11 +334,14 @@ def _evaluate_batch(
                 seeds=tuple(seed_list),
                 elapsed=time.perf_counter() - started,
                 error=f"infeasible: {exc}",
+                campaigns=0,
+                shard=shard,
             )]
         evaluations: List[Evaluation] = []
         for item in batch:
             evaluations.extend(_evaluate_batch(
-                [item], trials, seeds, jobs, cache, warm_start, stats, engine
+                [item], trials, seeds, jobs, cache, warm_start, stats,
+                engine, pool, shard,
             ))
         return evaluations
 
@@ -338,6 +363,8 @@ def _evaluate_batch(
                 seeds=tuple(seed_list),
                 elapsed=per_candidate,
                 error=_failure_text(outcome.reports.get(scenario.name, {})),
+                campaigns=0,
+                shard=shard,
             ))
             continue
         evaluations.append(Evaluation(
@@ -348,8 +375,27 @@ def _evaluate_batch(
             rounds=rounds,
             seeds=tuple(seed_list),
             elapsed=per_candidate,
+            campaigns=1,
+            shard=shard,
         ))
     return evaluations
+
+
+def _measured_vector(
+    candidate: CandidateResult,
+    objectives: Sequence[Objective],
+) -> Optional[List[float]]:
+    """A candidate's normalized objective vector for sampler feedback
+    (``None`` for failed candidates — the sampler skips them)."""
+    if candidate.error is not None:
+        return None
+    try:
+        return [
+            obj.normalized(obj.value(candidate.evaluation))
+            for obj in objectives
+        ]
+    except Exception:
+        return None
 
 
 def explore(
@@ -366,13 +412,18 @@ def explore(
     store: "Union[ResultStore, str, Path, None]" = None,
     engine: str = "fast",
     batch_size: int = DEFAULT_BATCH_SIZE,
+    pool=None,
+    shard: Optional[int] = None,
 ) -> ExplorationResult:
     """Explore a design space and compute its Pareto front.
 
     Args:
         space: The parameter space (base scenario + axes).
         sampler: Selection strategy — a :class:`Sampler` instance or a
-            name (``grid``, ``random``, ``halton``, ``adaptive``).
+            name (``grid``, ``random``, ``halton``, ``adaptive``,
+            ``surrogate``).  Iterative samplers (``surrogate``) are
+            driven in propose/measure rounds; the rest select all
+            candidates up front.
         objectives: Objective names or instances (default
             ``energy, latency, miss``).
         trials: MC trials per candidate (default: the base scenario's
@@ -393,6 +444,14 @@ def explore(
             distribution-equivalent).
         batch_size: Candidates per evaluation batch — the durability
             granularity of the store.
+        pool: Optional :class:`~repro.engine.trials.ResidentPool` to
+            execute trials on — a long-lived executor whose workers
+            cache built contexts across batches (and across calls);
+            the distributed exploration shards pass one so ``jobs``
+            only governs synthesis.
+        shard: Provenance label written into every produced store
+            record (the shard id of a distributed exploration;
+            ``None`` for single-process runs).
 
     Returns:
         An :class:`ExplorationResult`; ``result.front`` is the exact
@@ -427,8 +486,9 @@ def explore(
         store_path=str(store.path) if store.path is not None else None,
     )
     started = time.perf_counter()
-    try:
-        selected = sampler.select(space, objectives)
+
+    def run_selection(selected) -> List[CandidateResult]:
+        """Store-check + batched evaluation of one assignment list."""
         pending: List[Tuple[int, str, Scenario, Dict[str, object], List]] = []
         slots: List[Optional[CandidateResult]] = []
         for assignment in selected:
@@ -474,10 +534,10 @@ def explore(
             evaluations = _evaluate_batch(
                 [(s, a, sl) for _, _, s, a, sl in chunk],
                 trials, seeds, jobs, cache, warm_start, stats, engine,
+                pool, shard,
             )
-            for (slot, key, scenario, assignment, seed_list), evaluation in zip(
-                chunk, evaluations
-            ):
+            for (slot, key, scenario, assignment, seed_list), evaluation \
+                    in zip(chunk, evaluations):
                 store.put(key, _record_of(evaluation))
                 slots[slot] = CandidateResult(
                     assignment=dict(assignment),
@@ -486,15 +546,47 @@ def explore(
                     evaluation=evaluation,
                 )
                 result.executed += 1
+        assert all(slot is not None for slot in slots)
+        return list(slots)
+
+    candidates: List[CandidateResult] = []
+    try:
+        if getattr(sampler, "iterative", False):
+            # Iterative (model-guided) samplers: propose -> measure ->
+            # feed the normalized objective vectors back, until the
+            # sampler stops proposing.
+            measured: List[dict] = []
+            while True:
+                proposals = sampler.propose(space, objectives, measured)
+                if not proposals:
+                    break
+                round_results = run_selection(proposals)
+                candidates.extend(round_results)
+                for candidate in round_results:
+                    measured.append({
+                        "assignment": dict(candidate.assignment),
+                        "vector": _measured_vector(candidate, objectives),
+                    })
+        else:
+            candidates = run_selection(sampler.select(space, objectives))
     finally:
         result.elapsed = time.perf_counter() - started
         if own_store:
             store.close()
 
-    assert all(slot is not None for slot in slots)
-    result.candidates = list(slots)
+    result.candidates = candidates
+    _score_result(result)
+    return result
 
-    # -- scoring: measured objective vectors, exact front ----------------
+
+def _score_result(result: ExplorationResult) -> None:
+    """Score a result in place: measured objective vectors, exact front.
+
+    Shared by :func:`explore` and the distributed driver
+    (:func:`repro.dse.distributed.explore_sharded`), so a sharded
+    exploration ranks candidates exactly like a single-process one.
+    """
+    objectives = result.objectives
     healthy: List[CandidateResult] = []
     for candidate in result.candidates:
         if candidate.error is not None:
@@ -515,7 +607,6 @@ def explore(
         for candidate, rank in zip(healthy, dominance_rank(vectors)):
             candidate.rank = rank
             candidate.on_front = rank == 0
-    return result
 
 
 def explore_scenario(

@@ -58,6 +58,13 @@ class Evaluation:
         error: Failure description for candidates that could not be
             evaluated (infeasible synthesis, failed verification);
             ``None`` for healthy records.
+        campaigns: Monte-Carlo campaigns spent on this candidate — 1
+            for an executed evaluation, 0 when synthesis failed before
+            any trial ran.  Restored records keep the count of the run
+            that produced them, so saved-campaign claims stay auditable
+            across resumes.
+        shard: Id of the exploration shard that executed the
+            evaluation (``None`` for single-process runs).
     """
 
     scenario: Scenario
@@ -69,6 +76,8 @@ class Evaluation:
     cached: bool = False
     elapsed: float = 0.0
     error: Optional[str] = None
+    campaigns: int = 0
+    shard: Optional[int] = None
 
     def require_stats(self, objective: str) -> CampaignStats:
         if self.stats is None:

@@ -41,9 +41,21 @@ class SamplerError(ValueError):
 
 
 class Sampler:
-    """Base class: a named strategy selecting grid assignments."""
+    """Base class: a named strategy selecting grid assignments.
+
+    Two protocols share this base.  One-shot samplers implement
+    :meth:`select` and pick every candidate up front.  *Iterative*
+    samplers (``iterative = True``, e.g. the model-guided
+    :class:`~repro.dse.surrogate.SurrogateSampler`) implement
+    ``propose(space, objectives, measured)`` instead and are driven in
+    rounds by the explorer, which feeds the measured objective vectors
+    back after every round.
+    """
 
     name = "sampler"
+
+    #: Iterative samplers are driven through ``propose`` in rounds.
+    iterative = False
 
     def select(
         self, space: Space, objectives: Sequence[Objective]
@@ -273,11 +285,20 @@ class SuccessiveHalvingSampler(Sampler):
         return alive
 
 
+def _surrogate_sampler(*args, **kwargs):
+    # Deferred import: repro.dse.surrogate imports this module's base
+    # class, so the registry resolves it lazily.
+    from .surrogate import SurrogateSampler
+
+    return SurrogateSampler(*args, **kwargs)
+
+
 _SAMPLERS = {
     "grid": GridSampler,
     "random": RandomSampler,
     "halton": HaltonSampler,
     "adaptive": SuccessiveHalvingSampler,
+    "surrogate": _surrogate_sampler,
 }
 
 
@@ -308,6 +329,10 @@ def get_sampler(
         return HaltonSampler(samples if samples is not None else 16)
     if name == "adaptive":
         return SuccessiveHalvingSampler(budget=samples)
+    if name == "surrogate":
+        return _surrogate_sampler(
+            budget=samples, seed=seed if seed is not None else 0
+        )
     raise SamplerError(
         f"unknown sampler {name!r}; available: "
         f"{', '.join(available_samplers())}"

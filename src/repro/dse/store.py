@@ -34,6 +34,7 @@ import hashlib
 import json
 import sqlite3
 import threading
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Sequence
 
@@ -302,3 +303,149 @@ def open_store(path: "str | Path | None") -> ResultStore:
     if path.suffix.lower() in _SQLITE_SUFFIXES:
         return SqliteStore(path)
     return JsonlStore(path)
+
+
+# -- partitioned stores and merging -------------------------------------------
+
+
+def part_path(path: "str | Path", shard: int) -> Path:
+    """The partitioned segment of ``path`` owned by ``shard``.
+
+    The shard tag sits *before* the suffix so the segment keeps the
+    parent store's backend: ``explore.jsonl`` -> ``explore.part-3.jsonl``,
+    ``results.sqlite`` -> ``results.part-0.sqlite``.
+    """
+    if not isinstance(shard, int) or isinstance(shard, bool) or shard < 0:
+        raise StoreError(f"shard must be an integer >= 0, got {shard!r}")
+    path = Path(path)
+    return path.with_name(f"{path.stem}.part-{shard}{path.suffix}")
+
+
+def discover_parts(path: "str | Path") -> "list[Path]":
+    """Existing partitioned segments of the store at ``path``, sorted
+    by shard id — what a crashed distributed exploration left behind."""
+    path = Path(path)
+    found = []
+    for candidate in path.parent.glob(f"{path.stem}.part-*{path.suffix}"):
+        tag = candidate.name[len(path.stem) + len(".part-"):]
+        tag = tag[: len(tag) - len(path.suffix)] if path.suffix else tag
+        if tag.isdigit():
+            found.append((int(tag), candidate))
+    return [candidate for _shard, candidate in sorted(found)]
+
+
+@dataclass
+class MergeReport:
+    """What one :func:`merge_stores` call did.
+
+    Attributes:
+        target: Path of the merged-into store (``None`` in-memory).
+        parts: The segment paths that were merged, in order.
+        examined: Total records read from the segments.
+        merged: Records copied under keys the target did not have.
+        updated: Records that replaced an older target record
+            (newest ``written_at`` wins).
+        ignored: Segment records dropped because the target already
+            held the same or a newer record under that key.
+    """
+
+    target: Optional[str]
+    parts: "list[str]" = field(default_factory=list)
+    examined: int = 0
+    merged: int = 0
+    updated: int = 0
+    ignored: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "target": self.target,
+            "parts": list(self.parts),
+            "examined": self.examined,
+            "merged": self.merged,
+            "updated": self.updated,
+            "ignored": self.ignored,
+        }
+
+
+def _written_at(record: dict) -> float:
+    """The record's write stamp; pre-provenance records sort oldest."""
+    stamp = record.get("written_at")
+    return stamp if isinstance(stamp, (int, float)) else 0.0
+
+
+def merge_stores(
+    target: "ResultStore | str | Path",
+    parts: "Optional[Sequence[str | Path]]" = None,
+    delete_parts: bool = False,
+) -> MergeReport:
+    """Merge partitioned segments into one store, deduping by key.
+
+    Every record of every segment is copied into ``target`` unless the
+    target already holds a record under the same candidate key with an
+    equal-or-newer ``written_at`` stamp — **newest wins**, so re-merging
+    is idempotent and a stale duplicate (a block re-executed after its
+    first owner was killed) never shadows fresher data.  Torn segments
+    are safe: the JSONL loader drops a torn final line and SQLite
+    recovers from its journal, so a SIGKILLed shard's segment merges
+    cleanly minus at most its last in-flight record.
+
+    Args:
+        target: The store (or path) to merge into.
+        parts: Segment paths; default: every ``<stem>.part-<n><suffix>``
+            sibling of the target (:func:`discover_parts`) — which
+            requires a target with a path.
+        delete_parts: Remove each segment file after a successful
+            merge (SQLite WAL side files included).
+
+    Returns:
+        A :class:`MergeReport`; ``report.merged + report.updated`` is
+        the number of target writes.
+    """
+    own_target = not isinstance(target, ResultStore)
+    target_store = target if isinstance(target, ResultStore) else \
+        open_store(target)
+    try:
+        if parts is None:
+            if target_store.path is None:
+                raise StoreError(
+                    "merge_stores needs explicit parts for an in-memory "
+                    "target (there is no path to discover segments from)"
+                )
+            parts = discover_parts(target_store.path)
+        part_paths = [Path(part) for part in parts]
+        report = MergeReport(
+            target=(
+                str(target_store.path)
+                if target_store.path is not None else None
+            ),
+            parts=[str(part) for part in part_paths],
+        )
+        for part in part_paths:
+            if not part.exists():
+                raise StoreError(f"store segment {part} does not exist")
+            segment = open_store(part)
+            try:
+                for key in list(segment.keys()):
+                    record = segment.get(key)
+                    assert record is not None
+                    report.examined += 1
+                    existing = target_store.get(key)
+                    if existing is None:
+                        target_store.put(key, record)
+                        report.merged += 1
+                    elif _written_at(record) > _written_at(existing):
+                        target_store.put(key, record)
+                        report.updated += 1
+                    else:
+                        report.ignored += 1
+            finally:
+                segment.close()
+        if delete_parts:
+            for part in part_paths:
+                part.unlink(missing_ok=True)
+                for side in ("-wal", "-shm"):  # SQLite WAL side files
+                    Path(str(part) + side).unlink(missing_ok=True)
+        return report
+    finally:
+        if own_target:
+            target_store.close()

@@ -272,6 +272,7 @@ def run_campaigns(
     warm_start: bool = True,
     stats: Optional[EngineStats] = None,
     engine: str = "fast",
+    pool=None,
 ) -> CampaignResult:
     """Run a Monte-Carlo campaign over many scenarios.
 
@@ -304,6 +305,12 @@ def run_campaigns(
             object-level simulator.  ``fast`` and ``reference``
             results are bit-identical; :attr:`CampaignResult.engines`
             records what actually ran.
+        pool: Optional :class:`~repro.engine.trials.ResidentPool`
+            (built with :func:`~repro.runtime.trial.build_context` and
+            :func:`~repro.runtime.trial.execute_trial_task`) to run
+            trials on instead of a per-call :class:`TrialPool` — a
+            long-lived executor whose workers cache built contexts
+            across calls; ``jobs`` then only governs synthesis.
 
     Returns:
         A :class:`CampaignResult`; scenarios whose schedules fail
@@ -406,9 +413,33 @@ def run_campaigns(
 
     # Phase 2 — evaluation: every trial of every scenario and grid
     # point drains through one shared pool.
-    executor = execute_trial_batch if engine == "vectorized" else execute_trial
-    pool = TrialPool(build_context, executor, contexts, jobs=jobs)
-    outcomes = pool.map(tasks)
+    if pool is not None:
+        # Resident executor: group tasks per scenario (one shared
+        # context each) and drain them through the caller's long-lived
+        # pool, whose workers cache built contexts under their content
+        # key — repeated campaigns over the same scenario never
+        # rebuild deployments.  Aggregation below groups by the
+        # (scenario, point) keys echoed into every outcome, so the
+        # per-scenario ordering is equivalent to the flat task list.
+        import hashlib
+        import json
+
+        by_scenario: Dict[str, List[dict]] = {}
+        for name, task in tasks:
+            by_scenario.setdefault(name, []).append(task)
+        outcomes = []
+        for name, scenario_tasks in by_scenario.items():
+            context_data = contexts[name]
+            context_key = hashlib.sha256(
+                json.dumps(context_data, sort_keys=True).encode("utf-8")
+            ).hexdigest()
+            outcomes.extend(pool.run(context_key, context_data, scenario_tasks))
+    else:
+        executor = (
+            execute_trial_batch if engine == "vectorized" else execute_trial
+        )
+        trial_pool = TrialPool(build_context, executor, contexts, jobs=jobs)
+        outcomes = trial_pool.map(tasks)
 
     # Phase 3 — aggregation, grouped by (scenario, grid point).  Batch
     # outcomes flatten to the same per-trial payload shape first.

@@ -500,3 +500,18 @@ def execute_trial_batch(context: TrialContext, task: dict) -> dict:
         "engine_used": resolved,
         "results": payloads,
     }
+
+
+def execute_trial_task(context: TrialContext, task: dict) -> dict:
+    """Pool entry point routing on the task shape.
+
+    Long-lived executors (:class:`~repro.engine.trials.ResidentPool`)
+    fix their ``run_task`` at construction, before anyone knows which
+    engine future campaigns will ask for — this dispatcher accepts
+    both shapes: batch tasks (a ``trials`` list, vectorized engine)
+    go to :func:`execute_trial_batch`, per-trial tasks to
+    :func:`execute_trial`.
+    """
+    if "trials" in task:
+        return execute_trial_batch(context, task)
+    return execute_trial(context, task)

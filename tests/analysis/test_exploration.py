@@ -54,6 +54,17 @@ class TestTables:
             sorted(savings, reverse=True), abs=1e-3
         )
 
+    def test_front_table_audits_campaigns_and_shard(self, result):
+        table = front_table(result)
+        header = table.splitlines()[0].split()
+        # Provenance columns come after the objectives so the
+        # first-objective position stays stable for existing readers.
+        assert header[-2:] == ["campaigns", "source_shard"]
+        for line in table.splitlines()[2:]:
+            cells = line.split()
+            assert cells[-2] == "1"    # one campaign per fresh candidate
+            assert cells[-1] == "-"    # single-process run: no shard
+
     def test_empty_front_placeholder(self, result):
         import dataclasses
 

@@ -127,7 +127,9 @@ class TestSuccessiveHalving:
 
 class TestFactory:
     def test_names(self):
-        assert available_samplers() == ("adaptive", "grid", "halton", "random")
+        assert available_samplers() == (
+            "adaptive", "grid", "halton", "random", "surrogate"
+        )
 
     def test_get_sampler_builds_each_kind(self):
         assert isinstance(get_sampler("grid"), GridSampler)

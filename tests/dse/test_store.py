@@ -20,8 +20,11 @@ from repro.dse import (
     SqliteStore,
     StoreError,
     candidate_key,
+    discover_parts,
     explore,
+    merge_stores,
     open_store,
+    part_path,
 )
 from repro.mc.campaign import _resolve_seeds
 
@@ -290,3 +293,92 @@ class TestConcurrentWriters:
         finally:
             ours.close()
             theirs.close()
+
+
+class TestPartitionedSegments:
+    """Satellite of the sharded-exploration PR: ``store merge``."""
+
+    def test_part_path_keeps_backend_suffix(self, tmp_path):
+        assert part_path(tmp_path / "ex.jsonl", 3).name == "ex.part-3.jsonl"
+        assert part_path(tmp_path / "ex.sqlite", 0).name == "ex.part-0.sqlite"
+        with pytest.raises(StoreError, match="shard"):
+            part_path(tmp_path / "ex.jsonl", -1)
+
+    def test_discover_parts_sorted_and_filtered(self, tmp_path):
+        target = tmp_path / "ex.jsonl"
+        for shard in (2, 0, 10):
+            part_path(target, shard).write_text("")
+        (tmp_path / "ex.part-x.jsonl").write_text("")   # non-numeric tag
+        (tmp_path / "other.part-1.jsonl").write_text("")  # different store
+        names = [p.name for p in discover_parts(target)]
+        assert names == ["ex.part-0.jsonl", "ex.part-2.jsonl",
+                         "ex.part-10.jsonl"]
+
+    @pytest.mark.parametrize("suffix", [".jsonl", ".sqlite"])
+    def test_merge_round_trip(self, tmp_path, suffix):
+        target = tmp_path / f"ex{suffix}"
+        for shard, keys in enumerate((("a", "b"), ("c",))):
+            with open_store(part_path(target, shard)) as part:
+                for key in keys:
+                    part.put(key, {"value": key, "shard": shard,
+                                   "written_at": 1.0})
+        report = merge_stores(target, delete_parts=True)
+        assert (report.examined, report.merged, report.updated,
+                report.ignored) == (3, 3, 0, 0)
+        assert len(report.parts) == 2
+        with open_store(target) as merged:
+            assert sorted(merged.keys()) == ["a", "b", "c"]
+            assert merged.get("c")["shard"] == 1
+        assert discover_parts(target) == []
+
+    def test_newest_written_at_wins_and_remerge_is_idempotent(
+        self, tmp_path
+    ):
+        target = tmp_path / "ex.jsonl"
+        with open_store(target) as main:
+            main.put("k", {"value": "old", "written_at": 1.0})
+            main.put("fresh", {"value": "keep", "written_at": 9.0})
+        with open_store(part_path(target, 0)) as part:
+            part.put("k", {"value": "new", "written_at": 2.0})
+            part.put("fresh", {"value": "stale", "written_at": 3.0})
+        report = merge_stores(target)
+        assert (report.merged, report.updated, report.ignored) == (0, 1, 1)
+        with open_store(target) as merged:
+            assert merged.get("k")["value"] == "new"
+            assert merged.get("fresh")["value"] == "keep"
+        again = merge_stores(target)
+        assert (again.merged, again.updated, again.ignored) == (0, 0, 2)
+
+    def test_records_without_stamp_sort_oldest(self, tmp_path):
+        target = tmp_path / "ex.jsonl"
+        with open_store(target) as main:
+            main.put("k", {"value": "legacy"})  # pre-provenance record
+        with open_store(part_path(target, 0)) as part:
+            part.put("k", {"value": "stamped", "written_at": 0.5})
+        merge_stores(target)
+        with open_store(target) as merged:
+            assert merged.get("k")["value"] == "stamped"
+
+    def test_torn_segment_merges_surviving_records(self, tmp_path):
+        target = tmp_path / "ex.jsonl"
+        part = part_path(target, 0)
+        with open_store(part) as seg:
+            seg.put("whole", {"value": 1, "written_at": 1.0})
+        with open(part, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "torn", "val')  # shard died mid-append
+        report = merge_stores(target, delete_parts=True)
+        assert report.merged == 1
+        with open_store(target) as merged:
+            assert sorted(merged.keys()) == ["whole"]
+        assert not part.exists()
+
+    def test_in_memory_target_requires_explicit_parts(self, tmp_path):
+        with pytest.raises(StoreError, match="path"):
+            merge_stores(MemoryStore())
+        with open_store(part_path(tmp_path / "ex.jsonl", 0)) as part:
+            part.put("k", {"value": 1, "written_at": 1.0})
+        memory = MemoryStore()
+        report = merge_stores(
+            memory, parts=[part_path(tmp_path / "ex.jsonl", 0)]
+        )
+        assert report.merged == 1 and memory.get("k")["value"] == 1

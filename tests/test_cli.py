@@ -651,3 +651,67 @@ class TestServeCli:
             captured = capsys.readouterr()
             assert rc == 0
             assert "served from store" in captured.out
+
+
+class TestShardedExploreCli:
+    def test_shards_require_a_store(self, space_file, capsys):
+        assert main(["scenario", "explore", str(space_file),
+                     "--shards", "2",
+                     "--objectives", "energy_saving,latency"]) == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_sharded_explore_and_incremental_rerun(self, space_file,
+                                                   tmp_path, capsys):
+        store = tmp_path / "store.jsonl"
+        argv = ["scenario", "explore", str(space_file),
+                "--objectives", "energy_saving,latency",
+                "--store", str(store), "--shards", "2"]
+        assert main(argv) == 0
+        captured = capsys.readouterr().out
+        assert "executed 6 campaign(s), reused 0" in captured
+        assert "2 shard(s)" in captured
+        assert "source_shard" in captured
+        # The rerun — sharded or not — reuses every record.
+        assert main(argv) == 0
+        assert "executed 0 campaign(s), reused 6" in capsys.readouterr().out
+
+    def test_surrogate_sampler_flag(self, space_file, capsys):
+        assert main(["scenario", "explore", str(space_file),
+                     "--sampler", "surrogate",
+                     "--objectives", "energy_saving,latency"]) == 0
+        captured = capsys.readouterr().out
+        assert "executed 3 campaign(s)" in captured
+        assert "Pareto front" in captured
+
+
+class TestStoreMergeCli:
+    def test_merge_is_a_noop_without_segments(self, tmp_path, capsys):
+        store = tmp_path / "store.jsonl"
+        assert main(["store", "merge", str(store)]) == 0
+        assert "no segments" in capsys.readouterr().out
+
+    def test_merge_collects_segments_and_deletes_them(self, tmp_path,
+                                                      capsys):
+        from repro.dse import open_store, part_path
+
+        store = tmp_path / "store.jsonl"
+        for shard in (0, 1):
+            with open_store(part_path(store, shard)) as part:
+                part.put(f"k{shard}", {"value": shard, "written_at": 1.0})
+        assert main(["store", "merge", str(store)]) == 0
+        captured = capsys.readouterr().out
+        assert "merged 2 segment(s)" in captured
+        assert "2 new" in captured
+        assert not part_path(store, 0).exists()
+        with open_store(store) as merged:
+            assert sorted(merged.keys()) == ["k0", "k1"]
+
+    def test_keep_parts_flag_preserves_segments(self, tmp_path, capsys):
+        from repro.dse import open_store, part_path
+
+        store = tmp_path / "store.jsonl"
+        with open_store(part_path(store, 0)) as part:
+            part.put("k", {"value": 1, "written_at": 1.0})
+        assert main(["store", "merge", str(store), "--keep-parts"]) == 0
+        capsys.readouterr()
+        assert part_path(store, 0).exists()
