@@ -92,6 +92,21 @@ def test_bench_mc_campaign(benchmark, tmp_path, capsys, bench_record):
                               engine="vectorized")
     t_vectorized = time.monotonic() - started
 
+    # The same vectorized campaign with a run log attached.  Events are
+    # batch-granular, so the difference bounds the observability tax.
+    from repro.obs import RunLog, set_run_log
+
+    log = RunLog(tmp_path / "obs-logs", run_id="bench")
+    previous = set_run_log(log)
+    try:
+        started = time.monotonic()
+        logged = run_campaign(scenario, jobs=1, cache_dir=cache_dir,
+                              engine="vectorized")
+        t_logged = time.monotonic() - started
+    finally:
+        set_run_log(previous)
+        log.close()
+
     # The scalar engines must agree on every number, and pooling must
     # not change a single one either.
     assert fast.points[0].trials == reference.points[0].trials
@@ -105,6 +120,10 @@ def test_bench_mc_campaign(benchmark, tmp_path, capsys, bench_record):
     # the same harness the equivalence suite gates on.
     assert vectorized.engines == {scenario.name: "vectorized"}
     assert vectorized.ok
+    # Logging must not perturb the campaign — same engine, same numbers.
+    assert logged.engines == vectorized.engines
+    assert logged.points[0].stats.to_dict() == \
+        vectorized.points[0].stats.to_dict()
     if TRIALS >= 20:  # below that the Wilson intervals span everything
         assert_distribution_equivalent(
             vectorized.points[0], fast.points[0], label="bench"
@@ -117,6 +136,10 @@ def test_bench_mc_campaign(benchmark, tmp_path, capsys, bench_record):
         assert result.stats.modes_synthesized == 0
         assert result.stats.cache_hits == 1
 
+    obs_overhead_pct = (
+        100.0 * (t_logged - t_vectorized) / t_vectorized
+        if t_vectorized else 0.0
+    )
     engine_speedup = t_reference / t_fast if t_fast else float("inf")
     pool_speedup = t_reference / t_ref_pooled if t_ref_pooled else float("inf")
     vectorized_speedup = t_fast / t_vectorized if t_vectorized \
@@ -139,6 +162,8 @@ def test_bench_mc_campaign(benchmark, tmp_path, capsys, bench_record):
         ),
         engine_speedup=engine_speedup,
         vectorized_speedup=vectorized_speedup,
+        logged_vectorized_seconds=t_logged,
+        obs_overhead_pct=obs_overhead_pct,
         # A single-worker "pool" measures process overhead, not
         # parallelism — record None so trend dashboards on 1-core CI
         # runners don't chart a meaningless ~1x as a regression.
@@ -163,11 +188,14 @@ def test_bench_mc_campaign(benchmark, tmp_path, capsys, bench_record):
             ("vectorized (j=1)", round(t_vectorized, 2),
              round(TRIALS / t_vectorized, 1) if t_vectorized
              else float("inf")),
+            ("vectorized+log", round(t_logged, 2),
+             round(TRIALS / t_logged, 1) if t_logged else float("inf")),
         ]
         print(format_table(["engine", "time [s]", "trials/s"], rows))
         print(f"engine speedup: {engine_speedup:.2f}x   "
               f"vectorized speedup: {vectorized_speedup:.2f}x   "
               f"pool speedup: {pool_speedup:.2f}x   "
+              f"obs overhead: {obs_overhead_pct:+.1f}%   "
               f"miss {stats.miss}   collisions {stats.collisions}")
 
     if TRIALS >= 100:
@@ -188,6 +216,13 @@ def test_bench_mc_campaign(benchmark, tmp_path, capsys, bench_record):
             f"vectorized engine only {vectorized_speedup:.2f}x faster "
             f"than fast ({t_fast:.2f}s -> {t_vectorized:.2f}s, "
             f"{TRIALS} trials)"
+        )
+        # The observability bar: batch-granular logging must cost under
+        # 5% of the vectorized campaign (with a small absolute floor so
+        # a sub-50ms jitter on an already-fast run cannot fail it).
+        assert obs_overhead_pct < 5.0 or (t_logged - t_vectorized) < 0.05, (
+            f"run-log overhead {obs_overhead_pct:.1f}% "
+            f"({t_vectorized:.3f}s -> {t_logged:.3f}s, {TRIALS} trials)"
         )
 
     if JOBS >= 6 and TRIALS >= 200:

@@ -33,6 +33,16 @@ from .campaign import (
 )
 from .format import format_series, format_table
 from .gantt import render_gantt, render_round_table
+from .logs import (
+    exploration_story,
+    load_events,
+    phase_rows,
+    phase_table,
+    summarize_rows,
+    summarize_table,
+    timeline_rows,
+    timeline_table,
+)
 from .tables import table1_rows, table2_rows
 
 __all__ = [
@@ -51,6 +61,7 @@ __all__ = [
     "campaign_series",
     "campaign_table",
     "exploration_rows",
+    "exploration_story",
     "exploration_table",
     "fig6_round_length",
     "fig7_energy_savings",
@@ -64,8 +75,15 @@ __all__ = [
     "format_tail",
     "latency_vs_drp",
     "load_bench_documents",
+    "load_events",
+    "phase_rows",
+    "phase_table",
     "render_gantt",
     "render_round_table",
+    "summarize_rows",
+    "summarize_table",
     "table1_rows",
     "table2_rows",
+    "timeline_rows",
+    "timeline_table",
 ]

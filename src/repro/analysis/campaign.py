@@ -52,8 +52,12 @@ def campaign_rows(result) -> List[Dict[str, object]]:
     return rows
 
 
-def campaign_table(result) -> str:
-    """Render a campaign result as an aligned ASCII table."""
+def campaign_table(result, verbose: bool = False) -> str:
+    """Render a campaign result as an aligned ASCII table.
+
+    With ``verbose=True`` and a result that carries phase timings
+    (``wall_seconds``), a per-phase duration line follows the table.
+    """
     rows = campaign_rows(result)
     if not rows:
         return "(no campaign points)"
@@ -63,7 +67,14 @@ def campaign_table(result) -> str:
             if key not in headers:
                 headers.append(key)
     body = [[row.get(header, "-") for header in headers] for row in rows]
-    return format_table(headers, body, float_fmt="{:.4f}")
+    table = format_table(headers, body, float_fmt="{:.4f}")
+    wall = getattr(result, "wall_seconds", None)
+    if verbose and wall:
+        phases = "  ".join(
+            f"{phase}={seconds:.3f}s" for phase, seconds in wall.items()
+        )
+        table += f"\nphases: {phases}  total={sum(wall.values()):.3f}s"
+    return table
 
 
 def flow_table(stats: CampaignStats) -> str:

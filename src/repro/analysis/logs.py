@@ -1,0 +1,207 @@
+"""Post-hoc analysis of structured run logs (``repro.obs``).
+
+A run log is a JSONL file of :class:`~repro.obs.events.Event` records
+— possibly still accompanied by unmerged worker segments.  This module
+turns one into the tables the ``repro logs`` CLI prints:
+
+* :func:`summarize_rows` — one row per event kind (count, writers,
+  time span), the "what happened at all" view;
+* :func:`timeline_rows` — the globally ordered event sequence with
+  offsets from the first event, the "what happened when" view;
+* :func:`phase_rows` — per-phase duration rollup from the ``span``
+  events the :func:`~repro.obs.metrics.timed_span` instrumentation
+  emits (synthesize / verify / simulate / aggregate);
+* :func:`exploration_story` — reconstructs a sharded exploration
+  (rounds published, blocks claimed/stolen, requeues after shard
+  deaths, respawns, merges) from its events alone — the post-mortem
+  for a run whose process is long gone.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..obs.events import Event, discover_log_parts, read_log, sort_events
+from .format import format_rows
+
+
+def load_events(
+    source: Union[str, Path],
+    run: Optional[str] = None,
+    kinds: Optional[Sequence[str]] = None,
+) -> List[Event]:
+    """Events from a log file or a log directory, globally ordered.
+
+    A file source also picks up its unmerged ``.part-*`` segments —
+    analysis must see a killed run's worker events even when nobody
+    lived to merge them.  A directory source reads every ``*.jsonl``
+    in it.  ``run``/``kinds`` filter by run id / event kind.
+    """
+    source = Path(source)
+    if source.is_dir():
+        paths = sorted(source.glob("*.jsonl"))
+    else:
+        paths = [source] + [
+            part for part in discover_log_parts(source) if part.exists()
+        ]
+    events: List[Event] = []
+    for path in paths:
+        events.extend(read_log(path))
+    if run is not None:
+        events = [event for event in events if event.run == run]
+    if kinds is not None:
+        wanted = set(kinds)
+        events = [event for event in events if event.kind in wanted]
+    return sort_events(events)
+
+
+def _compact(data: Dict[str, object], limit: int = 56) -> str:
+    text = " ".join(f"{key}={value!r}" for key, value in sorted(data.items()))
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+def summarize_rows(events: Sequence[Event]) -> List[Dict[str, object]]:
+    """One row per event kind: count, distinct writers, first/last."""
+    if not events:
+        return []
+    start = events[0].time
+    by_kind: Dict[str, List[Event]] = {}
+    for event in events:
+        by_kind.setdefault(event.kind, []).append(event)
+    rows = []
+    for kind in sorted(by_kind):
+        group = by_kind[kind]
+        rows.append({
+            "kind": kind,
+            "count": len(group),
+            "writers": len({event.src for event in group}),
+            "first": group[0].time - start,
+            "last": group[-1].time - start,
+        })
+    return rows
+
+
+def summarize_table(events: Sequence[Event]) -> str:
+    """The per-kind summary as an aligned ASCII table."""
+    return format_rows(
+        summarize_rows(events),
+        headers=("kind", "count", "writers", "first", "last"),
+        empty="(no events)",
+        float_fmt="{:.3f}",
+    )
+
+
+def timeline_rows(
+    events: Sequence[Event], limit: Optional[int] = None
+) -> List[Dict[str, object]]:
+    """Globally ordered event rows with offsets from the first event."""
+    if not events:
+        return []
+    start = events[0].time
+    shown = events if limit is None else events[:limit]
+    return [
+        {
+            "t": event.time - start,
+            "src": event.src,
+            "kind": event.kind,
+            "data": _compact(dict(event.data)),
+        }
+        for event in shown
+    ]
+
+
+def timeline_table(events: Sequence[Event], limit: Optional[int] = None) -> str:
+    """The event timeline as an aligned ASCII table."""
+    table = format_rows(
+        timeline_rows(events, limit=limit),
+        headers=("t", "src", "kind", "data"),
+        empty="(no events)",
+        float_fmt="{:.3f}",
+    )
+    if limit is not None and len(events) > limit:
+        table += f"\n({len(events) - limit} more event(s) not shown)"
+    return table
+
+
+def phase_rows(events: Sequence[Event]) -> List[Dict[str, object]]:
+    """Per-phase duration rollup from ``span`` events.
+
+    One row per span name (synthesize, verify, simulate, aggregate,
+    ...): how many spans ran, total/min/max seconds.
+    """
+    by_name: Dict[str, List[float]] = {}
+    for event in events:
+        if event.kind != "span":
+            continue
+        name = str(event.data.get("name"))
+        seconds = float(event.data.get("seconds", 0.0))
+        by_name.setdefault(name, []).append(seconds)
+    rows = []
+    for name in sorted(by_name):
+        seconds = by_name[name]
+        rows.append({
+            "phase": name,
+            "spans": len(seconds),
+            "total_s": sum(seconds),
+            "min_s": min(seconds),
+            "max_s": max(seconds),
+        })
+    return rows
+
+
+def phase_table(events: Sequence[Event]) -> str:
+    """The phase rollup as an aligned ASCII table."""
+    return format_rows(
+        phase_rows(events),
+        headers=("phase", "spans", "total_s", "min_s", "max_s"),
+        empty="(no span events)",
+        float_fmt="{:.4f}",
+    )
+
+
+def exploration_story(events: Sequence[Event]) -> Dict[str, object]:
+    """Reconstruct a sharded exploration from its run log.
+
+    Works from events alone — including the segments a SIGKILLed
+    shard left behind — so the full story (what was proposed, who
+    claimed what, which blocks were stolen from a dead shard, whether
+    a replacement was spawned, what the merges recovered) is
+    available post-mortem.
+    """
+    rounds: List[Dict[str, object]] = []
+    claims: List[Dict[str, object]] = []
+    requeues: List[Dict[str, object]] = []
+    respawns: List[Dict[str, object]] = []
+    merges: List[Dict[str, object]] = []
+    shards_started: List[int] = []
+    errors: List[Dict[str, object]] = []
+    for event in events:
+        data = dict(event.data)
+        if event.kind == "dse.publish":
+            rounds.append(data)
+        elif event.kind == "shard.start":
+            shards_started.append(int(data.get("shard", -1)))
+        elif event.kind == "shard.claim":
+            claims.append(data)
+        elif event.kind == "dse.requeue":
+            requeues.append(data)
+        elif event.kind == "dse.respawn":
+            respawns.append(data)
+        elif event.kind == "dse.merge":
+            merges.append(data)
+        elif event.kind == "shard.error":
+            errors.append(data)
+    return {
+        "rounds": rounds,
+        "shards_started": sorted(set(shards_started)),
+        "claims": claims,
+        "stolen": [claim for claim in claims if claim.get("stolen")],
+        "requeues": requeues,
+        "respawns": respawns,
+        "merges": merges,
+        "errors": errors,
+        "blocks_published": sum(int(r.get("blocks", 0)) for r in rounds),
+        "blocks_requeued": sum(int(r.get("blocks", 0)) for r in requeues),
+        "executed": sum(int(m.get("executed", 0)) for m in merges),
+    }

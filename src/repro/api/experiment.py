@@ -29,6 +29,7 @@ from ..core.schedule import ModeSchedule
 from ..core.verify import VerificationReport, verify_schedule
 from ..engine.api import EngineStats, run_cached_batch
 from ..engine.cache import ScheduleCache
+from ..obs.metrics import timed_span
 from ..runtime.simulator import ModeRequest
 from ..runtime.trace import Trace
 from .scenario import Scenario
@@ -122,26 +123,31 @@ def synthesize_scenarios(
         slices.append((start, len(problems)))
 
     stats = stats if stats is not None else EngineStats()
-    solved = run_cached_batch(
-        problems, jobs=jobs, cache=cache, warm_start=warm_start, stats=stats
-    )
+    with timed_span("synthesize"):
+        solved = run_cached_batch(
+            problems, jobs=jobs, cache=cache, warm_start=warm_start,
+            stats=stats,
+        )
 
     schedules: Dict[str, Dict[str, ModeSchedule]] = {}
     reports: Dict[str, Dict[str, VerificationReport]] = {}
-    for scenario, (start, stop) in zip(scenarios, slices):
-        by_name = {
-            mode.name: schedule
-            for (mode, _), schedule in zip(problems[start:stop], solved[start:stop])
-        }
-        schedules[scenario.name] = by_name
-        reports[scenario.name] = (
-            {
-                mode.name: verify_schedule(mode, by_name[mode.name])
-                for mode in scenario.modes
+    with timed_span("verify"):
+        for scenario, (start, stop) in zip(scenarios, slices):
+            by_name = {
+                mode.name: schedule
+                for (mode, _), schedule in zip(
+                    problems[start:stop], solved[start:stop]
+                )
             }
-            if verify
-            else {}
-        )
+            schedules[scenario.name] = by_name
+            reports[scenario.name] = (
+                {
+                    mode.name: verify_schedule(mode, by_name[mode.name])
+                    for mode in scenario.modes
+                }
+                if verify
+                else {}
+            )
     return schedules, reports, stats
 
 

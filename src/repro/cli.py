@@ -26,6 +26,9 @@ Commands:
   continues an interrupted run without re-executing completed
   campaigns; ``--shards N`` fans evaluation out over a work-stealing
   pool of shard processes appending to partitioned store segments;
+* ``logs`` — inspect the structured run logs ``--log-dir`` writes
+  (``summarize`` / ``timeline`` / ``rollup`` / ``story``; see
+  :mod:`repro.obs` and docs/OBSERVABILITY.md);
 * ``store merge`` — merge partitioned store segments
   (``store.part-<n>``) into the main store, deduping by candidate key
   (newest wins) — recovers a killed distributed exploration;
@@ -272,6 +275,27 @@ def _seed_list(text: str) -> List[int]:
     return seeds
 
 
+def _open_run_log(args: argparse.Namespace):
+    """Install a run log when ``--log-dir`` was given; returns it."""
+    if getattr(args, "log_dir", None) is None:
+        return None
+    from .obs import RunLog, set_run_log
+
+    log = RunLog(args.log_dir)
+    set_run_log(log)
+    return log
+
+
+def _close_run_log(log) -> None:
+    if log is None:
+        return
+    from .obs import set_run_log
+
+    set_run_log(None)
+    log.close()
+    print(f"run log: {log.path}")
+
+
 def _cmd_scenario_mc(args: argparse.Namespace) -> int:
     from .analysis import flow_table
     from .mc import run_campaign
@@ -289,6 +313,7 @@ def _cmd_scenario_mc(args: argparse.Namespace) -> int:
                 return 2
             sweep[name] = values
     scenario = _apply_overrides(_load_scenario_file(args.scenario), args)
+    log = _open_run_log(args)
     try:
         result = run_campaign(
             scenario,
@@ -303,6 +328,8 @@ def _cmd_scenario_mc(args: argparse.Namespace) -> int:
     except ValueError as exc:  # ScenarioError is a ValueError
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        _close_run_log(log)
     print(
         f"campaign {scenario.name!r}: {len(result.points)} grid point(s), "
         f"backend {scenario.effective_config.backend!r}"
@@ -311,7 +338,7 @@ def _cmd_scenario_mc(args: argparse.Namespace) -> int:
     if used is not None:
         note = "" if used == args.engine else f" (requested {args.engine})"
         print(f"trial engine: {used}{note}")
-    print(result.table())
+    print(result.table(verbose=args.verbose))
     print(f"engine: {result.stats}")
     failures = 0
     for name, by_mode in sorted(result.reports.items()):
@@ -417,33 +444,37 @@ def _cmd_scenario_explore(args: argparse.Namespace) -> int:
                              "segments and claim table derive from it)")
         sampler = get_sampler(args.sampler, samples=args.samples,
                               seed=args.sampler_seed)
-        if args.shards > 1:
-            result = explore_sharded(
-                space,
-                shards=args.shards,
-                sampler=sampler,
-                objectives=args.objectives,
-                trials=args.trials,
-                seeds=args.seeds,
-                jobs=args.jobs,
-                cache_dir=args.cache_dir,
-                warm_start=not args.no_warm_start,
-                store=args.store,
-                engine=args.engine,
-            )
-        else:
-            result = explore(
-                space,
-                sampler=sampler,
-                objectives=args.objectives,
-                trials=args.trials,
-                seeds=args.seeds,
-                jobs=args.jobs,
-                cache_dir=args.cache_dir,
-                warm_start=not args.no_warm_start,
-                store=args.store,
-                engine=args.engine,
-            )
+        log = _open_run_log(args)
+        try:
+            if args.shards > 1:
+                result = explore_sharded(
+                    space,
+                    shards=args.shards,
+                    sampler=sampler,
+                    objectives=args.objectives,
+                    trials=args.trials,
+                    seeds=args.seeds,
+                    jobs=args.jobs,
+                    cache_dir=args.cache_dir,
+                    warm_start=not args.no_warm_start,
+                    store=args.store,
+                    engine=args.engine,
+                )
+            else:
+                result = explore(
+                    space,
+                    sampler=sampler,
+                    objectives=args.objectives,
+                    trials=args.trials,
+                    seeds=args.seeds,
+                    jobs=args.jobs,
+                    cache_dir=args.cache_dir,
+                    warm_start=not args.no_warm_start,
+                    store=args.store,
+                    engine=args.engine,
+                )
+        finally:
+            _close_run_log(log)
     except ValueError as exc:  # Space/Sampler/Objective/Exploration errors
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -532,6 +563,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             trial_batch=args.trial_batch,
             engine=args.engine,
             drain_timeout=args.drain_timeout,
+            log_dir=args.log_dir,
         )
         app = ServiceApp(config)
     except ValueError as exc:
@@ -603,6 +635,58 @@ def _cmd_scenario_submit(args: argparse.Namespace) -> int:
         )
         print(f"wrote {args.json}")
     return {"done": 0, "cancelled": 3}.get(final["state"], 1)
+
+
+# -- run-log inspection ------------------------------------------------------
+
+
+def _cmd_logs(args: argparse.Namespace) -> int:
+    from .analysis.logs import (
+        exploration_story,
+        load_events,
+        phase_table,
+        summarize_table,
+        timeline_table,
+    )
+    from .obs import LogError
+
+    try:
+        events = load_events(
+            args.source, run=args.run, kinds=args.kind or None
+        )
+    except (LogError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.logs_command == "summarize":
+        print(f"{len(events)} event(s)")
+        print(summarize_table(events))
+    elif args.logs_command == "timeline":
+        print(timeline_table(events, limit=args.limit))
+    elif args.logs_command == "rollup":
+        print(phase_table(events))
+    elif args.logs_command == "story":
+        story = exploration_story(events)
+        print(
+            f"rounds: {len(story['rounds'])} "
+            f"({story['blocks_published']} block(s) published)"
+        )
+        print(f"shards started: {story['shards_started']}")
+        print(
+            f"claims: {len(story['claims'])} "
+            f"({len(story['stolen'])} stolen)"
+        )
+        print(
+            f"requeues after shard deaths: {len(story['requeues'])} "
+            f"({story['blocks_requeued']} block(s))"
+        )
+        print(f"respawns: {len(story['respawns'])}")
+        print(
+            f"merges: {len(story['merges'])} "
+            f"({story['executed']} campaign(s) recovered)"
+        )
+        for error in story["errors"]:
+            print(f"shard error: {error}", file=sys.stderr)
+    return 0
 
 
 # -- legacy shims ------------------------------------------------------------
@@ -884,6 +968,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="disable the demand-bound warm start (campaigns "
                          "default to warm starts ON; schedules are "
                          "identical either way)")
+    mc.add_argument("--log-dir", default=None, metavar="DIR",
+                    help="write a structured run log (JSONL event file, "
+                         "see `repro logs`) into this directory")
+    mc.add_argument("-v", "--verbose", action="store_true",
+                    help="also print per-phase wall-clock durations "
+                         "(synthesis / simulation / aggregation)")
     _add_engine_flags(mc)
     mc.set_defaults(func=_cmd_scenario_mc)
 
@@ -989,6 +1079,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the demand-bound warm start (explorations default "
              "to warm starts ON; schedules are identical either way)",
     )
+    explore.add_argument(
+        "--log-dir", default=None, metavar="DIR",
+        help="write a structured run log (JSONL; shard processes append "
+             "their own segments, merged at round barriers — see "
+             "`repro logs`) into this directory",
+    )
     _add_engine_flags(explore)
     explore.set_defaults(func=_cmd_scenario_explore)
 
@@ -1080,6 +1176,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-timeout", type=_positive_float, default=60.0,
                        help="seconds a graceful shutdown waits for "
                             "admitted jobs (default %(default)s)")
+    serve.add_argument("--log-dir", default=None, metavar="DIR",
+                       help="write a structured run log (JSONL event "
+                            "file, see `repro logs`) for the daemon's "
+                            "lifetime into this directory")
     serve.set_defaults(func=_cmd_serve)
 
     synth = sub.add_parser(
@@ -1158,6 +1258,58 @@ def build_parser() -> argparse.ArgumentParser:
              "segment after a successful merge)",
     )
     merge.set_defaults(func=_cmd_store_merge)
+
+    logs = sub.add_parser(
+        "logs",
+        help="inspect structured run logs written by --log-dir "
+             "(repro.obs; see docs/OBSERVABILITY.md)",
+    )
+    logs_sub = logs.add_subparsers(dest="logs_command", required=True)
+
+    def _add_logs_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "source",
+            help="a run-log file (unmerged .part-* segments are picked "
+                 "up automatically) or a directory of *.jsonl logs",
+        )
+        command.add_argument(
+            "--run", default=None, metavar="RUN_ID",
+            help="only events of this run id",
+        )
+        command.add_argument(
+            "--kind", action="append", default=None, metavar="KIND",
+            help="only events of this kind (repeatable)",
+        )
+        command.set_defaults(func=_cmd_logs)
+
+    summarize = logs_sub.add_parser(
+        "summarize",
+        help="one row per event kind: count, writers, first/last offset",
+    )
+    _add_logs_flags(summarize)
+    timeline = logs_sub.add_parser(
+        "timeline",
+        help="globally ordered event table with offsets from the first "
+             "event",
+    )
+    _add_logs_flags(timeline)
+    timeline.add_argument(
+        "--limit", type=_positive_int, default=None, metavar="N",
+        help="show at most N events (default: all)",
+    )
+    rollup = logs_sub.add_parser(
+        "rollup",
+        help="per-phase duration rollup from timed-span events "
+             "(synthesize / verify / simulate / aggregate)",
+    )
+    _add_logs_flags(rollup)
+    story = logs_sub.add_parser(
+        "story",
+        help="reconstruct a sharded exploration from its events: rounds "
+             "published, blocks claimed/stolen, requeues, respawns, "
+             "merges",
+    )
+    _add_logs_flags(story)
 
     return parser
 

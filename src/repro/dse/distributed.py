@@ -47,6 +47,13 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..mc.campaign import _resolve_seeds
+from ..obs.events import (
+    RunLog,
+    emit,
+    get_run_log,
+    merge_run_log,
+    set_run_log,
+)
 from .explore import (
     DEFAULT_BATCH_SIZE,
     CandidateResult,
@@ -216,12 +223,31 @@ def _shard_main(shard: int, config: dict) -> None:
     conn = _connect(config["claims"])
     part = open_store(part_path(config["store"], shard))
     pool = ResidentPool(build_context, execute_trial_task, jobs=config["jobs"])
+    # Each shard logs to its own segment file (never the parent's log):
+    # segment appends are flushed per event, so even a SIGKILLed shard
+    # leaves a readable record of the blocks it claimed.
+    log: Optional[RunLog] = None
+    if config.get("log_dir"):
+        log = RunLog(
+            config["log_dir"], run_id=config.get("run_id"), worker=shard
+        )
+        set_run_log(log)
+        emit("shard.start", shard=shard, pid=os.getpid())
     try:
         while True:
             claimed = claim_block(conn, shard)
             if claimed is None:
                 return
             block_id, assignments = claimed
+            if log is not None:
+                hint = conn.execute(
+                    "SELECT shard_hint FROM blocks WHERE id = ?",
+                    (block_id,),
+                ).fetchone()[0]
+                emit(
+                    "shard.claim", shard=shard, block=block_id,
+                    candidates=len(assignments), stolen=hint != shard,
+                )
             try:
                 result = explore(
                     space,
@@ -239,6 +265,10 @@ def _shard_main(shard: int, config: dict) -> None:
                     shard=shard,
                 )
             except Exception as exc:
+                emit(
+                    "shard.error", shard=shard, block=block_id,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
                 release_block(
                     conn, block_id, "error",
                     error=f"{type(exc).__name__}: {exc}",
@@ -249,11 +279,18 @@ def _shard_main(shard: int, config: dict) -> None:
                 # block is still 'claimed': the parent must notice the
                 # death, requeue it, and a survivor must steal it.
                 os.kill(os.getpid(), signal.SIGKILL)
+            emit(
+                "shard.block", shard=shard, block=block_id,
+                executed=result.executed,
+            )
             release_block(conn, block_id, "done", executed=result.executed)
     finally:
         pool.close()
         part.close()
         conn.close()
+        if log is not None:
+            set_run_log(None)
+            log.close()
 
 
 # -- parent driver ------------------------------------------------------------
@@ -290,7 +327,12 @@ def _drive_round(
             for shard, process in list(workers.items()):
                 if not process.is_alive():
                     process.join()
-                    reset_dead_claims(conn, shard)
+                    requeued = reset_dead_claims(conn, shard)
+                    if requeued:
+                        emit(
+                            "dse.requeue", shard=shard, blocks=requeued,
+                            round=round_index,
+                        )
                     del workers[shard]
             failures = conn.execute(
                 "SELECT error FROM blocks WHERE round = ? AND "
@@ -316,6 +358,10 @@ def _drive_round(
                         f"block(s) unfinished; see the part segments for "
                         f"completed work (`repro store merge` recovers it)"
                     )
+                emit(
+                    "dse.respawn", shard=next_shard, round=round_index,
+                    remaining=remaining,
+                )
                 workers[next_shard] = _spawn(next_shard, config)
                 next_shard += 1
                 respawns += 1
@@ -410,6 +456,10 @@ def explore_sharded(
         )
     store_path = Path(main.path)
 
+    # Shards inherit the parent's run log (when one is active) as
+    # per-shard segment files, merged back at every round barrier —
+    # the exact protocol the store segments use.
+    parent_log = get_run_log()
     config = {
         "space": space.to_dict(),
         "objectives": [obj.name for obj in objectives],
@@ -422,7 +472,13 @@ def explore_sharded(
         "claims": str(claims_path(store_path)),
         "engine": engine,
         "batch_size": batch_size,
+        "log_dir": str(parent_log.log_dir) if parent_log else None,
+        "run_id": parent_log.run_id if parent_log else None,
     }
+
+    def merge_shard_logs() -> None:
+        if parent_log is not None:
+            merge_run_log(parent_log.path, delete_parts=True)
 
     result = ExplorationResult(
         objectives=objectives,
@@ -470,6 +526,10 @@ def explore_sharded(
                     conn, round_index, fresh, batch_size, shards
                 )
                 assert blocks > 0
+                emit(
+                    "dse.publish", round=round_index, blocks=blocks,
+                    candidates=len(fresh), shards=shards,
+                )
                 executed, next_shard = _drive_round(
                     conn, round_index, config, shards, next_shard
                 )
@@ -477,7 +537,13 @@ def explore_sharded(
                 round_index += 1
                 # Segments write through the open main store, so the
                 # merged records are immediately visible below.
-                merge_stores(main, delete_parts=True)
+                report = merge_stores(main, delete_parts=True)
+                merge_shard_logs()
+                emit(
+                    "dse.merge", round=round_index - 1, executed=executed,
+                    segments=len(report.parts),
+                    merged=report.merged, updated=report.updated,
+                )
             round_results: List[CandidateResult] = []
             for key, scenario, assignment in keyed:
                 record = main.get(key)
@@ -522,6 +588,9 @@ def explore_sharded(
             Path(config["claims"] + side).unlink(missing_ok=True)
         if own_store:
             main.close()
+        # A round that died mid-flight (ExplorationError, ^C) may have
+        # left shard log segments behind; fold them in regardless.
+        merge_shard_logs()
 
     _score_result(result)
     return result

@@ -33,6 +33,7 @@ from ..engine.api import EngineStats
 from ..engine.cache import ScheduleCache
 from ..mc.campaign import _resolve_seeds, run_campaigns
 from ..mc.stats import CampaignStats
+from ..obs.events import emit
 from .objectives import (
     DEFAULT_OBJECTIVES,
     Evaluation,
@@ -529,6 +530,9 @@ def explore(
                 )
                 slots.append(None)
 
+        emit("dse.selection", selected=len(selected),
+             reused=len(selected) - len(pending), fresh=len(pending),
+             shard=shard)
         for start in range(0, len(pending), batch_size):
             chunk = pending[start:start + batch_size]
             evaluations = _evaluate_batch(
@@ -536,6 +540,9 @@ def explore(
                 trials, seeds, jobs, cache, warm_start, stats, engine,
                 pool, shard,
             )
+            failed = sum(1 for e in evaluations if e.error is not None)
+            emit("dse.batch", candidates=len(chunk), failed=failed,
+                 shard=shard)
             for (slot, key, scenario, assignment, seed_list), evaluation \
                     in zip(chunk, evaluations):
                 store.put(key, _record_of(evaluation))
@@ -556,10 +563,14 @@ def explore(
             # feed the normalized objective vectors back, until the
             # sampler stops proposing.
             measured: List[dict] = []
+            round_index = 0
             while True:
                 proposals = sampler.propose(space, objectives, measured)
                 if not proposals:
                     break
+                emit("dse.round", round=round_index,
+                     proposed=len(proposals), shard=shard)
+                round_index += 1
                 round_results = run_selection(proposals)
                 candidates.extend(round_results)
                 for candidate in round_results:

@@ -24,6 +24,7 @@ from typing import Optional
 
 from ..core.modes import Mode
 from ..core.schedule import ModeSchedule, SchedulingConfig
+from ..obs.events import emit
 from ..io.serialize import (
     SCHEMA_VERSION,
     SerializationError,
@@ -100,7 +101,8 @@ class ScheduleCache:
 
     def get(self, mode: Mode, config: SchedulingConfig) -> Optional[ModeSchedule]:
         """Return the cached schedule, or ``None`` on a miss."""
-        path = self._path(self.key(mode, config))
+        key = self.key(mode, config)
+        path = self._path(key)
         try:
             payload = json.loads(path.read_text())
             if payload.get("schema") != SCHEMA_VERSION:
@@ -108,13 +110,16 @@ class ScheduleCache:
             schedule = schedule_from_dict(payload["schedule"])
         except FileNotFoundError:
             self.stats.misses += 1
+            emit("cache.miss", key=key, mode=mode.name)
             return None
         except (SerializationError, json.JSONDecodeError, KeyError, TypeError):
             # Unreadable entry: drop it and treat as a miss.
             path.unlink(missing_ok=True)
             self.stats.misses += 1
+            emit("cache.miss", key=key, mode=mode.name, corrupt=True)
             return None
         self.stats.hits += 1
+        emit("cache.hit", key=key, mode=mode.name)
         try:
             os.utime(path)  # refresh LRU recency
         except OSError:
@@ -139,6 +144,7 @@ class ScheduleCache:
         tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
         tmp.replace(path)
         self.stats.stores += 1
+        emit("cache.store", key=key, mode=mode.name)
         if self.max_entries is not None or self.max_bytes is not None:
             self._evict(keep=path.name)
         return key
@@ -171,6 +177,7 @@ class ScheduleCache:
             count -= 1
             total -= size
             self.stats.evictions += 1
+            emit("cache.evict", key=name[: -len(".json")], bytes=size)
 
     def usage(self) -> dict:
         """Current size and traffic counters, as one JSON-ready dict.

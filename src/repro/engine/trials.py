@@ -31,6 +31,9 @@ from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.events import emit
+from ..obs.metrics import REGISTRY, MetricsRegistry
+
 # Per-worker state, set by the pool initializer.  A worker process
 # serves exactly one TrialPool, so module globals are safe here (the
 # same pattern the stdlib pool initializer API is designed around).
@@ -81,6 +84,12 @@ def _run_chunk(chunk: Sequence[Tuple[str, dict]]) -> List[dict]:
 _RESIDENT_LIMIT: int = 32
 _RESIDENT_CONTEXTS: "OrderedDict[str, object]" = OrderedDict()
 
+# Worker-local metrics: context-cache traffic accumulates here and each
+# chunk result carries the delta back to the parent, which folds it
+# into its own REGISTRY (the obs snapshot/merge protocol — workers are
+# separate processes, so counters cannot be shared directly).
+_RESIDENT_METRICS = MetricsRegistry()
+
 
 def _resident_initializer(build_context, run_task, max_contexts) -> None:
     global _BUILD_CONTEXT, _RUN_TASK, _RESIDENT_LIMIT, _RESIDENT_CONTEXTS
@@ -89,6 +98,7 @@ def _resident_initializer(build_context, run_task, max_contexts) -> None:
     _RUN_TASK = run_task
     _RESIDENT_LIMIT = max_contexts
     _RESIDENT_CONTEXTS = OrderedDict()
+    _RESIDENT_METRICS.reset()
 
 
 def _resident_context(
@@ -97,24 +107,37 @@ def _resident_context(
     key: str,
     data: dict,
     limit: int,
+    metrics: Optional[MetricsRegistry] = None,
 ):
     if key in cache:
         cache.move_to_end(key)
+        if metrics is not None:
+            metrics.incr("pool.context_hits")
         return cache[key]
     context = build_context(data)
     cache[key] = context
+    if metrics is not None:
+        metrics.incr("pool.context_builds")
     while len(cache) > limit:
         cache.popitem(last=False)
+        if metrics is not None:
+            metrics.incr("pool.context_evictions")
     return context
 
 
-def _resident_chunk(payload: Tuple[str, dict, List[dict]]) -> List[dict]:
-    """Worker entry point of :class:`ResidentPool` chunks."""
+def _resident_chunk(payload: Tuple[str, dict, List[dict]]) -> dict:
+    """Worker entry point of :class:`ResidentPool` chunks.
+
+    Returns the task results plus the worker's metrics delta since its
+    last chunk, so the parent's registry sees context-cache traffic.
+    """
     key, data, tasks = payload
     context = _resident_context(
-        _RESIDENT_CONTEXTS, _BUILD_CONTEXT, key, data, _RESIDENT_LIMIT
+        _RESIDENT_CONTEXTS, _BUILD_CONTEXT, key, data, _RESIDENT_LIMIT,
+        metrics=_RESIDENT_METRICS,
     )
-    return [_RUN_TASK(context, task) for task in tasks]
+    results = [_RUN_TASK(context, task) for task in tasks]
+    return {"results": results, "metrics": _RESIDENT_METRICS.flush_delta()}
 
 
 def default_chunk_size(num_tasks: int, jobs: int) -> int:
@@ -181,6 +204,8 @@ class TrialPool:
                 if key not in local:
                     local[key] = self.build_context(self.contexts[key])
                 results.append(self.run_task(local[key], task))
+            emit("pool.map", tasks=len(tasks), jobs=1,
+                 contexts=len(local))
             return results
 
         chunk_size = self.chunk_size or default_chunk_size(
@@ -195,6 +220,9 @@ class TrialPool:
             initializer=_pool_initializer,
             initargs=(self.build_context, self.run_task, self.contexts),
         )
+        emit("pool.spawn", jobs=self.jobs, resident=False,
+             tasks=len(tasks), chunks=len(chunks))
+        REGISTRY.incr("pool.spawns")
         try:
             chunk_results = list(pool.map(_run_chunk, chunks))
         except KeyboardInterrupt:
@@ -276,6 +304,8 @@ class ResidentPool:
                         self.max_contexts,
                     ),
                 )
+                emit("pool.spawn", jobs=self.jobs, resident=True)
+                REGISTRY.incr("pool.spawns")
             return self._executor
 
     def run(
@@ -303,8 +333,12 @@ class ResidentPool:
                     context_key,
                     context_data,
                     self.max_contexts,
+                    metrics=REGISTRY,
                 )
-            return [self.run_task(context, task) for task in tasks]
+            results = [self.run_task(context, task) for task in tasks]
+            emit("pool.run", tasks=len(tasks), jobs=1,
+                 context=context_key[:12])
+            return results
 
         size = chunk_size or default_chunk_size(len(tasks), self.jobs)
         chunks = [
@@ -314,8 +348,17 @@ class ResidentPool:
         executor = self._ensure_executor()
         futures = [executor.submit(_resident_chunk, chunk) for chunk in chunks]
         results: List[dict] = []
+        built = hits = 0
         for future in futures:
-            results.extend(future.result())
+            outcome = future.result()
+            results.extend(outcome["results"])
+            delta = outcome["metrics"]
+            REGISTRY.merge(delta)
+            built += delta.get("counters", {}).get("pool.context_builds", 0)
+            hits += delta.get("counters", {}).get("pool.context_hits", 0)
+        emit("pool.run", tasks=len(tasks), jobs=self.jobs,
+             chunks=len(chunks), context=context_key[:12],
+             context_builds=built, context_hits=hits)
         return results
 
     def close(self) -> None:

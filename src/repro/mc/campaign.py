@@ -38,6 +38,7 @@ every previously published single-run result.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -51,6 +52,8 @@ from ..engine.api import EngineStats
 from ..engine.cache import ScheduleCache
 from ..engine.trials import TrialPool
 from ..io.serialize import mode_to_dict, schedule_to_dict
+from ..obs.events import emit
+from ..obs.metrics import timed_span
 from ..runtime.loss import build_loss, reseeded
 from ..runtime.trial import (
     ENGINES,
@@ -96,6 +99,10 @@ class CampaignResult:
         engines: Trial engine actually used per scenario, after the
             ``vectorized -> fast -> reference`` fallback ladder —
             e.g. ``{"baseline": "vectorized"}``.
+        wall_seconds: Wall-clock per campaign phase —
+            ``{"synthesis", "simulation", "aggregation"}`` — measured
+            by the obs phase spans (always populated; logging need not
+            be on).
     """
 
     points: List[PointResult] = field(default_factory=list)
@@ -103,6 +110,7 @@ class CampaignResult:
     reports: Dict[str, Dict[str, VerificationReport]] = field(default_factory=dict)
     stats: EngineStats = field(default_factory=EngineStats)
     engines: Dict[str, str] = field(default_factory=dict)
+    wall_seconds: Dict[str, float] = field(default_factory=dict)
 
     def __iter__(self):
         return iter(self.points)
@@ -131,11 +139,11 @@ class CampaignResult:
 
         return campaign_rows(self)
 
-    def table(self) -> str:
+    def table(self, verbose: bool = False) -> str:
         """The campaign statistics as an aligned ASCII table."""
         from ..analysis.campaign import campaign_table
 
-        return campaign_table(self)
+        return campaign_table(self, verbose=verbose)
 
     def to_dict(self) -> dict:
         return {
@@ -143,6 +151,7 @@ class CampaignResult:
             "verified": self.verified,
             "ok": self.ok,
             "trial_engines": dict(self.engines),
+            "wall_seconds": dict(self.wall_seconds),
             "engine": {
                 "cache_hits": self.stats.cache_hits,
                 "cache_misses": self.stats.cache_misses,
@@ -340,6 +349,14 @@ def run_campaigns(
         scenario.name: _resolve_seeds(scenario, trials, seeds)
         for scenario in scenarios
     }
+    emit(
+        "campaign.begin",
+        scenarios=[scenario.name for scenario in scenarios],
+        points=len(points),
+        engine=engine,
+        jobs=jobs,
+        trials=sum(len(s) for s in seeds_by_scenario.values()) * len(points),
+    )
 
     # Phase 1 — synthesis: one cached batch over every mode of every
     # scenario (shared with Experiment.run); identical problems — all
@@ -347,12 +364,15 @@ def run_campaigns(
     cache = cache if cache is not None else (
         ScheduleCache(cache_dir) if cache_dir is not None else None
     )
+    synthesis_started = time.perf_counter()
     all_schedules, all_reports, stats = synthesize_scenarios(
         scenarios, jobs=jobs, cache=cache, warm_start=warm_start, stats=stats
     )
+    wall_seconds = {"synthesis": time.perf_counter() - synthesis_started}
 
     result = CampaignResult(
-        schedules=all_schedules, reports=all_reports, stats=stats
+        schedules=all_schedules, reports=all_reports, stats=stats,
+        wall_seconds=wall_seconds,
     )
     contexts: Dict[str, dict] = {}
     tasks: List[Tuple[str, dict]] = []
@@ -377,6 +397,8 @@ def run_campaigns(
         contexts[scenario.name] = scenario_context(scenario, schedules)
         scenario_seeds = seeds_by_scenario[scenario.name]
         for point_index, point in enumerate(points):
+            emit("campaign.point.begin", scenario=scenario.name,
+                 point=point_index, trials=len(scenario_seeds))
             if engine == "vectorized":
                 # The vectorized kernel amortizes tensor setup over
                 # many trials, so a grid point becomes a few *batch*
@@ -413,60 +435,90 @@ def run_campaigns(
 
     # Phase 2 — evaluation: every trial of every scenario and grid
     # point drains through one shared pool.
-    if pool is not None:
-        # Resident executor: group tasks per scenario (one shared
-        # context each) and drain them through the caller's long-lived
-        # pool, whose workers cache built contexts under their content
-        # key — repeated campaigns over the same scenario never
-        # rebuild deployments.  Aggregation below groups by the
-        # (scenario, point) keys echoed into every outcome, so the
-        # per-scenario ordering is equivalent to the flat task list.
-        import hashlib
-        import json
+    with timed_span("simulate") as simulate_span:
+        if pool is not None:
+            # Resident executor: group tasks per scenario (one shared
+            # context each) and drain them through the caller's
+            # long-lived pool, whose workers cache built contexts under
+            # their content key — repeated campaigns over the same
+            # scenario never rebuild deployments.  Aggregation below
+            # groups by the (scenario, point) keys echoed into every
+            # outcome, so the per-scenario ordering is equivalent to
+            # the flat task list.
+            import hashlib
+            import json
 
-        by_scenario: Dict[str, List[dict]] = {}
-        for name, task in tasks:
-            by_scenario.setdefault(name, []).append(task)
-        outcomes = []
-        for name, scenario_tasks in by_scenario.items():
-            context_data = contexts[name]
-            context_key = hashlib.sha256(
-                json.dumps(context_data, sort_keys=True).encode("utf-8")
-            ).hexdigest()
-            outcomes.extend(pool.run(context_key, context_data, scenario_tasks))
-    else:
-        executor = (
-            execute_trial_batch if engine == "vectorized" else execute_trial
-        )
-        trial_pool = TrialPool(build_context, executor, contexts, jobs=jobs)
-        outcomes = trial_pool.map(tasks)
+            by_scenario: Dict[str, List[dict]] = {}
+            for name, task in tasks:
+                by_scenario.setdefault(name, []).append(task)
+            outcomes = []
+            for name, scenario_tasks in by_scenario.items():
+                context_data = contexts[name]
+                context_key = hashlib.sha256(
+                    json.dumps(context_data, sort_keys=True).encode("utf-8")
+                ).hexdigest()
+                outcomes.extend(
+                    pool.run(context_key, context_data, scenario_tasks)
+                )
+        else:
+            executor = (
+                execute_trial_batch if engine == "vectorized" else execute_trial
+            )
+            trial_pool = TrialPool(build_context, executor, contexts, jobs=jobs)
+            outcomes = trial_pool.map(tasks)
+    wall_seconds["simulation"] = simulate_span.seconds
 
     # Phase 3 — aggregation, grouped by (scenario, grid point).  Batch
     # outcomes flatten to the same per-trial payload shape first.
-    flat: List[dict] = []
-    for outcome in outcomes:
-        flat.extend(outcome.get("results", [outcome]))
-    grouped: Dict[Tuple[str, int], List[TrialResult]] = {}
-    for outcome in flat:
-        key = (outcome["scenario"], outcome["point"])
-        grouped.setdefault(key, []).append(TrialResult.from_dict(outcome))
-        used = outcome.get("engine_used")
-        if used is not None:
-            result.engines[outcome["scenario"]] = used
-    for scenario in scenarios:
-        if scenario.name not in contexts:
-            continue
-        for point_index, point in enumerate(points):
-            trial_results = grouped.get((scenario.name, point_index), [])
-            result.points.append(
-                PointResult(
-                    scenario=scenario.name,
-                    point=dict(point),
-                    seeds=list(seeds_by_scenario[scenario.name]),
-                    stats=CampaignStats.aggregate(trial_results),
-                    trials=trial_results,
+    with timed_span("aggregate") as aggregate_span:
+        flat: List[dict] = []
+        fallback_reasons: Dict[str, str] = {}
+        for outcome in outcomes:
+            flat.extend(outcome.get("results", [outcome]))
+            # Batch outcomes carry the reason at the envelope level —
+            # it would be lost in the per-trial flatten below.
+            reason = outcome.get("engine_reason")
+            if reason is not None and outcome.get("scenario") is not None:
+                fallback_reasons[outcome["scenario"]] = reason
+        grouped: Dict[Tuple[str, int], List[TrialResult]] = {}
+        for outcome in flat:
+            key = (outcome["scenario"], outcome["point"])
+            grouped.setdefault(key, []).append(TrialResult.from_dict(outcome))
+            used = outcome.get("engine_used")
+            if used is not None:
+                result.engines[outcome["scenario"]] = used
+            reason = outcome.get("engine_reason")
+            if reason is not None:
+                fallback_reasons[outcome["scenario"]] = reason
+        for scenario in scenarios:
+            if scenario.name not in contexts:
+                continue
+            for point_index, point in enumerate(points):
+                trial_results = grouped.get((scenario.name, point_index), [])
+                stats_point = CampaignStats.aggregate(trial_results)
+                result.points.append(
+                    PointResult(
+                        scenario=scenario.name,
+                        point=dict(point),
+                        seeds=list(seeds_by_scenario[scenario.name]),
+                        stats=stats_point,
+                        trials=trial_results,
+                    )
                 )
-            )
+                emit("campaign.point.end", scenario=scenario.name,
+                     point=point_index, trials=len(trial_results),
+                     collisions=stats_point.collisions)
+    wall_seconds["aggregation"] = aggregate_span.seconds
+
+    # The engine-resolution ladder's outcome, per scenario: what ran,
+    # and — when a rung was taken — why.
+    for name, used in result.engines.items():
+        emit("engine.resolved", scenario=name, requested=engine, used=used)
+        if used != engine:
+            emit("engine.fallback", scenario=name, requested=engine,
+                 used=used, reason=fallback_reasons.get(name))
+    emit("campaign.end", points=len(result.points), ok=result.ok,
+         wall_seconds=wall_seconds)
     return result
 
 

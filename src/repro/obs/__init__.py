@@ -1,0 +1,79 @@
+"""``repro.obs`` — structured run logs, metrics, and phase spans.
+
+The observability layer of the repository: typed JSONL event logs
+(:mod:`repro.obs.events`), a counters/gauges/timers registry with
+snapshot/merge semantics (:mod:`repro.obs.metrics`), and
+:class:`ObsConfig`, the one switch that turns logging on.  Everything
+is off by default; instrumented call sites cost a single ``None``
+check until a run log is installed.
+
+See ``docs/OBSERVABILITY.md`` for the event schema and a walkthrough
+of the ``repro logs`` analyzers.
+"""
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from .events import (
+    LOG_SCHEMA,
+    Event,
+    LogError,
+    RunLog,
+    discover_log_parts,
+    emit,
+    get_run_log,
+    log_part_path,
+    merge_run_log,
+    new_run_id,
+    read_log,
+    set_run_log,
+    sort_events,
+)
+from .metrics import REGISTRY, MetricsRegistry, timed_span
+
+
+@dataclass
+class ObsConfig:
+    """Where (and whether) a run writes its event log.
+
+    ``log_dir=None`` — the default — means observability is off.  The
+    CLI's ``--log-dir`` flag and the service's ``ServiceConfig`` both
+    reduce to one of these.
+    """
+
+    log_dir: Optional[Union[str, Path]] = None
+    run_id: Optional[str] = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.log_dir is not None
+
+    def open(
+        self, worker: Optional[Union[int, str]] = None
+    ) -> Optional[RunLog]:
+        """A :class:`RunLog` under ``log_dir``, or ``None`` when off."""
+        if self.log_dir is None:
+            return None
+        return RunLog(self.log_dir, run_id=self.run_id, worker=worker)
+
+
+__all__ = [
+    "LOG_SCHEMA",
+    "Event",
+    "LogError",
+    "MetricsRegistry",
+    "ObsConfig",
+    "REGISTRY",
+    "RunLog",
+    "discover_log_parts",
+    "emit",
+    "get_run_log",
+    "log_part_path",
+    "merge_run_log",
+    "new_run_id",
+    "read_log",
+    "set_run_log",
+    "sort_events",
+    "timed_span",
+]

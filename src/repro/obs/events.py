@@ -1,0 +1,274 @@
+"""Typed run-log events and the ``RunLog`` JSONL writer.
+
+One run of any long-lived subsystem — a Monte-Carlo campaign, a
+sharded exploration, the ``repro serve`` daemon — can record what
+happened to a **run log**: a JSONL file of :class:`Event` records
+(schema :data:`LOG_SCHEMA`).  The design follows the dse store, the
+repository's proven crash-tolerant append format:
+
+* every event is one ``json.dumps(..., sort_keys=True)`` line,
+  flushed immediately, so a SIGKILLed process leaves at worst one
+  *torn* final line;
+* :func:`read_log` tolerates exactly that torn final line (and
+  nothing else — mid-file corruption is a hard error);
+* concurrent processes never share a file: each worker writes its own
+  *segment* (``<run>.part-<n>.jsonl``, the ``dse.store.part_path``
+  convention) and :func:`merge_run_log` folds segments into the main
+  log afterwards.  Merging appends verbatim — every event keeps its
+  writer's ``src`` and monotonic ``seq``, so readers can always
+  re-derive a global order with :func:`sort_events`.
+
+Logging is **off by default**.  Instrumented call sites go through
+:func:`emit`, which is a no-op (one global read, one ``None`` check)
+until someone installs a log with :func:`set_run_log` — typically the
+CLI's ``--log-dir`` flag or a service's ``ObsConfig``.
+"""
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Union
+
+#: Format tag written into every event line.
+LOG_SCHEMA = "repro-log/1"
+
+
+class LogError(ValueError):
+    """A run log file is damaged beyond the tolerated torn tail."""
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured run-log record.
+
+    ``seq`` is monotonic *per writer* (``src``), never globally —
+    concurrent segments each count from zero.  ``time`` is wall-clock
+    (``time.time()``), so events from different processes interleave
+    on a shared axis.  ``data`` is the event's structured payload,
+    nested so payload keys can never collide with the envelope.
+    """
+
+    kind: str
+    seq: int
+    time: float
+    src: str = "main"
+    run: str = ""
+    data: Mapping[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": LOG_SCHEMA,
+            "kind": self.kind,
+            "seq": self.seq,
+            "time": self.time,
+            "src": self.src,
+            "run": self.run,
+            "data": dict(self.data),
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, object]) -> "Event":
+        schema = record.get("schema")
+        if schema != LOG_SCHEMA:
+            raise LogError(
+                f"unsupported log schema {schema!r} (expected {LOG_SCHEMA!r})"
+            )
+        return cls(
+            kind=str(record["kind"]),
+            seq=int(record["seq"]),
+            time=float(record["time"]),
+            src=str(record.get("src", "main")),
+            run=str(record.get("run", "")),
+            data=dict(record.get("data", {})),
+        )
+
+
+def new_run_id() -> str:
+    """A filesystem-safe identifier for one run."""
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    return f"run-{stamp}-{os.getpid()}"
+
+
+def log_part_path(path: Path, worker: Union[int, str]) -> Path:
+    """The segment file a worker writes next to the main log
+    (``run.jsonl`` -> ``run.part-3.jsonl``, the dse store convention).
+    """
+    path = Path(path)
+    return path.with_name(f"{path.stem}.part-{worker}{path.suffix}")
+
+
+def discover_log_parts(path: Path) -> List[Path]:
+    """All worker segments lying next to the main log file."""
+    path = Path(path)
+    pattern = f"{path.stem}.part-*{path.suffix}"
+    parts = []
+    for candidate in path.parent.glob(pattern):
+        tag = candidate.name[len(path.stem) + len(".part-"):]
+        if path.suffix:
+            tag = tag[: -len(path.suffix)]
+        if tag:
+            parts.append((tag, candidate))
+    return [candidate for _tag, candidate in sorted(parts)]
+
+
+class RunLog:
+    """Appending writer for one run's JSONL event log.
+
+    Every :meth:`emit` writes one line and flushes, so the log
+    survives a SIGKILL with at most a torn final line (which
+    :func:`read_log` skips).  Thread-safe; **not** shared across
+    processes — workers open their own segment via ``worker=``.
+    """
+
+    def __init__(
+        self,
+        log_dir: Union[str, Path],
+        run_id: Optional[str] = None,
+        worker: Optional[Union[int, str]] = None,
+    ) -> None:
+        self.log_dir = Path(log_dir)
+        self.log_dir.mkdir(parents=True, exist_ok=True)
+        self.run_id = run_id or new_run_id()
+        base = self.log_dir / f"{self.run_id}.jsonl"
+        self.path = base if worker is None else log_part_path(base, worker)
+        self.src = "main" if worker is None else f"worker-{worker}"
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, kind: str, **data: object) -> Event:
+        """Append one event; returns the record as written."""
+        with self._lock:
+            event = Event(
+                kind=kind,
+                seq=self._seq,
+                time=time.time(),
+                src=self.src,
+                run=self.run_id,
+                data=data,
+            )
+            self._seq += 1
+            if not self._file.closed:
+                self._file.write(
+                    json.dumps(event.to_dict(), sort_keys=True) + "\n"
+                )
+                self._file.flush()
+        return event
+
+    def merge_parts(self, delete_parts: bool = True) -> List[Path]:
+        """Fold worker segments into this (still open) log file."""
+        return merge_run_log(self.path, delete_parts=delete_parts)
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+    def __enter__(self) -> "RunLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_log(path: Union[str, Path]) -> List[Event]:
+    """Events of one log file, in file order.
+
+    Tolerates a torn final line (the signature a killed writer
+    leaves); any other damage raises :class:`LogError` — silently
+    dropping mid-file events would corrupt post-hoc analysis.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    events: List[Event] = []
+    lines = text.splitlines()
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if number == len(lines) and not text.endswith("\n"):
+                continue  # torn final append from a killed run
+            raise LogError(
+                f"{path}:{number}: invalid JSON in run log"
+            ) from None
+        events.append(Event.from_dict(record))
+    return events
+
+
+def sort_events(events: Iterable[Event]) -> List[Event]:
+    """A global order over events from any number of writers.
+
+    Wall time first, then writer, then the writer's monotonic ``seq``
+    — so each writer's own order is always preserved even when clocks
+    collide at the timestamp granularity.
+    """
+    return sorted(events, key=lambda e: (e.time, e.src, e.seq))
+
+
+def merge_run_log(
+    target: Union[str, Path],
+    parts: Optional[Iterable[Path]] = None,
+    delete_parts: bool = False,
+) -> List[Path]:
+    """Append every worker segment's events to the main log.
+
+    Events are copied verbatim (their ``src``/``seq``/``time`` fields
+    already tell the full story), so the merge is a pure append — safe
+    to run while the main log is still open elsewhere, because both
+    writers use ``O_APPEND``.  Returns the segment paths merged.
+    """
+    target = Path(target)
+    part_paths = (
+        list(parts) if parts is not None else discover_log_parts(target)
+    )
+    if not part_paths:
+        return []
+    with open(target, "a", encoding="utf-8") as sink:
+        for part in part_paths:
+            for event in read_log(part):
+                sink.write(
+                    json.dumps(event.to_dict(), sort_keys=True) + "\n"
+                )
+        sink.flush()
+    if delete_parts:
+        for part in part_paths:
+            Path(part).unlink(missing_ok=True)
+    return [Path(part) for part in part_paths]
+
+
+# -- the process-wide active log ---------------------------------------------
+
+#: The log instrumented call sites write to; ``None`` means logging is
+#: off and :func:`emit` is a cheap no-op.
+_ACTIVE_LOG: Optional[RunLog] = None
+
+
+def set_run_log(log: Optional[RunLog]) -> Optional[RunLog]:
+    """Install ``log`` as the process-wide event sink.
+
+    Returns the previously active log so callers can restore it
+    (services that scope logging to their own lifetime do).
+    """
+    global _ACTIVE_LOG
+    previous = _ACTIVE_LOG
+    _ACTIVE_LOG = log
+    return previous
+
+
+def get_run_log() -> Optional[RunLog]:
+    """The currently active run log, if any."""
+    return _ACTIVE_LOG
+
+
+def emit(kind: str, **data: object) -> Optional[Event]:
+    """Emit an event to the active run log — a no-op when logging is
+    off, which is the default and the hot-path guarantee."""
+    log = _ACTIVE_LOG
+    if log is None:
+        return None
+    return log.emit(kind, **data)

@@ -1,0 +1,171 @@
+"""A process-local registry of counters, gauges, and timers.
+
+The shape is the dask/distributed scheduler-state idiom already used
+by ``serve.jobs``: cheap redundant dict-record state behind one lock,
+no clever abstractions.  Three families:
+
+* **counters** — monotonically increasing integers (``incr``);
+* **gauges** — last-write-wins floats (``gauge``);
+* **timers** — duration summaries (count/total/min/max) fed by
+  ``observe`` or the :func:`timed_span` context manager.
+
+Pool workers run in separate processes, so their registries are
+invisible to the parent; :meth:`MetricsRegistry.flush_delta` packages
+everything accumulated since the last flush into a plain dict that
+rides back with the chunk result, and the parent folds it in with
+:meth:`MetricsRegistry.merge`.  Both directions are plain
+JSON-serializable dicts — nothing to pickle but builtins.
+
+:data:`REGISTRY` is the default process-wide registry; phase spans
+(synthesize → verify → simulate → aggregate) land there and surface
+through ``repro logs rollup`` and the daemon's ``GET /metrics``.
+"""
+
+import threading
+import time
+from typing import Dict, Optional
+
+from .events import emit
+
+
+class MetricsRegistry:
+    """Thread-safe counters/gauges/timers with snapshot/merge/delta."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.timers: Dict[str, Dict[str, float]] = {}
+        # Baselines of the last flush_delta(), so workers ship only
+        # what the parent has not yet seen.
+        self._counter_base: Dict[str, int] = {}
+        self._timer_base: Dict[str, Dict[str, float]] = {}
+
+    def incr(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self.gauges[name] = value
+
+    def observe(self, name: str, seconds: float) -> None:
+        with self._lock:
+            self._observe_locked(name, seconds)
+
+    def _observe_locked(self, name: str, seconds: float) -> None:
+        timer = self.timers.get(name)
+        if timer is None:
+            self.timers[name] = {
+                "count": 1,
+                "total": seconds,
+                "min": seconds,
+                "max": seconds,
+            }
+        else:
+            timer["count"] += 1
+            timer["total"] += seconds
+            timer["min"] = min(timer["min"], seconds)
+            timer["max"] = max(timer["max"], seconds)
+
+    def snapshot(self) -> dict:
+        """The full current state as a JSON-serializable dict."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "timers": {
+                    name: dict(timer) for name, timer in self.timers.items()
+                },
+            }
+
+    def merge(self, snapshot: Optional[dict]) -> None:
+        """Fold another registry's snapshot (or delta) into this one."""
+        if not snapshot:
+            return
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            self.gauges.update(snapshot.get("gauges", {}))
+            for name, other in snapshot.get("timers", {}).items():
+                timer = self.timers.get(name)
+                if timer is None:
+                    self.timers[name] = dict(other)
+                else:
+                    timer["count"] += other["count"]
+                    timer["total"] += other["total"]
+                    timer["min"] = min(timer["min"], other["min"])
+                    timer["max"] = max(timer["max"], other["max"])
+
+    def flush_delta(self) -> dict:
+        """Everything accumulated since the previous flush.
+
+        Counters and timer count/total are exact deltas; a delta
+        period's timer min/max are the registry's current extrema
+        (summaries, not invariants — good enough for telemetry).
+        """
+        with self._lock:
+            counters = {}
+            for name, value in self.counters.items():
+                delta = value - self._counter_base.get(name, 0)
+                if delta:
+                    counters[name] = delta
+            self._counter_base = dict(self.counters)
+            timers = {}
+            for name, timer in self.timers.items():
+                base = self._timer_base.get(name, {"count": 0, "total": 0.0})
+                count = timer["count"] - base["count"]
+                if count:
+                    timers[name] = {
+                        "count": count,
+                        "total": timer["total"] - base["total"],
+                        "min": timer["min"],
+                        "max": timer["max"],
+                    }
+            self._timer_base = {
+                name: {"count": timer["count"], "total": timer["total"]}
+                for name, timer in self.timers.items()
+            }
+            return {
+                "counters": counters,
+                "gauges": dict(self.gauges),
+                "timers": timers,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.timers.clear()
+            self._counter_base.clear()
+            self._timer_base.clear()
+
+
+#: The default process-wide registry.
+REGISTRY = MetricsRegistry()
+
+
+class _Span:
+    """One timed phase; records a timer and emits a ``span`` event."""
+
+    def __init__(self, name: str, registry: MetricsRegistry) -> None:
+        self.name = name
+        self.seconds = 0.0
+        self._registry = registry
+        self._started = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._started
+        self._registry.observe(f"span.{self.name}", self.seconds)
+        emit("span", name=self.name, seconds=self.seconds)
+
+
+def timed_span(name: str, registry: Optional[MetricsRegistry] = None) -> _Span:
+    """Time a phase: records ``span.<name>`` in the registry and, when
+    a run log is active, emits a ``span`` event on exit.  The span's
+    measured ``seconds`` attribute is readable after the block."""
+    return _Span(name, registry if registry is not None else REGISTRY)

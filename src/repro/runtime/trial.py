@@ -343,6 +343,48 @@ def trial_engine(
     return "fast"
 
 
+def fallback_reason(
+    context: TrialContext,
+    loss_kind: Optional[str],
+    requested: str,
+    resolved: str,
+) -> Optional[str]:
+    """Why the engine ladder stepped down from ``requested`` to
+    ``resolved`` — ``None`` when it did not.
+
+    Mirrors :func:`trial_engine`'s rules and surfaces the stored
+    diagnostics (:attr:`TrialContext.compile_error` /
+    :attr:`TrialContext.timeline_error`), so observability events can
+    say *why* a campaign ran scalar, not merely that it did.  Only
+    called on the fallback path — costs nothing otherwise.
+    """
+    if resolved == requested:
+        return None
+    reasons = []
+    if requested == "vectorized":
+        from ..mc.vectorized import supports_loss_kind as vector_supports
+
+        if not vector_supports(loss_kind):
+            reasons.append(f"no vector sampler for loss kind {loss_kind!r}")
+        elif context.timeline() is None:
+            reasons.append(f"timeline: {context.timeline_error}")
+        elif (
+            context.compiled() is not None
+            and context.compiled().resolve_host(context.host_node) is None
+        ):
+            reasons.append(f"host {context.host_node!r} not in the program")
+    if resolved == "reference":
+        from ..mc.fastpath import supports_loss_kind
+
+        if not supports_loss_kind(loss_kind):
+            reasons.append(f"no fast-path sampler for loss kind {loss_kind!r}")
+        elif context.compiled() is None:
+            reasons.append(f"compile: {context.compile_error}")
+        elif context.compiled().resolve_host(context.host_node) is None:
+            reasons.append(f"host {context.host_node!r} not in the program")
+    return "; ".join(reasons) or "unsupported scenario feature"
+
+
 def run_trial(
     context: TrialContext,
     loss_kind: Optional[str],
@@ -438,9 +480,14 @@ def execute_trial(context: TrialContext, task: dict) -> dict:
         engine=engine,
     )
     payload = result.to_dict()
-    payload["engine_used"] = (
+    resolved = (
         trial_engine(context, kind, engine) if engine in ENGINES else engine
     )
+    payload["engine_used"] = resolved
+    if engine in ENGINES and resolved != engine:
+        payload["engine_reason"] = fallback_reason(
+            context, kind, engine, resolved
+        )
     for key in ("trial", "seed", "point", "scenario"):
         if key in task:
             payload[key] = task[key]
@@ -494,12 +541,17 @@ def execute_trial_batch(context: TrialContext, task: dict) -> dict:
             if key in task:
                 payload[key] = task[key]
         payloads.append(payload)
-    return {
+    outcome = {
         "scenario": task.get("scenario"),
         "point": task.get("point"),
         "engine_used": resolved,
         "results": payloads,
     }
+    if engine in ENGINES and resolved != engine:
+        outcome["engine_reason"] = fallback_reason(
+            context, kind, engine, resolved
+        )
+    return outcome
 
 
 def execute_trial_task(context: TrialContext, task: dict) -> dict:

@@ -35,6 +35,8 @@ from typing import IO, Optional
 from ..dse.store import open_store
 from ..engine.cache import ScheduleCache
 from ..engine.trials import ResidentPool
+from ..obs.events import RunLog, emit, set_run_log
+from ..obs.metrics import REGISTRY
 from ..runtime.trial import ENGINES, build_context, execute_trial_batch
 from .http import ServiceHTTPServer
 from .jobs import JobTable
@@ -64,6 +66,8 @@ class ServiceConfig:
         history: Terminal jobs kept for ``GET /jobs``.
         drain_timeout: Seconds :meth:`ServiceApp.shutdown` waits for
             workers to finish before giving up (``None``: forever).
+        log_dir: Run-log directory; ``None`` (the default) disables
+            structured event logging for the daemon's lifetime.
     """
 
     host: str = "127.0.0.1"
@@ -81,6 +85,7 @@ class ServiceConfig:
     engine: str = "fast"
     history: int = 1024
     drain_timeout: Optional[float] = 60.0
+    log_dir: Optional[str] = None
     log_stream: Optional[IO[str]] = field(default=None, repr=False)
 
     def validate(self) -> None:
@@ -136,6 +141,13 @@ class ServiceApp:
             engine=self.config.engine,
         )
         self.server: Optional[ServiceHTTPServer] = None
+        # Structured run log, scoped to the daemon's lifetime: opened
+        # here, restored (and closed) at the end of shutdown().
+        self.run_log: Optional[RunLog] = None
+        self._previous_log: Optional[RunLog] = None
+        if self.config.log_dir is not None:
+            self.run_log = RunLog(self.config.log_dir)
+            self._previous_log = set_run_log(self.run_log)
 
     # -- observability ---------------------------------------------------
     @property
@@ -170,6 +182,21 @@ class ServiceApp:
         payload["cache"] = self.cache.usage() if self.cache is not None else None
         return payload
 
+    def metrics(self) -> dict:
+        """The ``GET /metrics`` payload: stats plus the obs registry.
+
+        A superset of :meth:`stats` — everything ``/stats`` reports,
+        the process-wide metrics registry (counters, gauges, and the
+        phase-timing ``span.*`` timers), and the run-log location.
+        """
+        payload = self.stats()
+        payload["schema"] = "repro-metrics/1"
+        payload["registry"] = REGISTRY.snapshot()
+        payload["run_log"] = (
+            str(self.run_log.path) if self.run_log is not None else None
+        )
+        return payload
+
     @property
     def address(self) -> "tuple[str, int]":
         if self.server is None:
@@ -201,6 +228,12 @@ class ServiceApp:
             f"(workers={self.config.workers}, jobs={self.config.jobs}, "
             f"store={self.config.store or 'memory'})"
         )
+        emit(
+            "serve.start", url=self.url, workers=self.config.workers,
+            jobs=self.config.jobs, store=self.config.store,
+        )
+        if self.run_log is not None:
+            self.log(f"run log: {self.run_log.path}")
         return self
 
     def shutdown(self) -> None:
@@ -228,6 +261,10 @@ class ServiceApp:
             self.server.server_close()
         self.pool.close()
         self.store.close()
+        emit("serve.stop", drained=drained, uptime=time.time() - self.started)
+        if self.run_log is not None:
+            set_run_log(self._previous_log)
+            self.run_log.close()
         self.log("bye")
         self._shutdown_complete.set()
 

@@ -13,6 +13,9 @@ GET      ``/jobs/<id>/events``     **NDJSON stream** of the job's events,
                                    the terminal event
 POST     ``/jobs/<id>/cancel``     Cancel a job (idempotent)
 GET      ``/stats``                Admission / dedup / cache / store stats
+GET      ``/metrics``              ``/stats`` plus the obs metrics registry
+                                   (counters, phase-timing spans) and
+                                   engine-resolution counts
 GET      ``/healthz``              Liveness probe
 POST     ``/shutdown``             Graceful drain + exit
 =======  ========================  =======================================
@@ -113,6 +116,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self._send_json(200, {"status": "ok"})
             elif parts == ["stats"]:
                 self._send_json(200, self.server.app.stats())
+            elif parts == ["metrics"]:
+                self._send_json(200, self.server.app.metrics())
             elif parts == ["jobs"]:
                 self._list_jobs(parse_qs(parsed.query))
             elif len(parts) == 2 and parts[0] == "jobs":

@@ -35,6 +35,8 @@ import threading
 import time
 from typing import Dict, List, Optional, Set
 
+from ..obs.events import emit
+
 #: All job states, in lifecycle order.
 STATES = (
     "queued",
@@ -256,6 +258,9 @@ class JobTable:
             **event,
         }
         job["events"].append(event)
+        # Mirror the per-job event stream into the run log (when one is
+        # active) — the service's job history becomes obs events.
+        emit("job", **event)
         self.changed.notify_all()
 
     def _prune(self) -> None:

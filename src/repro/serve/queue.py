@@ -40,6 +40,8 @@ from ..engine.cache import ScheduleCache
 from ..engine.trials import ResidentPool
 from ..mc.campaign import _point_loss, _resolve_seeds, scenario_context
 from ..mc.stats import CampaignStats
+from ..obs.events import emit
+from ..obs.metrics import timed_span
 from ..runtime.trial import ENGINES, TrialResult, build_context, execute_trial_batch
 from .dedup import DedupIndex, Execution, job_key
 from .jobs import TERMINAL, JobTable
@@ -164,6 +166,9 @@ class JobQueue:
         self.cancelled = 0
         self.campaigns_executed = 0
         self.trials_executed = 0
+        # requested engine -> {engine actually used -> count}; fallback
+        # shows up as an off-diagonal entry (e.g. vectorized -> fast).
+        self.engine_resolution: Dict[str, Dict[str, int]] = {}
 
     # -- lifecycle -------------------------------------------------------
     def start(self) -> None:
@@ -227,6 +232,10 @@ class JobQueue:
         if len(seed_list) > self.max_trials:
             with self._condition:
                 self.rejected["trial_budget"] += 1
+            emit(
+                "serve.reject", reason="trial_budget", client=client,
+                trials=len(seed_list), limit=self.max_trials,
+            )
             raise AdmissionError(
                 429,
                 f"trial budget exceeded: {len(seed_list)} trials requested, "
@@ -237,6 +246,7 @@ class JobQueue:
         with self._condition:
             if self._stopping:
                 self.rejected["draining"] += 1
+                emit("serve.reject", reason="draining", client=client)
                 raise AdmissionError(503, "service is draining")
 
             # Dedup layer 1: completed work in the shared store.
@@ -244,6 +254,10 @@ class JobQueue:
             if record is not None:
                 self.dedup.count_store_hit()
                 self.accepted += 1
+                emit(
+                    "serve.dedup", layer="store", key=key,
+                    scenario=scenario.name, client=client,
+                )
                 job = self.table.create(
                     scenario.name, key, client=client,
                     trials=len(seed_list), engine=engine,
@@ -264,6 +278,11 @@ class JobQueue:
             if execution is not None:
                 self.dedup.count_attach()
                 self.accepted += 1
+                emit(
+                    "serve.dedup", layer="inflight", key=key,
+                    scenario=scenario.name, client=client,
+                    leader=execution.job_ids[0],
+                )
                 job = self.table.create(
                     scenario.name, key, client=client,
                     trials=len(seed_list), engine=execution.engine,
@@ -278,6 +297,10 @@ class JobQueue:
 
             if len(self._queue) >= self.max_queued:
                 self.rejected["queue_full"] += 1
+                emit(
+                    "serve.reject", reason="queue_full", client=client,
+                    queued=len(self._queue), limit=self.max_queued,
+                )
                 raise AdmissionError(
                     429,
                     f"queue full: {len(self._queue)} execution(s) waiting, "
@@ -338,10 +361,15 @@ class JobQueue:
                 "campaigns_executed": self.campaigns_executed,
                 "trials_executed": self.trials_executed,
             }
+            resolution = {
+                requested: dict(used)
+                for requested, used in self.engine_resolution.items()
+            }
         stats = self.engine_stats
         return {
             "admission": counters,
             "dedup": self.dedup.stats(),
+            "engine_resolution": resolution,
             "jobs": self.table.counts(),
             "engine": {
                 "cache_hits": stats.cache_hits,
@@ -459,44 +487,56 @@ class JobQueue:
         context_key = candidate_key(scenario, {"context": "trial"}, [])
         results: List[TrialResult] = []
         engine_used: Optional[str] = None
-        for lo in range(0, len(seeds), self.trial_batch):
-            if execution.cancel.is_set():
-                return  # every attached job already cancelled itself
-            batch = [
-                (lo + offset, seed)
-                for offset, seed in enumerate(seeds[lo:lo + self.trial_batch])
-            ]
-            task = {
-                "scenario": scenario.name,
-                "point": 0,
-                "trials": batch,
-                "loss": _point_loss(scenario, {}, seed=None),
-                "engine": execution.engine,
-            }
-            outcome = self.pool.run(context_key, context_data, [task])[0]
-            engine_used = outcome.get("engine_used", engine_used)
-            results.extend(
-                TrialResult.from_dict(payload)
-                for payload in outcome["results"]
-            )
-            with self._condition:
-                self.trials_executed += len(batch)
-            self._progress_all(
-                execution,
-                trials_done=len(results),
-                trials_total=len(seeds),
-                engine_used=engine_used,
-            )
+        with timed_span("simulate"):
+            for lo in range(0, len(seeds), self.trial_batch):
+                if execution.cancel.is_set():
+                    return  # every attached job already cancelled itself
+                batch = [
+                    (lo + offset, seed)
+                    for offset, seed
+                    in enumerate(seeds[lo:lo + self.trial_batch])
+                ]
+                task = {
+                    "scenario": scenario.name,
+                    "point": 0,
+                    "trials": batch,
+                    "loss": _point_loss(scenario, {}, seed=None),
+                    "engine": execution.engine,
+                }
+                outcome = self.pool.run(context_key, context_data, [task])[0]
+                engine_used = outcome.get("engine_used", engine_used)
+                results.extend(
+                    TrialResult.from_dict(payload)
+                    for payload in outcome["results"]
+                )
+                with self._condition:
+                    self.trials_executed += len(batch)
+                self._progress_all(
+                    execution,
+                    trials_done=len(results),
+                    trials_total=len(seeds),
+                    engine_used=engine_used,
+                )
 
-        stats = CampaignStats.aggregate(results)
+        with timed_span("aggregate"):
+            stats = CampaignStats.aggregate(results)
         record = _result_record(
             scenario, seeds, stats, total_latency, rounds,
             time.perf_counter() - started,
         )
         record["engine_used"] = engine_used
         self.store.put(execution.key, record)
+        requested = execution.engine
+        used = engine_used or requested
         with self._condition:
             self.campaigns_executed += 1
+            by_used = self.engine_resolution.setdefault(requested, {})
+            by_used[used] = by_used.get(used, 0) + 1
+        if used != requested:
+            emit(
+                "engine.fallback", scenario=scenario.name,
+                requested=requested, used=used,
+            )
         self._transition_all(
             execution, "done", result=record, cached=False,
             trials_done=len(results), trials_total=len(seeds),

@@ -1,0 +1,161 @@
+"""Run-log analyzers: loading, summaries, timelines, the dse story."""
+
+import pytest
+
+from repro.analysis.logs import (
+    exploration_story,
+    load_events,
+    phase_rows,
+    phase_table,
+    summarize_rows,
+    summarize_table,
+    timeline_rows,
+    timeline_table,
+)
+from repro.obs import RunLog
+
+
+@pytest.fixture
+def sample_log(tmp_path):
+    """A main log + one unmerged worker segment."""
+    log_dir = tmp_path / "logs"
+    with RunLog(log_dir, run_id="r") as main:
+        main.emit("campaign.begin", trials=4)
+        main.emit("span", name="synthesize", seconds=0.5)
+        main.emit("span", name="simulate", seconds=0.2)
+        main.emit("span", name="simulate", seconds=0.4)
+        main.emit("campaign.end", ok=True)
+    with RunLog(log_dir, run_id="r", worker=0) as part:
+        part.emit("shard.start", shard=0)
+    return main.path
+
+
+class TestLoadEvents:
+    def test_file_source_includes_unmerged_segments(self, sample_log):
+        events = load_events(sample_log)
+        assert {event.src for event in events} == {"main", "worker-0"}
+
+    def test_directory_source_reads_all_logs(self, sample_log):
+        events = load_events(sample_log.parent)
+        assert len(events) == 6
+
+    def test_kind_filter(self, sample_log):
+        events = load_events(sample_log, kinds=["span"])
+        assert all(event.kind == "span" for event in events)
+        assert len(events) == 3
+
+    def test_run_filter(self, tmp_path):
+        log_dir = tmp_path / "logs"
+        for run_id in ("a", "b"):
+            with RunLog(log_dir, run_id=run_id) as log:
+                log.emit("x")
+        assert len(load_events(log_dir)) == 2
+        only_a = load_events(log_dir, run="a")
+        assert len(only_a) == 1 and only_a[0].run == "a"
+
+    def test_events_come_back_globally_ordered(self, sample_log):
+        events = load_events(sample_log)
+        assert [e.time for e in events] == sorted(e.time for e in events)
+
+
+class TestSummaries:
+    def test_summarize_rows_count_per_kind(self, sample_log):
+        rows = {row["kind"]: row for row in summarize_rows(load_events(sample_log))}
+        assert rows["span"]["count"] == 3
+        assert rows["campaign.begin"]["count"] == 1
+        assert rows["shard.start"]["writers"] == 1
+
+    def test_summarize_table_renders(self, sample_log):
+        table = summarize_table(load_events(sample_log))
+        assert "kind" in table and "span" in table
+
+    def test_empty_events(self):
+        assert summarize_rows([]) == []
+        assert summarize_table([]) == "(no events)"
+        assert timeline_table([]) == "(no events)"
+        assert phase_table([]) == "(no span events)"
+
+
+class TestTimeline:
+    def test_offsets_start_at_zero(self, sample_log):
+        rows = timeline_rows(load_events(sample_log))
+        assert rows[0]["t"] == 0.0
+        assert all(row["t"] >= 0.0 for row in rows)
+
+    def test_limit_truncates_and_notes(self, sample_log):
+        events = load_events(sample_log)
+        table = timeline_table(events, limit=2)
+        assert "more event(s) not shown" in table
+        assert len(timeline_rows(events, limit=2)) == 2
+
+
+class TestPhaseRollup:
+    def test_rollup_groups_span_events_by_name(self, sample_log):
+        rows = {row["phase"]: row for row in phase_rows(load_events(sample_log))}
+        assert rows["simulate"]["spans"] == 2
+        assert rows["simulate"]["total_s"] == pytest.approx(0.6)
+        assert rows["simulate"]["min_s"] == 0.2
+        assert rows["synthesize"]["spans"] == 1
+
+    def test_non_span_events_are_ignored(self, sample_log):
+        names = {row["phase"] for row in phase_rows(load_events(sample_log))}
+        assert names == {"synthesize", "simulate"}
+
+
+class TestExplorationStory:
+    def test_reconstructs_steal_requeue_respawn_merge(self, tmp_path):
+        log_dir = tmp_path / "logs"
+        with RunLog(log_dir, run_id="r") as main:
+            main.emit("dse.publish", round=0, blocks=3, candidates=3, shards=2)
+            main.emit("dse.requeue", shard=0, blocks=1, round=0)
+            main.emit("dse.respawn", shard=2, round=0, remaining=1)
+            main.emit("dse.merge", round=0, executed=3, segments=2)
+        with RunLog(log_dir, run_id="r", worker=0) as shard0:
+            shard0.emit("shard.start", shard=0, pid=111)
+            shard0.emit("shard.claim", shard=0, block=1, candidates=1,
+                        stolen=False)
+        with RunLog(log_dir, run_id="r", worker=1) as shard1:
+            shard1.emit("shard.start", shard=1, pid=222)
+            shard1.emit("shard.claim", shard=1, block=2, candidates=1,
+                        stolen=False)
+            shard1.emit("shard.claim", shard=1, block=1, candidates=1,
+                        stolen=True)
+        story = exploration_story(load_events(log_dir))
+        assert story["blocks_published"] == 3
+        assert story["shards_started"] == [0, 1]
+        assert len(story["claims"]) == 3
+        assert len(story["stolen"]) == 1
+        assert story["stolen"][0]["block"] == 1
+        assert story["blocks_requeued"] == 1
+        assert len(story["respawns"]) == 1
+        assert story["executed"] == 3
+        assert story["errors"] == []
+
+
+class TestLogsCli:
+    @pytest.fixture
+    def cli_log(self, sample_log):
+        return str(sample_log)
+
+    @pytest.mark.parametrize(
+        "command", ["summarize", "timeline", "rollup", "story"]
+    )
+    def test_logs_subcommands_exit_zero(self, cli_log, command, capsys):
+        from repro.cli import main
+
+        assert main(["logs", command, cli_log]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_logs_kind_filter_flag(self, cli_log, capsys):
+        from repro.cli import main
+
+        assert main(["logs", "summarize", cli_log, "--kind", "span"]) == 0
+        out = capsys.readouterr().out
+        assert "span" in out and "campaign.begin" not in out
+
+    def test_logs_missing_source_is_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["logs", "summarize", missing]) == 2
+        assert "error" in capsys.readouterr().err

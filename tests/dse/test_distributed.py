@@ -247,6 +247,100 @@ class TestKilledShard:
         assert not part_path(store, 1).exists()
 
 
+class TestShardedRunLog:
+    """Observability durability: the merged run log survives a SIGKILL
+    and a post-hoc analyzer reconstructs the whole story from it."""
+
+    @pytest.fixture
+    def run_log(self, tmp_path):
+        # The log lives AWAY from the store directory: segment-leftover
+        # checks on the store dir must not see log files.
+        from repro.obs import RunLog, set_run_log
+
+        log = RunLog(tmp_path / "obs-logs", run_id="dse")
+        previous = set_run_log(log)
+        yield log
+        set_run_log(previous)
+        log.close()
+
+    def test_shards_write_claim_events_into_merged_log(
+        self, dse_space, tmp_path, run_log
+    ):
+        from repro.obs import read_log
+
+        explore_sharded(
+            dse_space, shards=2, sampler="grid", objectives=OBJECTIVES,
+            store=tmp_path / "store" / "ex.jsonl", batch_size=2,
+        )
+        events = read_log(run_log.path)
+        kinds = [event.kind for event in events]
+        assert "dse.publish" in kinds
+        assert "dse.merge" in kinds
+        claims = [e for e in events if e.kind == "shard.claim"]
+        assert sum(e.data["candidates"] for e in claims) == 6
+        assert {e.data["shard"] for e in claims} <= {0, 1}
+        # Shard segments were merged and deleted, not left behind.
+        assert [
+            p.name for p in run_log.path.parent.iterdir()
+        ] == ["dse.jsonl"]
+
+    def test_killed_shard_leaves_readable_log_with_steals(
+        self, dse_space, tmp_path, run_log, monkeypatch
+    ):
+        from repro.analysis.logs import exploration_story
+        from repro.obs import read_log
+
+        monkeypatch.setenv(KILL_SHARD_ENV, "0")
+        result = explore_sharded(
+            dse_space, shards=2, sampler="grid", objectives=OBJECTIVES,
+            store=tmp_path / "store" / "ex.jsonl", batch_size=1,
+        )
+        assert len(result.candidates) == 6
+        # The SIGKILLed shard's segment is still readable (flushed per
+        # emit; at most a torn tail, which read_log tolerates).
+        events = read_log(run_log.path)
+        story = exploration_story(events)
+        assert story["shards_started"][:1] == [0]
+        assert story["blocks_requeued"] >= 1
+        assert story["stolen"], "survivor must have stolen requeued work"
+        assert story["executed"] == result.executed
+        assert story["errors"] == []
+
+    def test_all_shards_dead_respawn_is_logged(
+        self, dse_space, tmp_path, run_log, monkeypatch
+    ):
+        from repro.analysis.logs import exploration_story
+        from repro.obs import read_log
+
+        monkeypatch.setenv(KILL_SHARD_ENV, "0")
+        result = explore_sharded(
+            dse_space, shards=1, sampler="grid", objectives=OBJECTIVES,
+            store=tmp_path / "store" / "ex.jsonl", batch_size=1,
+        )
+        assert len(result.candidates) == 6
+        story = exploration_story(read_log(run_log.path))
+        assert len(story["respawns"]) == 1
+        respawned = story["respawns"][0]["shard"]
+        assert respawned == 1
+        # The replacement inherits only steal-able work: every block it
+        # claimed was hinted at the dead shard.
+        stolen_by_respawn = [
+            claim for claim in story["stolen"]
+            if claim["shard"] == respawned
+        ]
+        assert stolen_by_respawn
+
+    def test_store_dir_stays_clean_with_logging_on(
+        self, dse_space, tmp_path, run_log
+    ):
+        store_dir = tmp_path / "store"
+        explore_sharded(
+            dse_space, shards=2, sampler="grid", objectives=OBJECTIVES,
+            store=store_dir / "ex.jsonl", batch_size=2,
+        )
+        assert [p.name for p in store_dir.iterdir()] == ["ex.jsonl"]
+
+
 class TestShardedStoreBackends:
     @pytest.mark.parametrize("suffix", [".jsonl", ".sqlite"])
     def test_both_backends_round_trip(self, dse_space, tmp_path, suffix):

@@ -1,0 +1,193 @@
+"""Run-log events: schema, durability, segments, merge, ordering."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    LOG_SCHEMA,
+    Event,
+    LogError,
+    RunLog,
+    discover_log_parts,
+    emit,
+    get_run_log,
+    log_part_path,
+    merge_run_log,
+    read_log,
+    set_run_log,
+    sort_events,
+)
+
+
+class TestEventRecord:
+    def test_roundtrip(self):
+        event = Event(kind="x", seq=3, time=1.5, src="worker-1",
+                      run="run-a", data={"k": "v"})
+        assert Event.from_dict(event.to_dict()) == event
+
+    def test_to_dict_carries_schema(self):
+        event = Event(kind="x", seq=0, time=0.0)
+        assert event.to_dict()["schema"] == LOG_SCHEMA
+
+    def test_from_dict_rejects_wrong_schema(self):
+        record = Event(kind="x", seq=0, time=0.0).to_dict()
+        record["schema"] = "repro-log/999"
+        with pytest.raises(LogError):
+            Event.from_dict(record)
+
+    def test_payload_nests_under_data(self):
+        # Envelope keys can never be shadowed by payload keys.
+        event = Event(kind="x", seq=0, time=0.0,
+                      data={"kind": "inner", "seq": 99})
+        record = event.to_dict()
+        assert record["kind"] == "x"
+        assert record["data"]["kind"] == "inner"
+        back = Event.from_dict(record)
+        assert back.kind == "x"
+        assert back.data["seq"] == 99
+
+
+class TestRunLogWriter:
+    def test_emit_appends_jsonl_lines(self, tmp_path):
+        with RunLog(tmp_path, run_id="r") as log:
+            log.emit("a", x=1)
+            log.emit("b", y=2)
+        events = read_log(log.path)
+        assert [event.kind for event in events] == ["a", "b"]
+        assert events[0].data == {"x": 1}
+        assert events[0].run == "r"
+
+    def test_seq_is_monotonic_per_writer(self, tmp_path):
+        with RunLog(tmp_path, run_id="r") as log:
+            for _ in range(5):
+                log.emit("tick")
+        assert [e.seq for e in read_log(log.path)] == [0, 1, 2, 3, 4]
+
+    def test_lines_are_flushed_immediately(self, tmp_path):
+        # The durability contract: a killed process loses at most the
+        # line being written, never earlier events.
+        log = RunLog(tmp_path, run_id="r")
+        log.emit("early")
+        events = read_log(log.path)  # read while still open
+        assert [event.kind for event in events] == ["early"]
+        log.close()
+
+    def test_worker_writes_part_segment(self, tmp_path):
+        with RunLog(tmp_path, run_id="r", worker=2) as log:
+            log.emit("w")
+        assert log.path.name == "r.part-2.jsonl"
+        assert log.src == "worker-2"
+        assert read_log(log.path)[0].src == "worker-2"
+
+    def test_part_path_convention(self, tmp_path):
+        base = tmp_path / "r.jsonl"
+        assert log_part_path(base, 3).name == "r.part-3.jsonl"
+
+    def test_discover_parts_ignores_main_log(self, tmp_path):
+        with RunLog(tmp_path, run_id="r") as main:
+            main.emit("m")
+        for worker in (1, 0):
+            with RunLog(tmp_path, run_id="r", worker=worker) as log:
+                log.emit("w")
+        parts = discover_log_parts(main.path)
+        assert [p.name for p in parts] == ["r.part-0.jsonl", "r.part-1.jsonl"]
+
+
+class TestReadLogDurability:
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        with RunLog(tmp_path, run_id="r") as log:
+            log.emit("a")
+            log.emit("b")
+        with open(log.path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema": "repro-log/1", "kind": "tor')  # no \n
+        events = read_log(log.path)
+        assert [event.kind for event in events] == ["a", "b"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        good = json.dumps(Event(kind="a", seq=0, time=0.0).to_dict())
+        path.write_text("not json\n" + good + "\n")
+        with pytest.raises(LogError):
+            read_log(path)
+
+    def test_terminated_garbage_final_line_raises(self, tmp_path):
+        # Only a *torn* (unterminated) tail is tolerated; a complete
+        # but invalid line is corruption.
+        with RunLog(tmp_path, run_id="r") as log:
+            log.emit("a")
+        with open(log.path, "a", encoding="utf-8") as handle:
+            handle.write("garbage\n")
+        with pytest.raises(LogError):
+            read_log(log.path)
+
+    def test_blank_lines_are_ignored(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        good = json.dumps(Event(kind="a", seq=0, time=0.0).to_dict())
+        path.write_text("\n" + good + "\n\n")
+        assert [e.kind for e in read_log(path)] == ["a"]
+
+
+class TestMergeAndOrdering:
+    def test_merge_appends_part_events_verbatim(self, tmp_path):
+        main = RunLog(tmp_path, run_id="r")
+        main.emit("parent")
+        with RunLog(tmp_path, run_id="r", worker=0) as part:
+            part.emit("child", n=0)
+        merged = merge_run_log(main.path, delete_parts=True)
+        main.close()
+        assert [p.name for p in merged] == ["r.part-0.jsonl"]
+        assert not (tmp_path / "r.part-0.jsonl").exists()
+        events = read_log(main.path)
+        assert {(e.kind, e.src) for e in events} == {
+            ("parent", "main"), ("child", "worker-0"),
+        }
+
+    def test_merge_while_main_log_still_open(self, tmp_path):
+        # The parent merges at round barriers while its own handle is
+        # open; both use O_APPEND so neither clobbers the other.
+        main = RunLog(tmp_path, run_id="r")
+        main.emit("before")
+        with RunLog(tmp_path, run_id="r", worker=1) as part:
+            part.emit("segment")
+        main.merge_parts()
+        main.emit("after")
+        main.close()
+        kinds = [e.kind for e in read_log(main.path)]
+        assert kinds == ["before", "segment", "after"]
+
+    def test_merge_with_no_parts_is_noop(self, tmp_path):
+        with RunLog(tmp_path, run_id="r") as main:
+            main.emit("only")
+        assert merge_run_log(main.path) == []
+
+    def test_sort_events_orders_concurrent_segments(self, tmp_path):
+        events = [
+            Event(kind="b", seq=0, time=2.0, src="worker-1"),
+            Event(kind="a", seq=0, time=1.0, src="worker-0"),
+            Event(kind="c", seq=1, time=2.0, src="worker-0"),
+            Event(kind="d", seq=0, time=2.0, src="worker-0"),
+        ]
+        ordered = sort_events(events)
+        assert [e.kind for e in ordered] == ["a", "d", "c", "b"]
+        # Per-writer seq order survives equal timestamps.
+        worker0 = [e.seq for e in ordered if e.src == "worker-0"]
+        assert worker0 == sorted(worker0)
+
+
+class TestActiveLog:
+    def test_emit_is_noop_without_active_log(self):
+        assert get_run_log() is None
+        assert emit("orphan", x=1) is None
+
+    def test_set_run_log_returns_previous(self, tmp_path):
+        log = RunLog(tmp_path, run_id="r")
+        try:
+            assert set_run_log(log) is None
+            assert get_run_log() is log
+            event = emit("routed", x=1)
+            assert event is not None and event.kind == "routed"
+        finally:
+            assert set_run_log(None) is log
+        assert [e.kind for e in read_log(log.path)] == ["routed"]
+        log.close()

@@ -1,0 +1,127 @@
+"""Metrics registry: counters/gauges/timers, snapshot/merge/delta, spans."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, RunLog, read_log, set_run_log, timed_span
+
+
+class TestCountersGaugesTimers:
+    def test_incr_accumulates(self):
+        registry = MetricsRegistry()
+        registry.incr("hits")
+        registry.incr("hits", 4)
+        assert registry.counters["hits"] == 5
+
+    def test_gauge_is_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth", 3.0)
+        registry.gauge("depth", 1.0)
+        assert registry.gauges["depth"] == 1.0
+
+    def test_observe_tracks_count_total_min_max(self):
+        registry = MetricsRegistry()
+        for seconds in (0.2, 0.1, 0.4):
+            registry.observe("phase", seconds)
+        timer = registry.timers["phase"]
+        assert timer["count"] == 3
+        assert timer["total"] == pytest.approx(0.7)
+        assert timer["min"] == 0.1
+        assert timer["max"] == 0.4
+
+
+class TestSnapshotMerge:
+    def test_merge_adds_counters_and_folds_timers(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.incr("n", 2)
+        a.observe("t", 0.5)
+        b.incr("n", 3)
+        b.observe("t", 0.1)
+        b.gauge("g", 7.0)
+        a.merge(b.snapshot())
+        assert a.counters["n"] == 5
+        assert a.timers["t"]["count"] == 2
+        assert a.timers["t"]["min"] == 0.1
+        assert a.timers["t"]["max"] == 0.5
+        assert a.gauges["g"] == 7.0
+
+    def test_merge_none_is_noop(self):
+        registry = MetricsRegistry()
+        registry.merge(None)
+        registry.merge({})
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "timers": {},
+        }
+
+    def test_snapshot_is_a_copy(self):
+        registry = MetricsRegistry()
+        registry.incr("n")
+        snap = registry.snapshot()
+        snap["counters"]["n"] = 99
+        assert registry.counters["n"] == 1
+
+
+class TestFlushDelta:
+    def test_deltas_only_ship_unseen_increments(self):
+        worker = MetricsRegistry()
+        worker.incr("done", 2)
+        first = worker.flush_delta()
+        assert first["counters"] == {"done": 2}
+        worker.incr("done", 1)
+        second = worker.flush_delta()
+        assert second["counters"] == {"done": 1}
+        assert worker.flush_delta()["counters"] == {}
+
+    def test_parent_merging_every_delta_sees_exact_totals(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        for round_index in range(3):
+            worker.incr("done")
+            worker.observe("t", 0.1)
+            parent.merge(worker.flush_delta())
+        assert parent.counters["done"] == 3
+        assert parent.timers["t"]["count"] == 3
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.incr("n")
+        registry.observe("t", 1.0)
+        registry.flush_delta()
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "timers": {},
+        }
+        # Baselines are gone too: the next delta ships fresh counts.
+        registry.incr("n")
+        assert registry.flush_delta()["counters"] == {"n": 1}
+
+
+class TestTimedSpan:
+    def test_span_records_timer_and_exposes_seconds(self):
+        registry = MetricsRegistry()
+        with timed_span("simulate", registry=registry) as span:
+            pass
+        assert span.seconds >= 0.0
+        assert registry.timers["span.simulate"]["count"] == 1
+
+    def test_span_emits_event_when_log_active(self, tmp_path):
+        registry = MetricsRegistry()
+        log = RunLog(tmp_path, run_id="r")
+        previous = set_run_log(log)
+        try:
+            with timed_span("verify", registry=registry):
+                pass
+        finally:
+            set_run_log(previous)
+            log.close()
+        events = read_log(log.path)
+        assert events[0].kind == "span"
+        assert events[0].data["name"] == "verify"
+        assert events[0].data["seconds"] >= 0.0
+
+    def test_span_records_even_when_body_raises(self):
+        registry = MetricsRegistry()
+        try:
+            with timed_span("simulate", registry=registry):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert registry.timers["span.simulate"]["count"] == 1
